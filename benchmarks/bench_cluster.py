@@ -1,0 +1,109 @@
+"""Extension: DARC at cluster scale.
+
+The paper argues DARC "reduces the overall number of machines needed to
+serve this workload".  This benchmark quantifies that: a 4-replica
+cluster behind a join-shortest-queue balancer, comparing c-FCFS and DARC
+backends at the same offered load, plus the balancer comparison (random
+vs JSQ vs type-aware replica reservation — DARC's idea one level up).
+"""
+
+import pytest
+from conftest import run_single
+
+from repro.cluster.balancer import (
+    JoinShortestQueue,
+    RandomBalancer,
+    TypeAwareBalancer,
+)
+from repro.cluster.cluster import run_cluster
+from repro.systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from repro.workload.presets import high_bimodal
+
+N_REPLICAS = 4
+N_WORKERS = 14
+UTILIZATION = 0.80
+
+
+def jsq(servers, rngs):
+    return JoinShortestQueue(servers)
+
+
+def random_lb(servers, rngs):
+    return RandomBalancer(servers, rngs.stream("balancer"))
+
+
+def type_aware(servers, rngs):
+    # Reserve one replica for shorts; longs share the other three.
+    return TypeAwareBalancer(
+        servers,
+        assignment={0: list(range(len(servers))), 1: list(range(1, len(servers)))},
+    )
+
+
+def test_cluster_darc_vs_cfcfs(benchmark, bench_n_requests):
+    def run_both():
+        darc = run_cluster(
+            PersephoneSystem(n_workers=N_WORKERS, oracle=True), high_bimodal(),
+            jsq, n_replicas=N_REPLICAS, utilization=UTILIZATION,
+            n_requests=bench_n_requests, seed=1,
+        )
+        cfcfs = run_cluster(
+            PersephoneCfcfsSystem(n_workers=N_WORKERS), high_bimodal(),
+            jsq, n_replicas=N_REPLICAS, utilization=UTILIZATION,
+            n_requests=bench_n_requests, seed=1,
+        )
+        return darc, cfcfs
+
+    darc, cfcfs = run_single(benchmark, run_both)
+    print()
+    print(f"cluster ({N_REPLICAS} replicas, JSQ) @ {UTILIZATION:.0%}:")
+    print(f"  DARC backends:   short p99.9 = "
+          f"{darc.summary.per_type[0].tail_latency:8.1f}us  "
+          f"overall slowdown = {darc.summary.overall_tail_slowdown:6.1f}x")
+    print(f"  c-FCFS backends: short p99.9 = "
+          f"{cfcfs.summary.per_type[0].tail_latency:8.1f}us  "
+          f"overall slowdown = {cfcfs.summary.overall_tail_slowdown:6.1f}x")
+    benchmark.extra_info["darc_slowdown"] = darc.summary.overall_tail_slowdown
+    benchmark.extra_info["cfcfs_slowdown"] = cfcfs.summary.overall_tail_slowdown
+
+    # DARC's single-machine win survives the cluster layer.
+    assert (
+        darc.summary.per_type[0].tail_latency
+        < cfcfs.summary.per_type[0].tail_latency / 3
+    )
+    # JSQ keeps replicas balanced for both.
+    assert darc.load_imbalance() < 0.2
+    assert cfcfs.load_imbalance() < 0.2
+
+
+def test_cluster_balancer_comparison(benchmark, bench_n_requests):
+    def run_all():
+        out = {}
+        for name, factory in (
+            ("random", random_lb),
+            ("jsq", jsq),
+            ("type-aware", type_aware),
+        ):
+            out[name] = run_cluster(
+                PersephoneCfcfsSystem(n_workers=N_WORKERS), high_bimodal(),
+                factory, n_replicas=N_REPLICAS, utilization=UTILIZATION,
+                n_requests=bench_n_requests, seed=1,
+            )
+        return out
+
+    results = run_single(benchmark, run_all)
+    print()
+    for name, result in results.items():
+        short = result.summary.per_type[0].tail_latency
+        print(f"  {name:>10}: short p99.9 = {short:8.1f}us  "
+              f"imbalance = {result.load_imbalance():.2f}")
+    benchmark.extra_info.update(
+        {name: r.summary.per_type[0].tail_latency for name, r in results.items()}
+    )
+
+    short = {n: r.summary.per_type[0].tail_latency for n, r in results.items()}
+    # JSQ beats blind random placement.
+    assert short["jsq"] <= short["random"]
+    # Whole-replica type reservation protects shorts even with FCFS
+    # backends — the cluster-level analogue of DARC's claim.
+    assert short["type-aware"] < short["random"] / 3

@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at
+reproduction scale and prints the text analogue (run with ``-s`` to see
+it).  Simulations are deterministic per seed, so a single round is
+meaningful; wall-clock numbers report simulation throughput, not
+scheduling quality.
+
+Run:  pytest benchmarks/ --benchmark-only
+      pytest benchmarks/ --benchmark-only -s          # with figures
+      REPRO_BENCH_N=20000 pytest benchmarks/ ...      # faster, noisier
+"""
+
+import os
+
+import pytest
+
+#: Arrivals per load point; override with the REPRO_BENCH_N env var.
+DEFAULT_N = int(os.environ.get("REPRO_BENCH_N", "60000"))
+
+
+@pytest.fixture(scope="session")
+def bench_n_requests() -> int:
+    return DEFAULT_N
+
+
+def run_single(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

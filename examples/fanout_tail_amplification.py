@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Why backend tails matter: fan-out tail amplification.
+
+The paper's introduction motivates DARC with cloud applications that fan
+out "to hundreds of datacenter backend servers" — a page load completes
+only when its *slowest* backend answers, so a backend's p99 becomes the
+front-end's *median* at a fan-out of ~100.
+
+This example runs one backend workload (High Bimodal at 80% load) under
+c-FCFS and DARC, then composes per-request latencies into fan-out
+queries of width 1, 10, 50 and 100 (sampling without replacement from
+the measured short-request latency distribution) and reports the
+end-user median and p99.
+
+Run:  python examples/fanout_tail_amplification.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from repro.workload.presets import high_bimodal
+
+UTILIZATION = 0.80
+N_REQUESTS = 60_000
+FANOUTS = (1, 10, 50, 100)
+SHORT_TYPE = 0
+
+
+def backend_latencies(system) -> np.ndarray:
+    result = run_once(
+        system, high_bimodal(), UTILIZATION, n_requests=N_REQUESTS, seed=3
+    )
+    cols = result.server.recorder.columns().after_warmup(0.1).for_type(SHORT_TYPE)
+    return np.asarray(cols.latencies)
+
+
+def fanout_latency(latencies: np.ndarray, width: int, n_queries: int, rng) -> np.ndarray:
+    """Each query waits for the max of ``width`` independent backends."""
+    picks = rng.choice(latencies, size=(n_queries, width), replace=True)
+    return picks.max(axis=1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    systems = {
+        "c-FCFS": PersephoneCfcfsSystem(n_workers=14),
+        "DARC": PersephoneSystem(n_workers=14, oracle=True),
+    }
+    samples = {name: backend_latencies(system) for name, system in systems.items()}
+
+    for name, lat in samples.items():
+        print(f"{name:<8} backend short-request latency: "
+              f"p50={np.percentile(lat, 50):7.2f}us  "
+              f"p99={np.percentile(lat, 99):7.2f}us  "
+              f"p99.9={np.percentile(lat, 99.9):7.2f}us")
+    print()
+
+    header = f"{'fan-out':>8}" + "".join(
+        f"{name + ' p50':>14}{name + ' p99':>14}" for name in samples
+    )
+    print(header + "   (end-user query latency, us)")
+    print("-" * len(header))
+    for width in FANOUTS:
+        row = f"{width:>8}"
+        for name, lat in samples.items():
+            q = fanout_latency(lat, width, 20_000, rng)
+            row += f"{np.percentile(q, 50):>14.2f}{np.percentile(q, 99):>14.2f}"
+        print(row)
+
+    print("\nAt fan-out 100 the backend's tail *is* the user's median: "
+          "DARC's protected short tail keeps page loads fast where "
+          "c-FCFS's dispersion-blocked tail dominates every query.")
+
+
+if __name__ == "__main__":
+    main()

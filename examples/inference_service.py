@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A fast inference service behind Perséphone (§4.1's "fast inference
+engines" use case).
+
+Fits a real (miniature) gradient-boosted-trees model, then serves a
+typed inference mix — cheap early-exit cascades, full-ensemble scores,
+and expensive batch requests — under c-FCFS and profiled DARC.  The
+batch requests play the role of long requests: a few percent of them is
+enough to wreck the cascade latency under FCFS.
+
+Run:  python examples/inference_service.py
+"""
+
+import numpy as np
+
+from repro.apps.inference import (
+    BATCH_TYPE,
+    FULL_TYPE,
+    LIGHT_TYPE,
+    InferenceService,
+    make_demo_model,
+)
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+
+UTILIZATION = 0.80
+N_REQUESTS = 40_000
+
+
+def demo_model(service: InferenceService, X: np.ndarray, y: np.ndarray) -> None:
+    model = service.model
+    predictions = model.predict(X)
+    mse = float(((predictions - y) ** 2).mean())
+    print(f"fitted GBDT: {model.n_trees} trees, depth {model.max_depth}, "
+          f"train MSE {mse:.3f} (target var {y.var():.3f})")
+    row = X[0]
+    light = service.execute(LIGHT_TYPE, row)
+    full = service.execute(FULL_TYPE, row)
+    batch = service.execute(BATCH_TYPE, row)
+    print(f"LIGHT (cascade, {service.light_trees} trees) -> {light:+.3f} "
+          f"[{service.service_time(LIGHT_TYPE):.1f}us]")
+    print(f"FULL  (all {model.n_trees} trees)           -> {full:+.3f} "
+          f"[{service.service_time(FULL_TYPE):.1f}us]")
+    print(f"BATCH ({service.batch_rows} rows)               -> {batch:+.3f} "
+          f"[{service.service_time(BATCH_TYPE):.1f}us]\n")
+
+
+def demo_scheduling(service: InferenceService) -> None:
+    spec = service.workload_spec()
+    print(spec.describe(), "\n")
+    for system in (
+        PersephoneCfcfsSystem(n_workers=14, name="c-FCFS"),
+        PersephoneSystem(n_workers=14, oracle=False, name="DARC (profiled)"),
+    ):
+        result = run_once(system, spec, UTILIZATION, n_requests=N_REQUESTS, seed=9)
+        print(f"=== {system.name} ===")
+        print(result.summary.describe())
+        reservation = getattr(result.scheduler, "reservation", None)
+        if reservation is not None:
+            print(reservation.describe())
+        print()
+
+
+def main() -> None:
+    model, X, y = make_demo_model(n_trees=100)
+    service = InferenceService(model, light_trees=10, batch_rows=64)
+    demo_model(service, X, y)
+    demo_scheduling(service)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is declared in ``pyproject.toml``; this file exists so that
+``python setup.py develop`` works on environments without the ``wheel``
+package (pip's PEP 517 editable path needs ``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

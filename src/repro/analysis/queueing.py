@@ -1,0 +1,105 @@
+"""Queueing-theory cross-checks.
+
+The paper grounds DARC in queueing results (average demand as "a provable
+indicator of stability" [40]).  These closed forms let tests validate the
+simulator against theory:
+
+* M/M/1 and M/M/c waiting times (Erlang C),
+* M/G/1 mean waiting time (Pollaczek–Khinchine) — exact for c-FCFS with
+  one worker on any service distribution, including our bimodal mixes,
+* stability checks for typed partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+def _check_rho(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"utilization must be in [0,1) for a stable queue, got {rho}")
+
+
+def mm1_mean_wait(arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time (excluding service) in an M/M/1 queue."""
+    if service_rate <= 0:
+        raise ConfigurationError("service_rate must be > 0")
+    rho = arrival_rate / service_rate
+    _check_rho(rho)
+    return rho / (service_rate - arrival_rate)
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean time in system (wait + service) for M/M/1."""
+    return mm1_mean_wait(arrival_rate, service_rate) + 1.0 / service_rate
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Probability an arrival waits in an M/M/c queue (Erlang C).
+
+    ``offered_load`` is a = λ/μ in Erlangs; requires a < c for stability.
+    """
+    if c < 1:
+        raise ConfigurationError(f"c must be >= 1, got {c}")
+    if offered_load < 0:
+        raise ConfigurationError("offered_load must be >= 0")
+    if offered_load >= c:
+        raise ConfigurationError(f"unstable: offered load {offered_load} >= {c} servers")
+    # Sum in log space is unnecessary for the c ranges here (<= dozens).
+    summation = sum(offered_load**k / math.factorial(k) for k in range(c))
+    top = offered_load**c / (math.factorial(c) * (1 - offered_load / c))
+    return top / (summation + top)
+
+
+def mmc_mean_wait(arrival_rate: float, service_rate: float, c: int) -> float:
+    """Mean waiting time in M/M/c."""
+    a = arrival_rate / service_rate
+    pw = erlang_c(c, a)
+    return pw / (c * service_rate - arrival_rate)
+
+
+def mg1_mean_wait(arrival_rate: float, mean_service: float, second_moment: float) -> float:
+    """Pollaczek–Khinchine: mean wait in M/G/1.
+
+    ``second_moment`` is E[S^2].  Exact for any service distribution.
+    """
+    rho = arrival_rate * mean_service
+    _check_rho(rho)
+    return arrival_rate * second_moment / (2.0 * (1.0 - rho))
+
+
+def bimodal_moments(short: float, long: float, short_ratio: float) -> Tuple[float, float]:
+    """(E[S], E[S^2]) of a two-point service distribution."""
+    p = short_ratio
+    mean = p * short + (1 - p) * long
+    second = p * short**2 + (1 - p) * long**2
+    return mean, second
+
+
+def utilization(arrival_rate: float, mean_service: float, n_workers: int) -> float:
+    """System utilization ρ = λ E[S] / W."""
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    return arrival_rate * mean_service / n_workers
+
+def is_stable(arrival_rate: float, mean_service: float, n_workers: int) -> bool:
+    """Whether the offered load keeps queues bounded."""
+    return utilization(arrival_rate, mean_service, n_workers) < 1.0
+
+
+def partition_stability(
+    rates: Sequence[float], means: Sequence[float], workers: Sequence[int]
+) -> Sequence[bool]:
+    """Per-partition stability for a static split (SP / DARC w/o stealing).
+
+    DARC's reservation uses average demand precisely because each group's
+    partition must satisfy λ_g E[S_g] < W_g for stability [40].
+    """
+    if not (len(rates) == len(means) == len(workers)):
+        raise ConfigurationError("rates, means, workers must have equal lengths")
+    return [
+        is_stable(rate, mean, w) for rate, mean, w in zip(rates, means, workers)
+    ]

@@ -1,0 +1,94 @@
+"""Replication support: seed sweeps with confidence intervals.
+
+Tail percentiles from a single finite run are noisy; headline claims
+("2.35x more load") deserve error bars.  :func:`replicate` runs the same
+experiment point under independent seeds and :class:`Replication`
+summarizes any scalar metric across them with a normal-approximation
+confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..experiments.common import RunResult, run_once
+from ..systems.base import SystemModel
+from ..workload.spec import WorkloadSpec
+
+MetricFn = Callable[[RunResult], float]
+
+
+class Replication:
+    """Results of one experiment point across independent seeds."""
+
+    def __init__(self, results: Sequence[RunResult]):
+        if not results:
+            raise ConfigurationError("need at least one replication")
+        self.results = list(results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def values(self, metric: MetricFn) -> np.ndarray:
+        """Metric per replication, NaNs dropped."""
+        raw = np.array([metric(r) for r in self.results], dtype=float)
+        return raw[~np.isnan(raw)]
+
+    def mean(self, metric: MetricFn) -> float:
+        vals = self.values(metric)
+        return float(vals.mean()) if vals.size else float("nan")
+
+    def std(self, metric: MetricFn) -> float:
+        vals = self.values(metric)
+        return float(vals.std(ddof=1)) if vals.size > 1 else 0.0
+
+    def confidence_interval(
+        self, metric: MetricFn, z: float = 1.96
+    ) -> tuple:
+        """(low, high) normal-approximation CI of the mean."""
+        vals = self.values(metric)
+        if vals.size == 0:
+            return (float("nan"), float("nan"))
+        center = vals.mean()
+        if vals.size == 1:
+            return (float(center), float(center))
+        half = z * vals.std(ddof=1) / math.sqrt(vals.size)
+        return (float(center - half), float(center + half))
+
+    def describe(self, metric: MetricFn, label: str = "metric") -> str:
+        low, high = self.confidence_interval(metric)
+        return (
+            f"{label}: mean={self.mean(metric):.2f} "
+            f"ci95=[{low:.2f}, {high:.2f}] over {len(self)} seeds"
+        )
+
+
+def replicate(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float,
+    n_seeds: int = 5,
+    base_seed: int = 1,
+    n_requests: int = 20_000,
+    pct: float = 99.9,
+) -> Replication:
+    """Run one (system, workload, load) point under ``n_seeds`` seeds."""
+    if n_seeds < 1:
+        raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+    results: List[RunResult] = []
+    for i in range(n_seeds):
+        results.append(
+            run_once(
+                system,
+                spec,
+                utilization,
+                n_requests=n_requests,
+                seed=base_seed + 1000 * i,
+                pct=pct,
+            )
+        )
+    return Replication(results)

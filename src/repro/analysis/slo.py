@@ -1,0 +1,84 @@
+"""SLO capacity analysis.
+
+The paper's headline comparisons are of the form "for a target slowdown
+of 20x, DARC sustains 2.35x more load than Shenango".  Given a sweep of
+:class:`~repro.experiments.common.RunResult` per system, these helpers
+find each system's *capacity*: the highest offered utilization whose tail
+metric still meets the SLO.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..experiments.common import RunResult
+
+MetricFn = Callable[[RunResult], float]
+
+
+def overall_slowdown_metric(result: RunResult) -> float:
+    """View (i): tail slowdown across all requests."""
+    return result.summary.overall_tail_slowdown
+
+
+def max_typed_slowdown_metric(result: RunResult) -> float:
+    """Fig. 1's SLO: tail slowdown of the *worst* type."""
+    return result.summary.max_typed_slowdown()
+
+
+def typed_latency_metric(type_id: int) -> MetricFn:
+    """Tail latency of one type (e.g. the 20 µs short-request SLO)."""
+
+    def metric(result: RunResult) -> float:
+        ts = result.summary.per_type.get(type_id)
+        return ts.tail_latency if ts else float("nan")
+
+    return metric
+
+
+def capacity_at_slo(
+    sweep: Sequence[RunResult],
+    slo: float,
+    metric: MetricFn = overall_slowdown_metric,
+) -> Optional[float]:
+    """Highest utilization in ``sweep`` whose metric is within ``slo``.
+
+    The sweep must be ordered by ascending utilization.  Points with a
+    non-zero drop rate never qualify (a system shedding load has exceeded
+    its capacity even if survivors look fast).  Returns None when even
+    the lowest point violates the SLO.
+    """
+    best: Optional[float] = None
+    for result in sweep:
+        value = metric(result)
+        if result.summary.drop_rate > 0:
+            continue
+        if value == value and value <= slo:  # NaN-safe comparison
+            if best is None or result.utilization > best:
+                best = result.utilization
+    return best
+
+
+def capacity_ratio(
+    sweep_a: Sequence[RunResult],
+    sweep_b: Sequence[RunResult],
+    slo: float,
+    metric: MetricFn = overall_slowdown_metric,
+) -> Optional[float]:
+    """capacity(A) / capacity(B) at the same SLO; None if either is None."""
+    cap_a = capacity_at_slo(sweep_a, slo, metric)
+    cap_b = capacity_at_slo(sweep_b, slo, metric)
+    if cap_a is None or cap_b is None or cap_b == 0:
+        return None
+    return cap_a / cap_b
+
+
+def slowdown_improvement(
+    result_a: RunResult, result_b: RunResult, metric: MetricFn = overall_slowdown_metric
+) -> float:
+    """metric(B) / metric(A): how much better A's tail is at one point."""
+    a = metric(result_a)
+    b = metric(result_b)
+    if a <= 0 or a != a or b != b:
+        return float("nan")
+    return b / a

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment reports.
+
+Benchmarks print the same rows/series the paper's tables and figures
+show; this module renders them legibly without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+def format_cell(value: Any, precision: int = 2) -> str:
+    """Render one cell: floats to ``precision``, NaN as '-', bools as check
+    marks (Table 1 style), everything else via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with column alignment."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ConfigurationError("every row must match the header width")
+    cells = [[format_cell(v, precision) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """A figure as text: one x column plus one column per named series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[Any] = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, precision=precision, title=title)

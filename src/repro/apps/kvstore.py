@@ -1,0 +1,119 @@
+"""An in-memory key-value store in the style of Redis (§1's motivating
+example: GET/PUT in ~2 µs, SCAN/EVAL in hundreds of µs or ms).
+
+The store is a real data structure — examples execute genuine operations
+— and doubles as a *service-time model*: each operation class reports a
+calibrated simulated cost so the same application can drive the
+scheduler simulation.  Operation costs default to the paper's Redis
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..workload.spec import TypedClass, WorkloadSpec
+from ..workload.distributions import Fixed
+
+#: Redis-style operation costs from §1 (us).
+DEFAULT_COSTS = {
+    "GET": 2.0,
+    "PUT": 2.0,
+    "DELETE": 2.0,
+    "SCAN": 300.0,
+    "EVAL": 1000.0,
+}
+
+#: Stable type-id assignment for the KV protocol (ascending cost).
+OP_TYPE_IDS = {"GET": 0, "PUT": 1, "DELETE": 2, "SCAN": 3, "EVAL": 4}
+
+
+class KvStore:
+    """A dictionary-backed store with range scans.
+
+    Keys are strings; values are bytes.  ``scan`` walks keys in sorted
+    order, which is what makes it expensive — exactly the operation-cost
+    dispersion DARC exploits.
+    """
+
+    def __init__(self, costs: Optional[Dict[str, float]] = None):
+        self._data: Dict[str, bytes] = {}
+        self._sorted_keys: Optional[List[str]] = None
+        self.costs = dict(DEFAULT_COSTS)
+        if costs:
+            unknown = set(costs) - set(DEFAULT_COSTS)
+            if unknown:
+                raise ConfigurationError(f"unknown operations: {sorted(unknown)}")
+            self.costs.update(costs)
+        self.op_counts: Dict[str, int] = {op: 0 for op in DEFAULT_COSTS}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        self.op_counts["GET"] += 1
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        self.op_counts["PUT"] += 1
+        if key not in self._data:
+            self._sorted_keys = None  # key set changed; invalidate index
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        self.op_counts["DELETE"] += 1
+        if key in self._data:
+            del self._data[key]
+            self._sorted_keys = None
+            return True
+        return False
+
+    def scan(self, start: str, count: int) -> List[Tuple[str, bytes]]:
+        """Return up to ``count`` items with key >= start, in key order."""
+        self.op_counts["SCAN"] += 1
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._data)
+        import bisect
+
+        idx = bisect.bisect_left(self._sorted_keys, start)
+        out = []
+        for key in self._sorted_keys[idx : idx + count]:
+            out.append((key, self._data[key]))
+        return out
+
+    def eval(self, fn, *args):
+        """Run an arbitrary function against the store (Redis EVAL)."""
+        self.op_counts["EVAL"] += 1
+        return fn(self, *args)
+
+    # ------------------------------------------------------------------
+    # scheduling integration
+    # ------------------------------------------------------------------
+    def service_time(self, op: str) -> float:
+        """Simulated cost (us) of one ``op``."""
+        try:
+            return self.costs[op]
+        except KeyError:
+            raise ConfigurationError(f"unknown operation {op!r}") from None
+
+    def workload_spec(self, mix: Dict[str, float], name: str = "kvstore") -> WorkloadSpec:
+        """Build a typed workload from an operation mix.
+
+        ``mix`` maps operation names to occurrence ratios (must sum to 1).
+        Types are ordered by ascending cost so reports read naturally.
+        """
+        total = sum(mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"mix ratios must sum to 1, got {total}")
+        ordered = sorted(mix.items(), key=lambda kv: self.costs[kv[0]])
+        classes = [
+            TypedClass(op, ratio, Fixed(self.costs[op])) for op, ratio in ordered
+        ]
+        return WorkloadSpec(name, classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KvStore({len(self._data)} keys)"

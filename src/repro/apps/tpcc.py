@@ -1,0 +1,190 @@
+"""A synthetic TPC-C transaction engine (§5.1, Table 4).
+
+The paper profiles TPC-C transactions on an in-memory database (Silo)
+and replays them as a synthetic workload with the Table 4 service times,
+assuming no inter-transaction dependencies.  This module provides both:
+
+* an actual miniature in-memory TPC-C database (warehouses, districts,
+  customers, orders, stock) with executable transaction logic — used by
+  the example application so the workload is "real"; and
+* the Table 4 calibrated service-time model feeding the scheduler
+  simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..workload.presets import TPCC_TRANSACTIONS
+from ..workload.spec import WorkloadSpec, nmodal_spec
+
+#: Transaction name -> (type_id, runtime us, ratio), id by ascending runtime.
+TXN_PROFILE: Dict[str, Tuple[int, float, float]] = {
+    name: (i, runtime, ratio)
+    for i, (name, runtime, ratio) in enumerate(TPCC_TRANSACTIONS)
+}
+
+
+@dataclass
+class Customer:
+    customer_id: int
+    balance: float = 0.0
+    payment_count: int = 0
+
+
+@dataclass
+class OrderLine:
+    item_id: int
+    quantity: int
+
+
+@dataclass
+class Order:
+    order_id: int
+    customer_id: int
+    lines: List[OrderLine] = field(default_factory=list)
+    delivered: bool = False
+
+
+class District:
+    """One district: customers, orders, a next-order counter."""
+
+    def __init__(self, district_id: int, n_customers: int):
+        self.district_id = district_id
+        self.customers = {i: Customer(i) for i in range(n_customers)}
+        self.orders: Dict[int, Order] = {}
+        self.next_order_id = 0
+
+
+class TpccDatabase:
+    """A miniature in-memory TPC-C database with the five Table 4
+    transactions implemented for real."""
+
+    def __init__(
+        self,
+        n_warehouses: int = 1,
+        n_districts: int = 10,
+        n_customers: int = 100,
+        n_items: int = 1000,
+        seed: int = 7,
+    ):
+        if min(n_warehouses, n_districts, n_customers, n_items) < 1:
+            raise ConfigurationError("all TPC-C dimensions must be >= 1")
+        self.n_items = n_items
+        self.stock: Dict[int, int] = {i: 100 for i in range(n_items)}
+        self.districts: List[District] = [
+            District(d, n_customers) for d in range(n_warehouses * n_districts)
+        ]
+        self._rng = np.random.default_rng(seed)
+        self.txn_counts: Dict[str, int] = {name: 0 for name in TXN_PROFILE}
+
+    def _district(self, district_id: Optional[int] = None) -> District:
+        if district_id is None:
+            district_id = int(self._rng.integers(0, len(self.districts)))
+        return self.districts[district_id % len(self.districts)]
+
+    # ------------------------------------------------------------------
+    # the five transactions, ascending service time (Table 4 order)
+    # ------------------------------------------------------------------
+    def payment(self, district_id: Optional[int] = None, amount: float = 10.0) -> float:
+        """Customer pays; returns the new balance."""
+        self.txn_counts["Payment"] += 1
+        district = self._district(district_id)
+        cid = int(self._rng.integers(0, len(district.customers)))
+        customer = district.customers[cid]
+        customer.balance -= amount
+        customer.payment_count += 1
+        return customer.balance
+
+    def order_status(self, district_id: Optional[int] = None) -> Optional[Order]:
+        """Read a customer's most recent order."""
+        self.txn_counts["OrderStatus"] += 1
+        district = self._district(district_id)
+        if not district.orders:
+            return None
+        last_id = max(district.orders)
+        return district.orders[last_id]
+
+    def new_order(
+        self, district_id: Optional[int] = None, n_lines: int = 10
+    ) -> Order:
+        """Create an order with ``n_lines`` random items; decrement stock."""
+        self.txn_counts["NewOrder"] += 1
+        district = self._district(district_id)
+        cid = int(self._rng.integers(0, len(district.customers)))
+        order = Order(district.next_order_id, cid)
+        district.next_order_id += 1
+        for _ in range(n_lines):
+            item = int(self._rng.integers(0, self.n_items))
+            qty = int(self._rng.integers(1, 6))
+            order.lines.append(OrderLine(item, qty))
+            self.stock[item] = max(0, self.stock[item] - qty)
+        district.orders[order.order_id] = order
+        return order
+
+    def delivery(self, district_id: Optional[int] = None, batch: int = 10) -> int:
+        """Deliver up to ``batch`` oldest undelivered orders; returns count."""
+        self.txn_counts["Delivery"] += 1
+        district = self._district(district_id)
+        delivered = 0
+        for order_id in sorted(district.orders):
+            if delivered >= batch:
+                break
+            order = district.orders[order_id]
+            if not order.delivered:
+                order.delivered = True
+                delivered += 1
+        return delivered
+
+    def stock_level(self, threshold: int = 50) -> int:
+        """Count items below a stock threshold — a full stock walk."""
+        self.txn_counts["StockLevel"] += 1
+        return sum(1 for qty in self.stock.values() if qty < threshold)
+
+    # ------------------------------------------------------------------
+    # scheduling integration
+    # ------------------------------------------------------------------
+    def execute(self, txn_name: str) -> object:
+        """Dispatch a transaction by Table 4 name."""
+        handlers = {
+            "Payment": self.payment,
+            "OrderStatus": self.order_status,
+            "NewOrder": self.new_order,
+            "Delivery": self.delivery,
+            "StockLevel": self.stock_level,
+        }
+        try:
+            handler = handlers[txn_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown transaction {txn_name!r}") from None
+        return handler()
+
+    @staticmethod
+    def service_time(txn_name: str) -> float:
+        """Table 4 profiled runtime (us)."""
+        try:
+            return TXN_PROFILE[txn_name][1]
+        except KeyError:
+            raise ConfigurationError(f"unknown transaction {txn_name!r}") from None
+
+    @staticmethod
+    def type_id(txn_name: str) -> int:
+        try:
+            return TXN_PROFILE[txn_name][0]
+        except KeyError:
+            raise ConfigurationError(f"unknown transaction {txn_name!r}") from None
+
+    @staticmethod
+    def workload_spec() -> WorkloadSpec:
+        """The Table 4 mix as a typed workload."""
+        return nmodal_spec("tpcc", TPCC_TRANSACTIONS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TpccDatabase({len(self.districts)} districts, "
+            f"{self.n_items} items, txns={sum(self.txn_counts.values())})"
+        )

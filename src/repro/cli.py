@@ -1,0 +1,128 @@
+"""Command-line interface: ``repro-experiments`` / ``python -m repro.cli``.
+
+Runs any paper experiment at a chosen scale, prints the text figure, and
+optionally archives the underlying data as CSV::
+
+    repro-experiments figure1 --n-requests 60000
+    repro-experiments figure5 --quick
+    repro-experiments figure3 --csv results/
+    repro-experiments tables
+    repro-experiments all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    tables,
+)
+from .experiments.export import figure_to_csv, findings_to_csv
+from .experiments.results import FigureResult
+
+#: Load-sweep request counts for --quick runs.
+QUICK_N = 8_000
+
+#: name -> (run(n, seed) -> result, render(result) -> str)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "figure1": (lambda n, seed: figure1.run(n_requests=n, seed=seed), figure1.render),
+    "figure3": (lambda n, seed: figure3.run(n_requests=n, seed=seed), figure3.render),
+    "figure4": (lambda n, seed: figure4.run(n_requests=n, seed=seed), lambda r: r.render()),
+    "figure5": (lambda n, seed: figure5.run(n_requests=n, seed=seed), figure5.render),
+    "figure6": (lambda n, seed: figure6.run(n_requests=n, seed=seed), figure6.render),
+    "figure7": (lambda n, seed: figure7.run(seed=seed), lambda r: r.render()),
+    "figure8": (lambda n, seed: figure8.run(n_requests=n, seed=seed), figure8.render),
+    "figure9": (lambda n, seed: figure9.run(n_requests=n, seed=seed), figure9.render),
+    "figure10": (lambda n, seed: figure10.run(n_requests=n, seed=seed), figure10.render),
+    "tables": (lambda n, seed: None, lambda r: tables.render_all()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce Persephone/DARC (SOSP 2021) figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--n-requests",
+        type=int,
+        default=40_000,
+        help="arrivals per load point (default 40000)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small runs ({QUICK_N} requests/point) for a fast sanity pass",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write the sweep data and findings as CSV files into DIR",
+    )
+    return parser
+
+
+def _export_csv(name: str, result, directory: str) -> List[str]:
+    """Write CSVs for any FigureResult(s) in ``result``; returns paths."""
+    figures: Dict[str, FigureResult] = {}
+    if isinstance(result, FigureResult):
+        figures[name] = result
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, FigureResult):
+                figures[f"{name}_{key}"] = value
+    written: List[str] = []
+    os.makedirs(directory, exist_ok=True)
+    for label, figure in figures.items():
+        data_path = os.path.join(directory, f"{label}.csv")
+        with open(data_path, "w") as fp:
+            figure_to_csv(figure, fp)
+        written.append(data_path)
+        if figure.findings:
+            findings_path = os.path.join(directory, f"{label}_findings.csv")
+            with open(findings_path, "w") as fp:
+                findings_to_csv(figure, fp)
+            written.append(findings_path)
+    return written
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    n = QUICK_N if args.quick else args.n_requests
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run, render = EXPERIMENTS[name]
+        start = time.time()
+        result = run(n, args.seed)
+        elapsed = time.time() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(render(result))
+        if args.csv is not None:
+            for path in _export_csv(name, result, args.csv):
+                print(f"wrote {path}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Cluster layer: replicated servers behind a load balancer."""
+
+from .balancer import (
+    Balancer,
+    JoinShortestQueue,
+    RandomBalancer,
+    RoundRobinBalancer,
+    TypeAwareBalancer,
+)
+from .cluster import ClusterResult, run_cluster
+
+__all__ = [
+    "Balancer",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "JoinShortestQueue",
+    "TypeAwareBalancer",
+    "ClusterResult",
+    "run_cluster",
+]

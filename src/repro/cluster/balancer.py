@@ -1,0 +1,137 @@
+"""Cluster load balancing across replicated servers.
+
+The paper's motivation is datacenter-scale: services replicate across
+machines and front-ends pick a replica per request.  This module adds
+that layer above :class:`~repro.server.server.Server` so cluster-level
+questions ("does DARC still win behind a join-shortest-queue balancer?")
+are answerable.
+
+Balancer policies:
+
+* :class:`RandomBalancer`       — uniform random replica;
+* :class:`RoundRobinBalancer`   — rotate replicas;
+* :class:`JoinShortestQueue`    — least (pending + in-flight) work, the
+  classic JSQ;
+* :class:`TypeAwareBalancer`    — partition replicas by request type, a
+  cluster-level analogue of DARC's core reservation (shorts get
+  dedicated replicas).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..server.server import Server
+from ..workload.request import Request
+
+
+class Balancer(ABC):
+    """Chooses a replica for each arriving request."""
+
+    def __init__(self, servers: Sequence[Server]):
+        if not servers:
+            raise ConfigurationError("need at least one server")
+        self.servers = list(servers)
+        self.routed = 0
+
+    @abstractmethod
+    def pick(self, request: Request) -> int:
+        """Index of the replica that should serve ``request``."""
+
+    def ingress(self, request: Request) -> None:
+        """The cluster's single entry point (the generator's sink)."""
+        self.routed += 1
+        self.servers[self.pick(request)].ingress(request)
+
+
+class RandomBalancer(Balancer):
+    """Uniform random — what anycast/ECMP effectively does."""
+
+    def __init__(self, servers: Sequence[Server], rng: np.random.Generator):
+        super().__init__(servers)
+        self.rng = rng
+
+    def pick(self, request: Request) -> int:
+        return int(self.rng.integers(0, len(self.servers)))
+
+
+class RoundRobinBalancer(Balancer):
+    """Strict rotation."""
+
+    def __init__(self, servers: Sequence[Server]):
+        super().__init__(servers)
+        self._next = 0
+
+    def pick(self, request: Request) -> int:
+        idx = self._next
+        self._next = (self._next + 1) % len(self.servers)
+        return idx
+
+
+class JoinShortestQueue(Balancer):
+    """Route to the replica with the least outstanding work.
+
+    Outstanding work = queued requests + busy workers.  The scan start
+    rotates so that ties (ubiquitous at low load) spread across replicas
+    instead of piling onto index 0.
+    """
+
+    def __init__(self, servers: Sequence[Server]):
+        super().__init__(servers)
+        self._start = 0
+
+    def pick(self, request: Request) -> int:
+        n = len(self.servers)
+        best_idx = self._start
+        best_load = None
+        for offset in range(n):
+            i = (self._start + offset) % n
+            load = self.servers[i].pending + self.servers[i].in_flight
+            if best_load is None or load < best_load:
+                best_load = load
+                best_idx = i
+        self._start = (self._start + 1) % n
+        return best_idx
+
+
+class TypeAwareBalancer(Balancer):
+    """Reserve whole replicas per request type — DARC's idea one level up.
+
+    ``assignment`` maps type id -> list of replica indices; unmapped
+    types use ``default`` replicas.  Within a type's replica set, pick
+    the least loaded (JSQ).
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[Server],
+        assignment: Dict[int, List[int]],
+        default: Optional[List[int]] = None,
+    ):
+        super().__init__(servers)
+        for type_id, replicas in assignment.items():
+            if not replicas:
+                raise ConfigurationError(f"type {type_id} has an empty replica set")
+            for idx in replicas:
+                if not 0 <= idx < len(servers):
+                    raise ConfigurationError(f"replica index {idx} out of range")
+        self.assignment = assignment
+        self.default = default if default is not None else list(range(len(servers)))
+        if not self.default:
+            raise ConfigurationError("default replica set cannot be empty")
+
+    def pick(self, request: Request) -> int:
+        replicas = self.assignment.get(request.type_id, self.default)
+        best_idx = replicas[0]
+        best_load = None
+        for idx in replicas:
+            server = self.servers[idx]
+            load = server.pending + server.in_flight
+            if best_load is None or load < best_load:
+                best_load = load
+                best_idx = idx
+        return best_idx

@@ -1,0 +1,112 @@
+"""A cluster: replicated servers behind one balancer, measured together.
+
+:func:`run_cluster` assembles N identical servers (same system model),
+a balancer, and an open-loop generator sized against the *cluster-wide*
+peak, then returns a cluster-level :class:`~repro.metrics.summary.RunSummary`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..metrics.recorder import Recorder
+from ..metrics.summary import RunSummary
+from ..server.server import Server
+from ..sim.engine import EventLoop
+from ..sim.randomness import RngRegistry
+from ..systems.base import SystemModel
+from ..workload.arrivals import PoissonArrivals
+from ..workload.generator import OpenLoopGenerator
+from ..workload.spec import WorkloadSpec
+from .balancer import Balancer
+
+BalancerFactory = Callable[[Sequence[Server], RngRegistry], Balancer]
+
+
+class ClusterResult:
+    """Cluster-level and per-replica views of one run."""
+
+    def __init__(
+        self,
+        summary: RunSummary,
+        servers: List[Server],
+        balancer: Balancer,
+        utilization: float,
+    ):
+        self.summary = summary
+        self.servers = servers
+        self.balancer = balancer
+        self.utilization = utilization
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.servers)
+
+    def replica_loads(self) -> List[int]:
+        """Requests each replica received."""
+        return [server.received for server in self.servers]
+
+    def load_imbalance(self) -> float:
+        """(max - min) / mean of per-replica request counts."""
+        loads = self.replica_loads()
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        return (max(loads) - min(loads)) / mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterResult({self.n_replicas} replicas, rho={self.utilization:.2f}, "
+            f"p{self.summary.pct} slowdown={self.summary.overall_tail_slowdown:.1f})"
+        )
+
+
+def run_cluster(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    balancer_factory: BalancerFactory,
+    n_replicas: int = 4,
+    utilization: float = 0.7,
+    n_requests: int = 40_000,
+    seed: int = 1,
+    warmup_frac: float = 0.10,
+    pct: float = 99.9,
+) -> ClusterResult:
+    """Simulate ``n_replicas`` copies of ``system`` behind a balancer."""
+    if n_replicas < 1:
+        raise ConfigurationError(f"n_replicas must be >= 1, got {n_replicas}")
+    if utilization <= 0:
+        raise ConfigurationError(f"utilization must be > 0, got {utilization}")
+    rngs = RngRegistry(seed=seed)
+    loop = EventLoop()
+    recorder = Recorder()
+    servers: List[Server] = []
+    for i in range(n_replicas):
+        scheduler = system.make_scheduler(spec, rngs.fork(i))
+        servers.append(
+            Server(loop, scheduler, config=system.make_config(), recorder=recorder)
+        )
+    balancer = balancer_factory(servers, rngs)
+    per_server_peak = spec.peak_load(system.make_config().n_workers)
+    rate = utilization * per_server_peak * n_replicas
+    generator = OpenLoopGenerator(
+        loop,
+        spec,
+        PoissonArrivals(rate),
+        balancer.ingress,
+        type_rng=rngs.stream("types"),
+        service_rng=rngs.stream("service"),
+        arrival_rng=rngs.stream("arrivals"),
+        limit=n_requests,
+    )
+    generator.start()
+    loop.run()
+    summary = RunSummary(
+        recorder,
+        duration_us=loop.now,
+        type_specs=spec.type_specs(),
+        warmup_frac=warmup_frac,
+        pct=pct,
+    )
+    return ClusterResult(summary, servers, balancer, utilization)

@@ -1,0 +1,544 @@
+"""DARC — Dynamic Application-aware Reserved Cores (§3, §4.3.3).
+
+:class:`DarcScheduler` implements the full policy:
+
+* typed queues keyed by the classifier's verdict, dispatched in ascending
+  profiled-service-time order (Algorithm 1);
+* worker reservations per δ-group with cycle stealing from longer groups
+  and a spillway core (Algorithm 2, via :mod:`repro.core.reservation`);
+* online profiling windows with EMA service times and occurrence ratios,
+  and reservation updates triggered by queueing-delay SLO breaches plus
+  significant CPU-demand deviation (§4.3.3);
+* c-FCFS warm-up before the first reservation exists;
+* bounded typed queues for flow control (drops shed load per-type).
+
+Two configurations:
+
+* *profiled* (default) — learns the workload online, like the prototype;
+* *oracle*  (``profile=False`` + ``type_specs``) — reservations computed
+  once from ground truth, used for the paper's policy simulations (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set
+
+from ..errors import ConfigurationError, SchedulingError
+from ..policies.base import PolicyTraits, Scheduler
+from ..server.worker import Worker
+from ..workload.request import UNKNOWN_TYPE, Request, RequestTypeSpec
+from .classifier import OracleClassifier, RequestClassifier
+from .profiler import WorkloadProfiler
+from .reservation import Reservation, compute_reservation, demand_deviation
+
+
+class DarcScheduler(Scheduler):
+    """The paper's contribution: application-aware reserved cores.
+
+    Parameters
+    ----------
+    classifier:
+        Maps requests to type ids on the dispatch path (§4.2).  Defaults
+        to an oracle (correct header lookup).
+    delta:
+        Service-time similarity factor for grouping (Algorithm 2).
+    profile:
+        Learn the workload online.  When False, ``type_specs`` must carry
+        ground truth and reservations are fixed at bind time.
+    type_specs:
+        Ground-truth per-type means/ratios for oracle mode.
+    ema_alpha:
+        Profiler smoothing factor.
+    min_samples:
+        Lower bound on window samples before a reservation update — the
+        paper uses 50 000 on a multi-Mrps testbed; simulation-scale runs
+        default lower.
+    min_demand_deviation:
+        Minimum per-type demand-share change to trigger an update (0.1 in
+        the paper).
+    slo_slowdown:
+        Queueing-delay trigger: a request that waited longer than
+        ``slo_slowdown`` times its type's profiled service time signals
+        that the reservation may be stale (the paper uses 10).
+    queue_capacity:
+        Per-typed-queue bound for flow control; None = unbounded.
+    rounding:
+        Fractional-demand rounding mode ("round" per the paper; "ceil" /
+        "floor" exposed for the ablation).
+    use_spillway:
+        Set False only for the ablation benchmark.
+    steal:
+        Cycle stealing on/off (off degenerates toward static partitioning;
+        ablation only).
+    reclaim:
+        What happens when a worker completes a request while several
+        groups have pending work — the point where Algorithm 1's
+        pseudocode underdetermines the system:
+
+        * ``"priority"`` — literal Algorithm 1: the shortest pending
+          group always wins, even on a worker reserved to a longer
+          group.  Maximally protects shorts; lets a hot medium group
+          bleed the longest group's tail (cf. §5.4.3's degraded
+          StockLevel).
+        * ``"owner"`` — a reserved core is returned to its owner group
+          whenever the owner has work ("guaranteed cores", Fig. 7);
+          shorter groups steal only cores that are idle at their
+          arrival.  Maximally protects long groups; an under-provisioned
+          short group can saturate at very high load.
+        * ``"urgent"`` (default) — owner-first, except a shorter group
+          claims the core when its oldest request has already waited at
+          least the group's own mean service time (its slowdown is
+          actively degrading).  Microsecond shorts qualify essentially
+          immediately, so they keep Algorithm 1's protection, while a
+          merely-busy medium group cannot monopolize longer groups'
+          cores.
+    """
+
+    traits = PolicyTraits(
+        name="DARC",
+        app_aware=True,
+        typed_queues=True,
+        work_conserving=False,
+        preemptive=False,
+        prevents_hol_blocking=True,
+        ideal_workload="Heavy-tailed with high priority short requests",
+        example_system="Perséphone",
+        comments="Absorbs short bursts via stealing; favors short RPCs",
+    )
+
+    def __init__(
+        self,
+        classifier: Optional[RequestClassifier] = None,
+        delta: float = 2.0,
+        profile: bool = True,
+        type_specs: Optional[Sequence[RequestTypeSpec]] = None,
+        ema_alpha: float = 0.05,
+        min_samples: int = 2000,
+        min_demand_deviation: float = 0.10,
+        slo_slowdown: float = 10.0,
+        queue_capacity: Optional[int] = None,
+        rounding: str = "round",
+        use_spillway: bool = True,
+        steal: bool = True,
+        reclaim: str = "urgent",
+    ):
+        super().__init__()
+        if reclaim not in ("priority", "owner", "urgent"):
+            raise ConfigurationError(
+                f"reclaim must be 'priority', 'owner' or 'urgent', got {reclaim!r}"
+            )
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1, got {min_samples}")
+        if min_demand_deviation < 0:
+            raise ConfigurationError("min_demand_deviation must be >= 0")
+        if slo_slowdown <= 0:
+            raise ConfigurationError("slo_slowdown must be > 0")
+        if not profile and not type_specs:
+            raise ConfigurationError("oracle mode (profile=False) requires type_specs")
+        self.classifier = classifier if classifier is not None else OracleClassifier()
+        self.delta = delta
+        self.profile_enabled = profile
+        self.type_specs = list(type_specs) if type_specs else None
+        self.profiler = WorkloadProfiler(ema_alpha=ema_alpha)
+        self.min_samples = min_samples
+        self.min_demand_deviation = min_demand_deviation
+        self.slo_slowdown = slo_slowdown
+        self.queue_capacity = queue_capacity
+        self.rounding = rounding
+        self.use_spillway = use_spillway
+        self.steal = steal
+        self.reclaim = reclaim
+
+        self.reservation: Optional[Reservation] = None
+        #: Typed queues, created lazily as types appear.
+        self.queues: Dict[int, Deque[Request]] = {}
+        #: Dispatch priority: type ids ascending by profiled service time.
+        self._order: List[int] = []
+        #: worker index -> set of type ids it may serve (from reservation).
+        self._allowed: List[Set[int]] = []
+        #: Types seen but absent from the current reservation (plus UNKNOWN):
+        #: they are served by the spillway only.
+        self._orphan_types: Set[int] = set()
+        #: worker index -> the GroupAllocation that reserved it (owner-first
+        #: dispatch at completion time).
+        self._owner_of_worker: Dict[int, object] = {}
+        self._startup_queue: Deque[Request] = deque()
+        self._slo_breached = False
+        self.reservation_updates = 0
+        #: (time, {type_id: reserved_count}) history for Fig. 7.
+        self.reservation_log: List = []
+        self.drops = 0
+
+        # Measured CPU-waste accounting: time-integral of idle workers
+        # while work is pending (the cost of non-work-conservation).
+        self._waste_area = 0.0
+        self._waste_last_t = 0.0
+
+    # ------------------------------------------------------------------
+    # binding / oracle setup
+    # ------------------------------------------------------------------
+    def on_bound(self) -> None:
+        self._waste_last_t = self.loop.now
+        if not self.profile_enabled:
+            assert self.type_specs is not None
+            for spec in self.type_specs:
+                self.profiler.seed(spec.type_id, spec.mean_service_time, weight=1)
+            entries = [
+                (s.type_id, s.mean_service_time, s.ratio) for s in self.type_specs
+            ]
+            self._install_reservation(entries)
+
+    # ------------------------------------------------------------------
+    # CPU waste accounting
+    # ------------------------------------------------------------------
+    def _tick_waste(self) -> None:
+        """Integrate idle-while-pending worker count up to now.
+
+        Must be called *before* any state change so the piecewise-constant
+        count since the previous event is attributed correctly.
+        """
+        now = self.loop.now
+        dt = now - self._waste_last_t
+        if dt > 0:
+            if self.pending_count() > 0:
+                idle = sum(1 for w in self.workers if w.is_free)
+                self._waste_area += dt * idle
+            self._waste_last_t = now
+
+    def measured_waste(self) -> float:
+        """Time-averaged idle cores while requests were pending."""
+        elapsed = self.loop.now if self.loop else 0.0
+        if elapsed <= 0:
+            return 0.0
+        return self._waste_area / elapsed
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def on_request(self, request: Request) -> None:
+        self._tick_waste()
+        type_id = self.classifier.classify(request)
+        if self.reservation is None:
+            # Startup window: c-FCFS (§3 "during the first windows ... the
+            # system starts using c-FCFS").
+            worker = self.first_free_worker()
+            if worker is not None and not self._startup_queue:
+                self.begin_service(worker, request)
+            else:
+                self._startup_queue.append(request)
+            return
+        queue = self.queues.get(type_id)
+        if queue is None:
+            queue = deque()
+            self.queues[type_id] = queue
+            self._register_type(type_id)
+        if self.queue_capacity is not None and len(queue) >= self.queue_capacity:
+            self.drops += 1
+            self.drop(request)
+            return
+        queue.append(request)
+        self._dispatch_type(type_id)
+
+    def _register_type(self, type_id: int) -> None:
+        """A type with no queue yet appeared mid-run: slot it into the
+        dispatch order (by profiled mean if known, else last) and mark it
+        orphan if the current reservation does not cover it."""
+        mean = self.profiler.mean_service(type_id)
+        if mean is None:
+            self._order.append(type_id)
+        else:
+            means = [
+                (self.profiler.mean_service(t) or float("inf")) for t in self._order
+            ]
+            pos = len(self._order)
+            for i, m in enumerate(means):
+                if mean < m:
+                    pos = i
+                    break
+            self._order.insert(pos, type_id)
+        if self.reservation is None or self.reservation.group_for_type(type_id) is None:
+            self._orphan_types.add(type_id)
+
+    def _workers_for_type(self, type_id: int) -> List[int]:
+        """Algorithm 1's candidate list: reserved then stealable workers."""
+        assert self.reservation is not None
+        alloc = self.reservation.group_for_type(type_id)
+        if alloc is None:
+            spill = self.reservation.spillway_worker
+            return [spill] if spill is not None else []
+        if self.steal:
+            return alloc.allowed_workers()
+        return list(alloc.reserved)
+
+    def _sibling_types(self, type_id: int) -> List[int]:
+        """All types sharing ``type_id``'s group queue set.
+
+        The group presents a "single queue abstraction" (§3): its typed
+        queues are dequeued FCFS across each other, so δ-similar types
+        cannot starve one another.
+        """
+        assert self.reservation is not None
+        alloc = self.reservation.group_for_type(type_id)
+        if alloc is None:
+            return [type_id]
+        return alloc.type_ids
+
+    def _earliest_wait(self, type_ids: Sequence[int]) -> Optional[float]:
+        """Waiting time of the oldest queued request among the typed
+        queues, or None when all are empty."""
+        best = None
+        for tid in type_ids:
+            queue = self.queues.get(tid)
+            if queue:
+                arrival = queue[0].arrival_time
+                if best is None or arrival < best:
+                    best = arrival
+        if best is None:
+            return None
+        return self.loop.now - best
+
+    def _pop_earliest(self, type_ids: Sequence[int]) -> Optional[Request]:
+        """Pop the earliest-arrived head among the given typed queues."""
+        best_queue: Optional[Deque[Request]] = None
+        best_time = None
+        for tid in type_ids:
+            queue = self.queues.get(tid)
+            if not queue:
+                continue
+            head_time = queue[0].arrival_time
+            if best_time is None or head_time < best_time:
+                best_time = head_time
+                best_queue = queue
+        if best_queue is None:
+            return None
+        return best_queue.popleft()
+
+    def _dispatch_type(self, type_id: int) -> None:
+        """Dispatch pending requests of ``type_id``'s group to free
+        allowed workers (FCFS across the group's typed queues)."""
+        siblings = self._sibling_types(type_id)
+        if not any(self.queues.get(tid) for tid in siblings):
+            return
+        candidates = self._workers_for_type(type_id)
+        for widx in candidates:
+            worker = self.workers[widx]
+            if worker.is_free:
+                request = self._pop_earliest(siblings)
+                if request is None:
+                    return
+                self.begin_service(worker, request)
+
+    def on_worker_free(self, worker: Worker) -> None:
+        self._tick_waste()
+        if not worker.is_free:
+            # completion_hook may have installed a new reservation and
+            # already re-dispatched onto this worker.
+            return
+        if self.reservation is None:
+            if self._startup_queue:
+                self.begin_service(worker, self._startup_queue.popleft())
+            return
+        widx = worker.worker_id
+        allowed = self._allowed[widx] if widx < len(self._allowed) else set()
+        is_spillway = (
+            self.reservation.spillway_worker is not None
+            and widx == self.reservation.spillway_worker
+        )
+        owner = self._owner_of_worker.get(widx)
+        if self.reclaim != "priority" and owner is not None:
+            # A reserved core is *guaranteed* to its group (Fig. 7): a
+            # stolen core reverts to its owner on completion.  In
+            # "urgent" mode a shorter group overrides the guarantee when
+            # its oldest request has waited beyond the group's own mean
+            # service time — the signal that the group is actively
+            # degrading, not merely busy.
+            if self.reclaim == "urgent":
+                for alloc in self.reservation.allocations:
+                    if alloc is owner:
+                        break
+                    if not allowed.intersection(alloc.type_ids):
+                        continue
+                    head_wait = self._earliest_wait(alloc.type_ids)
+                    if head_wait is not None and head_wait >= alloc.group.mean_service():
+                        request = self._pop_earliest(alloc.type_ids)
+                        assert request is not None
+                        self.begin_service(worker, request)
+                        return
+            request = self._pop_earliest(owner.type_ids)
+            if request is not None:
+                self.begin_service(worker, request)
+                return
+        # Algorithm 1: walk groups in ascending service-time order and
+        # serve the earliest pending request of the first group this
+        # worker may take (FCFS across a group's typed queues).
+        for alloc in self.reservation.allocations:
+            if not allowed.intersection(alloc.type_ids):
+                continue
+            request = self._pop_earliest(alloc.type_ids)
+            if request is not None:
+                self.begin_service(worker, request)
+                return
+        if is_spillway:
+            orphan_ids = sorted(self._orphan_types | {UNKNOWN_TYPE})
+            request = self._pop_earliest(orphan_ids)
+            if request is not None:
+                self.begin_service(worker, request)
+
+    def pending_count(self) -> int:
+        return len(self._startup_queue) + sum(len(q) for q in self.queues.values())
+
+    def _complete(self, worker: Worker, request: Request) -> None:
+        # Integrate CPU-waste *before* the base class frees the worker so
+        # the elapsed busy interval is attributed correctly.
+        self._tick_waste()
+        super()._complete(worker, request)
+
+    # ------------------------------------------------------------------
+    # profiling & reservation updates
+    # ------------------------------------------------------------------
+    def completion_hook(self, worker: Worker, request: Request) -> None:
+        self._tick_waste()
+        if not self.profile_enabled:
+            return
+        type_id = request.effective_type()
+        # Profile the *measured* occupancy, which is what the dispatcher
+        # observes from completion signals.
+        self.profiler.observe(type_id, request.service_time)
+        mean = self.profiler.mean_service(type_id)
+        if (
+            mean is not None
+            and request.first_service_time is not None
+            and request.waiting_time > self.slo_slowdown * mean
+        ):
+            self._slo_breached = True
+        self._maybe_update_reservation()
+
+    def _maybe_update_reservation(self) -> None:
+        if self.profiler.window_samples < self.min_samples:
+            return
+        snapshot = self.profiler.snapshot()
+        if len(snapshot) == 0:
+            return
+        if self.reservation is None:
+            # First window closes: transition from c-FCFS to DARC.
+            self._install_reservation(list(snapshot))
+            self.profiler.reset_window()
+            self._drain_startup_queue()
+            return
+        deviation = demand_deviation(
+            self.reservation.demand_shares, snapshot.demand_shares()
+        )
+        # "Deviates significantly from the current demand" (§4.3.3) covers
+        # two cases: the demand shares moved past the threshold, or — even
+        # under small drift — re-running Algorithm 2 would grant different
+        # worker counts (profiling noise near a rounding boundary).  The
+        # latter matters when a group is breaching its SLO: an allocation
+        # that starves a group keeps signalling until a better one lands.
+        allocation_changed = False
+        if self._slo_breached and deviation < self.min_demand_deviation:
+            candidate = compute_reservation(
+                list(snapshot),
+                n_workers=len(self.workers),
+                delta=self.delta,
+                rounding=self.rounding,
+                use_spillway=self.use_spillway,
+            )
+            allocation_changed = (
+                candidate.reserved_counts() != self.reservation.reserved_counts()
+            )
+        if self._slo_breached and (
+            deviation >= self.min_demand_deviation or allocation_changed
+        ):
+            self._install_reservation(list(snapshot))
+            self.profiler.reset_window()
+            self._slo_breached = False
+        elif deviation >= self.min_demand_deviation and self.profiler.window_samples >= 4 * self.min_samples:
+            # Safety valve: large sustained drift updates reservations even
+            # without an SLO breach (e.g. load so low queues never build).
+            self._install_reservation(list(snapshot))
+            self.profiler.reset_window()
+        elif self.profiler.window_samples >= 4 * self.min_samples:
+            # Window rollover: keep ratio estimates fresh and expire stale
+            # breach signals so one old breach cannot pair with a much
+            # later allocation blip.
+            self.profiler.reset_window()
+            self._slo_breached = False
+
+    def _drain_startup_queue(self) -> None:
+        pending = list(self._startup_queue)
+        self._startup_queue.clear()
+        for request in pending:
+            type_id = request.effective_type()
+            queue = self.queues.get(type_id)
+            if queue is None:
+                queue = deque()
+                self.queues[type_id] = queue
+                self._register_type(type_id)
+            queue.append(request)
+        for type_id in list(self._order):
+            self._dispatch_type(type_id)
+
+    def _install_reservation(self, entries) -> None:
+        """Compute and adopt a new reservation; O(~1000 cycles) in the
+        prototype, one Algorithm-2 run here."""
+        self.reservation = compute_reservation(
+            entries,
+            n_workers=len(self.workers),
+            delta=self.delta,
+            rounding=self.rounding,
+            use_spillway=self.use_spillway,
+        )
+        covered: Set[int] = set()
+        self._allowed = [set() for _ in self.workers]
+        self._owner_of_worker = {}
+        for alloc in self.reservation.allocations:
+            workers = alloc.allowed_workers() if self.steal else alloc.reserved
+            for widx in workers:
+                self._allowed[widx].update(alloc.type_ids)
+            for widx in alloc.reserved:
+                # First reservation wins (a shared spillway core belongs
+                # to the first group that claimed it).
+                self._owner_of_worker.setdefault(widx, alloc)
+            covered.update(alloc.type_ids)
+        # Rebuild dispatch order from the reservation's ascending groups,
+        # then append orphans (types outside the reservation).
+        ordered = [
+            tid for alloc in self.reservation.allocations for tid in alloc.type_ids
+        ]
+        known = set(ordered)
+        orphans = [tid for tid in self.queues if tid not in known]
+        self._orphan_types = set(orphans)
+        self._order = ordered + sorted(orphans)
+        for tid in self._order:
+            self.queues.setdefault(tid, deque())
+        self.reservation_updates += 1
+        if self.loop is not None:
+            self.reservation_log.append(
+                (self.loop.now, {tid: len(self.reservation.group_for_type(tid).reserved)
+                                 for tid in covered})
+            )
+        # Newly-permitted idle workers should pick up pending work now.
+        for tid in self._order:
+            self._dispatch_type(tid)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def reserved_count(self, type_id: int) -> int:
+        """Workers currently guaranteed to ``type_id``'s group (Fig. 7)."""
+        if self.reservation is None:
+            return 0
+        alloc = self.reservation.group_for_type(type_id)
+        return len(alloc.reserved) if alloc else 0
+
+    def expected_waste(self) -> float:
+        """Analytic Eq. 2 waste of the current reservation."""
+        return self.reservation.expected_waste() if self.reservation else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "profiled" if self.profile_enabled else "oracle"
+        return (
+            f"DarcScheduler({mode}, delta={self.delta}, "
+            f"updates={self.reservation_updates})"
+        )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Persephone/DARC reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class WorkloadError(ReproError):
+    """Raised for ill-formed workload specifications."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling policy reaches an inconsistent state."""
+
+
+class ClassifierError(ReproError):
+    """Raised when a request classifier misbehaves in a detectable way."""

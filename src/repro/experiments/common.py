@@ -1,0 +1,193 @@
+"""Shared experiment machinery.
+
+:func:`run_once` assembles loop + server + generator for one (system,
+workload, load) point, runs it to completion, and returns a
+:class:`RunResult` bundling the summary, utilization and the scheduler
+(for policy-specific introspection like DARC's reservation log).
+
+Loads are expressed as *utilization* — a fraction of the workload's peak
+rate ``W / E[S]`` — which is how the paper's x-axes are scaled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..metrics.recorder import Recorder
+from ..metrics.summary import RunSummary
+from ..metrics.utilization import UtilizationReport
+from ..server.server import Server
+from ..sim.engine import EventLoop
+from ..sim.randomness import RngRegistry
+from ..systems.base import SystemModel
+from ..workload.arrivals import PoissonArrivals
+from ..workload.generator import OpenLoopGenerator
+from ..workload.spec import WorkloadSpec
+
+#: Default request count per load point — large enough for a stable
+#: p99.9 on the common types while keeping pure-Python runtimes sane.
+DEFAULT_N_REQUESTS = 40_000
+
+#: §5.1: "we discard the first 10% of samples to remove warm-up effects".
+DEFAULT_WARMUP_FRAC = 0.10
+
+
+class RunResult:
+    """Everything one simulated run produced."""
+
+    def __init__(
+        self,
+        system_name: str,
+        spec: WorkloadSpec,
+        utilization: float,
+        offered_rate: float,
+        summary: RunSummary,
+        util_report: UtilizationReport,
+        scheduler,
+        server: Server,
+    ):
+        self.system_name = system_name
+        self.spec = spec
+        #: Offered load as a fraction of peak.
+        self.utilization = utilization
+        #: Offered arrival rate in req/us (== Mrps).
+        self.offered_rate = offered_rate
+        self.summary = summary
+        self.util_report = util_report
+        self.scheduler = scheduler
+        self.server = server
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunResult({self.system_name!r}, rho={self.utilization:.2f}, "
+            f"p{self.summary.pct} slowdown={self.summary.overall_tail_slowdown:.1f})"
+        )
+
+
+def run_once(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float,
+    n_requests: int = DEFAULT_N_REQUESTS,
+    seed: int = 1,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+    pct: float = 99.9,
+    max_sim_time_us: Optional[float] = None,
+) -> RunResult:
+    """Simulate one load point and summarize it.
+
+    The run generates exactly ``n_requests`` arrivals, then drains the
+    server (every generated request completes unless dropped by flow
+    control).  ``max_sim_time_us`` optionally caps the drain for badly
+    overloaded configurations.
+    """
+    if utilization <= 0:
+        raise ConfigurationError(f"utilization must be > 0, got {utilization}")
+    if n_requests < 1:
+        raise ConfigurationError(f"n_requests must be >= 1, got {n_requests}")
+
+    rngs = RngRegistry(seed=seed)
+    loop = EventLoop()
+    scheduler = system.make_scheduler(spec, rngs)
+    config = system.make_config()
+    recorder = Recorder()
+    server = Server(loop, scheduler, config=config, recorder=recorder)
+
+    rate = utilization * spec.peak_load(config.n_workers)
+    generator = OpenLoopGenerator(
+        loop,
+        spec,
+        PoissonArrivals(rate),
+        server.ingress,
+        type_rng=rngs.stream("types"),
+        service_rng=rngs.stream("service"),
+        arrival_rng=rngs.stream("arrivals"),
+        limit=n_requests,
+    )
+    generator.start()
+    loop.run(until=max_sim_time_us)
+
+    summary = RunSummary(
+        recorder,
+        duration_us=loop.now,
+        type_specs=spec.type_specs(),
+        warmup_frac=warmup_frac,
+        pct=pct,
+    )
+    util_report = server.utilization()
+    return RunResult(
+        system.name, spec, utilization, rate, summary, util_report, scheduler, server
+    )
+
+
+def run_trace(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    trace,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+    pct: float = 99.9,
+    seed: int = 1,
+) -> RunResult:
+    """Replay a recorded arrival trace through ``system``.
+
+    Comparing systems on the *same* trace removes arrival-sampling noise
+    from the comparison (common random numbers): any difference in the
+    summaries is purely scheduling.  ``spec`` supplies type names and
+    the peak-load normalization; the trace supplies every arrival.
+    """
+    from ..workload.trace import TraceReplayer
+
+    rngs = RngRegistry(seed=seed)
+    loop = EventLoop()
+    scheduler = system.make_scheduler(spec, rngs)
+    config = system.make_config()
+    recorder = Recorder()
+    server = Server(loop, scheduler, config=config, recorder=recorder)
+    replayer = TraceReplayer(loop, trace, server.ingress)
+    replayer.start()
+    loop.run()
+    offered_rate = trace.offered_rate()
+    utilization = offered_rate / spec.peak_load(config.n_workers)
+    summary = RunSummary(
+        recorder,
+        duration_us=loop.now,
+        type_specs=spec.type_specs(),
+        warmup_frac=warmup_frac,
+        pct=pct,
+    )
+    return RunResult(
+        system.name,
+        spec,
+        utilization,
+        offered_rate,
+        summary,
+        server.utilization(),
+        scheduler,
+        server,
+    )
+
+
+def run_sweep(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilizations: Sequence[float],
+    n_requests: int = DEFAULT_N_REQUESTS,
+    seed: int = 1,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+    pct: float = 99.9,
+) -> List[RunResult]:
+    """One :func:`run_once` per load point, same seed (common random
+    numbers across systems compared at the same points)."""
+    return [
+        run_once(
+            system,
+            spec,
+            rho,
+            n_requests=n_requests,
+            seed=seed,
+            warmup_frac=warmup_frac,
+            pct=pct,
+        )
+        for rho in utilizations
+    ]

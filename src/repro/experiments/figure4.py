@@ -1,0 +1,105 @@
+"""Figure 4 (§5.3): how much non-work-conservation is useful?
+
+DARC-static with 0–14 reserved cores at 95% load, on High Bimodal (a)
+and Extreme Bimodal (b), with the c-FCFS slowdown as the reference line.
+
+Paper findings: the best manual setting is 1 reserved core for High
+Bimodal (4.4x improvement over c-FCFS) and 2 for Extreme Bimodal (1.5x)
+— matching what DARC's reservation algorithm picks automatically.
+0 reserved cores equals plain Fixed Priority; too many starve longs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.slo import overall_slowdown_metric
+from ..analysis.tables import render_table
+from ..systems.persephone import PersephoneCfcfsSystem, PersephoneStaticSystem
+from ..workload.presets import extreme_bimodal, high_bimodal
+from ..workload.spec import WorkloadSpec
+from .common import RunResult, run_once
+
+N_WORKERS = 14
+UTILIZATION = 0.95
+DEFAULT_RESERVED = tuple(range(0, 15))
+
+
+class Figure4Result:
+    """Per-workload slowdown as a function of reserved cores."""
+
+    def __init__(self, utilization: float):
+        self.utilization = utilization
+        #: workload name -> {n_reserved: RunResult}
+        self.sweeps: Dict[str, Dict[int, RunResult]] = {}
+        #: workload name -> c-FCFS reference RunResult
+        self.references: Dict[str, RunResult] = {}
+        self.findings: Dict[str, float] = {}
+
+    def slowdowns(self, workload: str) -> Dict[int, float]:
+        return {
+            k: overall_slowdown_metric(r) for k, r in self.sweeps[workload].items()
+        }
+
+    def best_reserved(self, workload: str) -> int:
+        values = self.slowdowns(workload)
+        return min(values, key=lambda k: values[k])
+
+    def render(self) -> str:
+        parts = []
+        for workload, runs in self.sweeps.items():
+            ref = overall_slowdown_metric(self.references[workload])
+            rows = [
+                [k, overall_slowdown_metric(r), ref]
+                for k, r in sorted(runs.items())
+            ]
+            parts.append(
+                render_table(
+                    ["reserved", "p99.9 slowdown", "c-FCFS ref"],
+                    rows,
+                    precision=1,
+                    title=f"Figure 4 [{workload}] at {self.utilization:.0%} load",
+                )
+            )
+        if self.findings:
+            lines = ["Figure 4: findings"]
+            for key, value in self.findings.items():
+                lines.append(f"  {key} = {value:.2f}")
+            parts.append("\n".join(lines))
+        return "\n\n".join(parts)
+
+
+def run(
+    reserved_counts: Sequence[int] = DEFAULT_RESERVED,
+    utilization: float = UTILIZATION,
+    n_requests: int = 60_000,
+    seed: int = 1,
+    workloads: Optional[Dict[str, WorkloadSpec]] = None,
+) -> Figure4Result:
+    if workloads is None:
+        workloads = {
+            "high_bimodal": high_bimodal(),
+            "extreme_bimodal": extreme_bimodal(),
+        }
+    result = Figure4Result(utilization)
+    cfcfs = PersephoneCfcfsSystem(n_workers=N_WORKERS, name="c-FCFS")
+    for name, spec in workloads.items():
+        result.references[name] = run_once(
+            cfcfs, spec, utilization, n_requests=n_requests, seed=seed
+        )
+        runs: Dict[int, RunResult] = {}
+        for k in reserved_counts:
+            if k >= N_WORKERS:
+                continue  # must leave at least one worker for long requests
+            system = PersephoneStaticSystem(n_reserved=k, n_workers=N_WORKERS)
+            runs[k] = run_once(system, spec, utilization, n_requests=n_requests, seed=seed)
+        result.sweeps[name] = runs
+        best = result.best_reserved(name)
+        ref = overall_slowdown_metric(result.references[name])
+        best_val = result.slowdowns(name)[best]
+        result.findings[f"best reserved [{name}]"] = float(best)
+        if best_val > 0:
+            result.findings[f"improvement over c-FCFS [{name}]"] = ref / best_val
+    return result

@@ -1,0 +1,97 @@
+"""Figure 5 (§5.4.1–5.4.2): Perséphone vs Shenango vs Shinjuku on the
+bimodal workloads.
+
+(a) High Bimodal — Shinjuku multi-queue, 5 µs quantum.  Paper: DARC
+    sustains 2.35x / 1.3x more load than Shenango / Shinjuku at a 20x
+    slowdown target and reduces slowdown 10.2x / 1.75x at 75% load;
+    Shinjuku tops out near 75% load.
+(b) Extreme Bimodal — Shinjuku single-queue, 5 µs quantum.  Paper: DARC
+    and Shinjuku sustain 1.4x more than Shenango at a 50x target; DARC
+    reduces short-request slowdown up to 1.4x vs Shinjuku and sustains
+    1.25x more load; Shinjuku tops out near 55%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.slo import overall_slowdown_metric, typed_latency_metric
+from ..systems.base import SystemModel
+from ..systems.persephone import PersephoneSystem
+from ..systems.shenango import ShenangoSystem
+from ..systems.shinjuku import ShinjukuSystem
+from ..workload.presets import extreme_bimodal, high_bimodal
+from .common import run_sweep
+from .results import FigureResult
+
+N_WORKERS = 14
+DEFAULT_UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.75, 0.85, 0.95)
+#: Figure 5's slowdown targets per sub-figure.
+SLO_HIGH = 20.0
+SLO_EXTREME = 50.0
+
+
+def systems_for(workload_name: str) -> List[SystemModel]:
+    """§5.4 system choices: Shinjuku's queue policy depends on workload."""
+    shinjuku_mode = "single" if workload_name == "extreme_bimodal" else "multi"
+    return [
+        ShenangoSystem(n_workers=N_WORKERS, work_stealing=True, name="Shenango"),
+        ShinjukuSystem(n_workers=N_WORKERS, quantum_us=5.0, mode=shinjuku_mode, name="Shinjuku"),
+        PersephoneSystem(n_workers=N_WORKERS, oracle=False, name="Persephone"),
+    ]
+
+
+def run_one_workload(
+    workload_name: str,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    n_requests: int = 60_000,
+    seed: int = 1,
+    systems: Optional[List[SystemModel]] = None,
+) -> FigureResult:
+    spec = high_bimodal() if workload_name == "high_bimodal" else extreme_bimodal()
+    slo = SLO_HIGH if workload_name == "high_bimodal" else SLO_EXTREME
+    result = FigureResult(f"Figure 5 [{workload_name}]", utilizations)
+    for system in systems if systems is not None else systems_for(workload_name):
+        result.add_sweep(
+            system.name,
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+        )
+    caps = result.capacities(slo, overall_slowdown_metric)
+    for name, cap in caps.items():
+        result.findings[f"capacity@{slo:g}x [{name}]"] = (
+            cap if cap is not None else float("nan")
+        )
+    if caps.get("Persephone") and caps.get("Shenango"):
+        result.findings["DARC vs Shenango capacity"] = caps["Persephone"] / caps["Shenango"]
+    if caps.get("Persephone") and caps.get("Shinjuku"):
+        result.findings["DARC vs Shinjuku capacity"] = caps["Persephone"] / caps["Shinjuku"]
+    return result
+
+
+def run(
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    n_requests: int = 60_000,
+    seed: int = 1,
+) -> Dict[str, FigureResult]:
+    """Both sub-figures."""
+    return {
+        "high_bimodal": run_one_workload(
+            "high_bimodal", utilizations, n_requests=n_requests, seed=seed
+        ),
+        "extreme_bimodal": run_one_workload(
+            "extreme_bimodal", utilizations, n_requests=n_requests, seed=seed
+        ),
+    }
+
+
+def render(results: Dict[str, FigureResult]) -> str:
+    parts = []
+    for result in results.values():
+        parts.append(
+            result.render_metric(overall_slowdown_metric, "overall p99.9 slowdown (x)")
+        )
+        parts.append(
+            result.render_metric(typed_latency_metric(1), "long p99.9 latency (us)")
+        )
+        parts.append(result.render_findings())
+    return "\n\n".join(parts)

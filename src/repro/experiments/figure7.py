@@ -1,0 +1,176 @@
+"""Figure 7 (§5.5): reacting to sudden workload changes.
+
+Two request types A and B, four phases at a constant 80% server
+utilization:
+
+1. B is short (1 µs), A is long (100 µs), 50/50 — DARC gives B 1
+   dedicated core (stealing the other 13) and A the other 13;
+2. service times invert (A becomes short) — deliberate misclassification
+   of the existing profile, forcing re-profiling and a reservation flip;
+3. the mix shifts to 99.5% A / 0.5% B — A's CPU demand rises and DARC
+   reserves it a second core;
+4. only A requests remain — pending/straggler B requests fall back to
+   the spillway core.
+
+The paper runs 5 s phases; the simulation default is shorter but long
+enough for the profiler to transition (~the paper's 500 ms adaptation).
+Outputs per-type p99.9 latency over time windows plus the guaranteed-core
+timeline, for DARC and a c-FCFS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.tables import render_series
+from ..metrics.recorder import Recorder
+from ..metrics.summary import RunSummary
+from ..metrics.timeseries import AllocationTimeline, WindowedStats
+from ..server.config import ServerConfig
+from ..server.server import Server
+from ..sim.engine import EventLoop
+from ..sim.randomness import RngRegistry
+from ..systems.base import SystemModel
+from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from ..workload.arrivals import PoissonArrivals
+from ..workload.generator import OpenLoopGenerator
+from ..workload.phases import Phase, PhaseSchedule
+from ..workload.spec import TypedClass, WorkloadSpec
+from ..workload.distributions import Fixed
+
+N_WORKERS = 14
+UTILIZATION = 0.80
+TYPE_A = 0
+TYPE_B = 1
+DEFAULT_PHASE_US = 150_000.0
+SHORT_US = 1.0
+LONG_US = 100.0
+
+
+def _spec(name: str, a_us: float, b_us: float, a_ratio: float) -> WorkloadSpec:
+    classes = [TypedClass("A", a_ratio, Fixed(a_us))]
+    if a_ratio < 1.0:
+        classes.append(TypedClass("B", 1.0 - a_ratio, Fixed(b_us)))
+    return WorkloadSpec(name, classes)
+
+
+def default_phases(phase_us: float = DEFAULT_PHASE_US) -> List[Phase]:
+    return [
+        Phase(_spec("phase1", LONG_US, SHORT_US, 0.5), phase_us, UTILIZATION),
+        Phase(_spec("phase2", SHORT_US, LONG_US, 0.5), phase_us, UTILIZATION),
+        Phase(_spec("phase3", SHORT_US, LONG_US, 0.995), phase_us, UTILIZATION),
+        Phase(_spec("phase4", SHORT_US, LONG_US, 1.0), phase_us, UTILIZATION),
+    ]
+
+
+class Figure7Result:
+    """Time series per system: latency per type + core allocation."""
+
+    def __init__(self, window_us: float, phase_boundaries: List[float]):
+        self.window_us = window_us
+        self.phase_boundaries = phase_boundaries
+        #: system -> type_id -> (times, p99.9 latency per window)
+        self.latency_series: Dict[str, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        #: system -> type_id -> (times, guaranteed cores)
+        self.alloc_series: Dict[str, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+        self.summaries: Dict[str, RunSummary] = {}
+        self.reservation_updates: Dict[str, int] = {}
+
+    def render(self) -> str:
+        parts = []
+        for system, by_type in self.latency_series.items():
+            for tid, (times, values) in sorted(by_type.items()):
+                label = "A" if tid == TYPE_A else "B"
+                series = {"p99.9 latency (us)": list(values)}
+                alloc = self.alloc_series.get(system, {}).get(tid)
+                if alloc is not None:
+                    series["guaranteed cores"] = list(alloc[1])
+                parts.append(
+                    render_series(
+                        "t(us)",
+                        list(times),
+                        series,
+                        precision=1,
+                        title=f"Figure 7 [{system}] type {label}",
+                    )
+                )
+        for system, updates in self.reservation_updates.items():
+            parts.append(f"{system}: {updates} reservation updates")
+        return "\n\n".join(parts)
+
+
+def _run_system(
+    system: SystemModel,
+    phases: List[Phase],
+    seed: int,
+    window_us: float,
+) -> Tuple[Recorder, object, float]:
+    rngs = RngRegistry(seed=seed)
+    loop = EventLoop()
+    scheduler = system.make_scheduler(phases[0].spec, rngs)
+    recorder = Recorder()
+    server = Server(loop, scheduler, config=system.make_config(), recorder=recorder)
+    rate = UTILIZATION * phases[0].spec.peak_load(N_WORKERS)
+    generator = OpenLoopGenerator(
+        loop,
+        phases[0].spec,
+        PoissonArrivals(rate),
+        server.ingress,
+        type_rng=rngs.stream("types"),
+        service_rng=rngs.stream("service"),
+        arrival_rng=rngs.stream("arrivals"),
+        limit=None,
+    )
+    schedule = PhaseSchedule(loop, generator, phases, N_WORKERS)
+    total = schedule.total_duration_us
+    generator.start()
+    schedule.start()
+    loop.call_at(total, generator.stop)
+    loop.run()
+    return recorder, scheduler, loop.now
+
+
+def run(
+    phases: Optional[List[Phase]] = None,
+    seed: int = 1,
+    window_us: float = 10_000.0,
+    systems: Optional[List[SystemModel]] = None,
+) -> Figure7Result:
+    if phases is None:
+        phases = default_phases()
+    if systems is None:
+        systems = [
+            PersephoneCfcfsSystem(n_workers=N_WORKERS, name="c-FCFS"),
+            PersephoneSystem(
+                n_workers=N_WORKERS,
+                oracle=False,
+                min_samples=500,
+                ema_alpha=0.1,
+                name="DARC",
+            ),
+        ]
+    boundaries = list(np.cumsum([p.duration_us for p in phases]))
+    result = Figure7Result(window_us, boundaries)
+    stats = WindowedStats(window_us)
+    for system in systems:
+        recorder, scheduler, duration = _run_system(system, phases, seed, window_us)
+        cols = recorder.columns()
+        result.latency_series[system.name] = {
+            tid: stats.series(cols, type_id=tid) for tid in (TYPE_A, TYPE_B)
+        }
+        result.summaries[system.name] = RunSummary(
+            recorder, duration_us=duration, warmup_frac=0.0
+        )
+        log = getattr(scheduler, "reservation_log", None)
+        if log is not None:
+            timeline = AllocationTimeline(log)
+            times = result.latency_series[system.name][TYPE_A][0]
+            result.alloc_series[system.name] = {
+                tid: (times, timeline.sample(times, tid)) for tid in (TYPE_A, TYPE_B)
+            }
+            result.reservation_updates[system.name] = getattr(
+                scheduler, "reservation_updates", 0
+            )
+    return result

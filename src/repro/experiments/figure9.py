@@ -1,0 +1,81 @@
+"""Figure 9 (§5.6): DARC with a broken (random) request classifier.
+
+High Bimodal on an 8-worker server (the paper's two-node Silver 4114
+setup).  DARC-random pushes every request to a uniformly random typed
+queue; each queue then holds an even mix of both types, so reservations
+protect nothing and behaviour converges to c-FCFS — which is exactly the
+desired failure mode (broken classifiers degrade gracefully, they don't
+melt down).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.slo import overall_slowdown_metric
+from ..core.classifier import RandomClassifier
+from ..systems.base import SystemModel
+from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from ..workload.presets import high_bimodal
+from .common import run_sweep
+from .results import FigureResult
+
+N_WORKERS = 8
+DEFAULT_UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.9)
+
+
+def _random_classifier_factory(spec, rngs):
+    return RandomClassifier(n_types=spec.n_types, rng=rngs.stream("classifier"))
+
+
+def default_systems() -> List[SystemModel]:
+    return [
+        PersephoneCfcfsSystem(n_workers=N_WORKERS, name="c-FCFS"),
+        PersephoneSystem(n_workers=N_WORKERS, oracle=False, name="DARC"),
+        PersephoneSystem(
+            n_workers=N_WORKERS,
+            oracle=False,
+            classifier_factory=_random_classifier_factory,
+            name="DARC-random",
+        ),
+    ]
+
+
+def run(
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    n_requests: int = 50_000,
+    seed: int = 1,
+    systems: Optional[List[SystemModel]] = None,
+) -> FigureResult:
+    spec = high_bimodal()
+    result = FigureResult("Figure 9 [random classifier]", utilizations)
+    for system in systems if systems is not None else default_systems():
+        result.add_sweep(
+            system.name,
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+        )
+    random_sweep = result.sweeps.get("DARC-random")
+    cfcfs_sweep = result.sweeps.get("c-FCFS")
+    if random_sweep and cfcfs_sweep:
+        # Convergence check: mean |log-ratio| of the two slowdown curves.
+        ratios = []
+        for r_rand, r_cf in zip(random_sweep, cfcfs_sweep):
+            a = overall_slowdown_metric(r_rand)
+            b = overall_slowdown_metric(r_cf)
+            if a > 0 and b > 0 and a == a and b == b:
+                ratios.append(abs(np.log(a / b)))
+        if ratios:
+            result.findings["mean |log slowdown ratio| (DARC-random vs c-FCFS)"] = float(
+                np.mean(ratios)
+            )
+    return result
+
+
+def render(result: FigureResult) -> str:
+    return (
+        result.render_metric(overall_slowdown_metric, "overall p99.9 slowdown (x)")
+        + "\n\n"
+        + result.render_findings()
+    )

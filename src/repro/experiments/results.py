@@ -1,0 +1,64 @@
+"""Shared result containers for figure/table drivers.
+
+A :class:`FigureResult` holds, per system, an ordered load sweep of
+:class:`~repro.experiments.common.RunResult` plus figure-specific derived
+numbers, and renders itself as the text analogue of the paper's plot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..analysis.slo import MetricFn, capacity_at_slo
+from ..analysis.tables import render_series
+from .common import RunResult
+
+
+class FigureResult:
+    """Sweeps keyed by system name, with helpers to tabulate them."""
+
+    def __init__(self, name: str, utilizations: Sequence[float]):
+        self.name = name
+        self.utilizations = list(utilizations)
+        self.sweeps: Dict[str, List[RunResult]] = {}
+        #: Free-form derived findings, filled in by the driver.
+        self.findings: Dict[str, float] = {}
+
+    def add_sweep(self, system_name: str, sweep: List[RunResult]) -> None:
+        self.sweeps[system_name] = sweep
+
+    def series(self, metric: MetricFn) -> Dict[str, List[float]]:
+        """Evaluate ``metric`` at every point of every sweep."""
+        return {
+            name: [metric(r) for r in sweep] for name, sweep in self.sweeps.items()
+        }
+
+    def capacities(self, slo: float, metric: MetricFn) -> Dict[str, Optional[float]]:
+        """Per-system max utilization meeting the SLO."""
+        return {
+            name: capacity_at_slo(sweep, slo, metric)
+            for name, sweep in self.sweeps.items()
+        }
+
+    def render_metric(
+        self, metric: MetricFn, label: str, precision: int = 1
+    ) -> str:
+        return render_series(
+            "load",
+            self.utilizations,
+            self.series(metric),
+            precision=precision,
+            title=f"{self.name}: {label}",
+        )
+
+    def render_findings(self) -> str:
+        if not self.findings:
+            return ""
+        lines = [f"{self.name}: findings"]
+        for key, value in self.findings.items():
+            shown = f"{value:.2f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {key} = {shown}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FigureResult({self.name!r}, systems={sorted(self.sweeps)})"

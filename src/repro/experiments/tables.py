@@ -1,0 +1,135 @@
+"""Table reproductions.
+
+* Table 1 — the four §2 policies and their taxonomy bits;
+* Table 3 — the bimodal workload definitions;
+* Table 4 — the TPC-C transaction profile;
+* Table 5 — the full related-work policy comparison.
+
+All rows are generated from code (policy ``traits`` metadata and workload
+presets), so the tables cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.tables import render_table
+from ..core.darc import DarcScheduler
+from ..policies import all_policy_traits
+from ..policies.base import PolicyTraits
+from ..policies.fcfs import CentralizedFCFS, DecentralizedFCFS
+from ..policies.timesharing import TimeSharing
+from ..workload.presets import extreme_bimodal, high_bimodal, tpcc
+
+#: The Table 1 subset, in the paper's row order.
+TABLE1_POLICIES = (
+    DecentralizedFCFS.traits,
+    CentralizedFCFS.traits,
+    TimeSharing.traits,
+    DarcScheduler.traits,
+)
+
+
+def table1_rows() -> List[List[object]]:
+    """Table 1: typed queues / non work conserving / non preemptive."""
+    return [
+        [
+            t.name,
+            t.typed_queues,
+            not t.work_conserving,
+            not t.preemptive,
+            t.example_system,
+        ]
+        for t in TABLE1_POLICIES
+    ]
+
+
+def render_table1() -> str:
+    return render_table(
+        ["Policy", "Typed queues", "Non work conserving", "Non preemptive", "Example"],
+        table1_rows(),
+        title="Table 1: policy taxonomy",
+    )
+
+
+def table3_rows() -> List[List[object]]:
+    """Table 3: the bimodal workload definitions, from the presets."""
+    rows = []
+    for spec in (high_bimodal(), extreme_bimodal()):
+        short, long = spec.classes
+        rows.append(
+            [
+                spec.name,
+                short.distribution.mean(),
+                short.ratio,
+                long.distribution.mean(),
+                long.ratio,
+                spec.dispersion(),
+            ]
+        )
+    return rows
+
+
+def render_table3() -> str:
+    return render_table(
+        ["Workload", "Short (us)", "Short ratio", "Long (us)", "Long ratio", "Dispersion"],
+        table3_rows(),
+        title="Table 3: bimodal workloads",
+    )
+
+
+def table4_rows() -> List[List[object]]:
+    """Table 4: the TPC-C mix, with dispersion relative to Payment."""
+    spec = tpcc()
+    base = spec.classes[0].distribution.mean()
+    return [
+        [c.name, c.distribution.mean(), c.ratio, c.distribution.mean() / base]
+        for c in spec.classes
+    ]
+
+
+def render_table4() -> str:
+    return render_table(
+        ["Transaction", "Runtime (us)", "Ratio", "Dispersion"],
+        table4_rows(),
+        title="Table 4: TPC-C transactions",
+    )
+
+
+def table5_rows(traits: Sequence[PolicyTraits] = ()) -> List[List[object]]:
+    """Table 5: the extended policy comparison, from traits metadata."""
+    source = traits if traits else all_policy_traits()
+    return [
+        [
+            t.name,
+            t.app_aware,
+            not t.preemptive,
+            not t.work_conserving,
+            t.prevents_hol_blocking,
+            t.ideal_workload,
+            t.comments,
+        ]
+        for t in source
+    ]
+
+
+def render_table5() -> str:
+    return render_table(
+        [
+            "Policy",
+            "App aware",
+            "Non preemptive",
+            "Non work conserving",
+            "Prevents HOL",
+            "Ideal workload",
+            "Comments",
+        ],
+        table5_rows(),
+        title="Table 5: policy comparison",
+    )
+
+
+def render_all() -> str:
+    return "\n\n".join(
+        [render_table1(), render_table3(), render_table4(), render_table5()]
+    )

@@ -1,0 +1,23 @@
+"""Measurement: recorders, percentiles, run summaries, time series."""
+
+from .percentiles import P999, P2Quantile, p999, percentile, percentile_profile, tail_credible
+from .recorder import CompletionColumns, Recorder
+from .summary import RunSummary, TypeSummary
+from .timeseries import AllocationTimeline, WindowedStats
+from .utilization import UtilizationReport
+
+__all__ = [
+    "P999",
+    "P2Quantile",
+    "p999",
+    "percentile",
+    "percentile_profile",
+    "tail_credible",
+    "Recorder",
+    "CompletionColumns",
+    "RunSummary",
+    "TypeSummary",
+    "WindowedStats",
+    "AllocationTimeline",
+    "UtilizationReport",
+]

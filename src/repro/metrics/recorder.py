@@ -1,0 +1,135 @@
+"""Per-request measurement collection.
+
+The :class:`Recorder` receives every completion and drop from the server
+and stores flat column arrays — cheap to append to during simulation and
+trivially convertible to numpy for analysis.  No aggregation happens
+here; see :mod:`repro.metrics.summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..workload.request import Request
+
+
+class CompletionColumns:
+    """Column-oriented view of completed requests."""
+
+    def __init__(
+        self,
+        type_ids: np.ndarray,
+        arrivals: np.ndarray,
+        services: np.ndarray,
+        finishes: np.ndarray,
+        waits: np.ndarray,
+        preemptions: np.ndarray,
+        overheads: np.ndarray,
+    ):
+        self.type_ids = type_ids
+        self.arrivals = arrivals
+        self.services = services
+        self.finishes = finishes
+        self.waits = waits
+        self.preemptions = preemptions
+        self.overheads = overheads
+
+    def __len__(self) -> int:
+        return len(self.type_ids)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return self.finishes - self.arrivals
+
+    @property
+    def slowdowns(self) -> np.ndarray:
+        return self.latencies / self.services
+
+    def for_type(self, type_id: int) -> "CompletionColumns":
+        mask = self.type_ids == type_id
+        return CompletionColumns(
+            self.type_ids[mask],
+            self.arrivals[mask],
+            self.services[mask],
+            self.finishes[mask],
+            self.waits[mask],
+            self.preemptions[mask],
+            self.overheads[mask],
+        )
+
+    def after_warmup(self, warmup_frac: float) -> "CompletionColumns":
+        """Drop the earliest-arriving ``warmup_frac`` of samples (§5.1:
+        'we discard the first 10% of samples to remove warm-up effects')."""
+        if not 0.0 <= warmup_frac < 1.0:
+            raise ValueError(f"warmup_frac must be in [0,1), got {warmup_frac}")
+        n = len(self)
+        if n == 0 or warmup_frac == 0.0:
+            return self
+        order = np.argsort(self.arrivals, kind="stable")
+        keep = order[int(n * warmup_frac):]
+        keep.sort()
+        return CompletionColumns(
+            self.type_ids[keep],
+            self.arrivals[keep],
+            self.services[keep],
+            self.finishes[keep],
+            self.waits[keep],
+            self.preemptions[keep],
+            self.overheads[keep],
+        )
+
+
+class Recorder:
+    """Accumulates completions and drops during a run."""
+
+    def __init__(self) -> None:
+        self._type_ids: List[int] = []
+        self._arrivals: List[float] = []
+        self._services: List[float] = []
+        self._finishes: List[float] = []
+        self._waits: List[float] = []
+        self._preemptions: List[int] = []
+        self._overheads: List[float] = []
+        self.dropped: int = 0
+        self.dropped_by_type: Dict[int, int] = {}
+
+    def on_complete(self, request: Request) -> None:
+        assert request.finish_time is not None
+        self._type_ids.append(request.type_id)
+        self._arrivals.append(request.arrival_time)
+        self._services.append(request.service_time)
+        self._finishes.append(request.finish_time)
+        wait = (
+            request.first_service_time - request.arrival_time
+            if request.first_service_time is not None
+            else 0.0
+        )
+        self._waits.append(wait)
+        self._preemptions.append(request.preemption_count)
+        self._overheads.append(request.overhead_time)
+
+    def on_drop(self, request: Request) -> None:
+        self.dropped += 1
+        tid = request.type_id
+        self.dropped_by_type[tid] = self.dropped_by_type.get(tid, 0) + 1
+
+    @property
+    def completed(self) -> int:
+        return len(self._type_ids)
+
+    def columns(self) -> CompletionColumns:
+        """Freeze the current records into numpy columns."""
+        return CompletionColumns(
+            np.asarray(self._type_ids, dtype=np.int64),
+            np.asarray(self._arrivals, dtype=np.float64),
+            np.asarray(self._services, dtype=np.float64),
+            np.asarray(self._finishes, dtype=np.float64),
+            np.asarray(self._waits, dtype=np.float64),
+            np.asarray(self._preemptions, dtype=np.int64),
+            np.asarray(self._overheads, dtype=np.float64),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Recorder(completed={self.completed}, dropped={self.dropped})"

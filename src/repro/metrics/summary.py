@@ -1,0 +1,149 @@
+"""Run summaries: the numbers the paper's figures plot.
+
+:class:`RunSummary` condenses a :class:`~repro.metrics.recorder.Recorder`
+into overall and per-type statistics: p99.9 slowdown across all requests
+(figures' first columns) and per-type p99.9 latency (the "typed tail
+latency" view of §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.request import RequestTypeSpec
+from .percentiles import P999, percentile, tail_credible
+from .recorder import CompletionColumns, Recorder
+
+
+class TypeSummary:
+    """Statistics for one request type within a run."""
+
+    def __init__(self, type_id: int, name: str, cols: CompletionColumns, pct: float):
+        self.type_id = type_id
+        self.name = name
+        self.count = len(cols)
+        if self.count:
+            lat = cols.latencies
+            slow = cols.slowdowns
+            self.mean_latency = float(lat.mean())
+            self.p50_latency = percentile(lat, 50)
+            self.p99_latency = percentile(lat, 99)
+            self.tail_latency = percentile(lat, pct)
+            self.tail_slowdown = percentile(slow, pct)
+            self.mean_slowdown = float(slow.mean())
+            self.mean_service = float(cols.services.mean())
+            self.tail_credible = tail_credible(self.count, pct)
+        else:
+            self.mean_latency = float("nan")
+            self.p50_latency = float("nan")
+            self.p99_latency = float("nan")
+            self.tail_latency = float("nan")
+            self.tail_slowdown = float("nan")
+            self.mean_slowdown = float("nan")
+            self.mean_service = float("nan")
+            self.tail_credible = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TypeSummary({self.name!r}, n={self.count}, "
+            f"tail_lat={self.tail_latency:.1f}us, tail_slow={self.tail_slowdown:.1f}x)"
+        )
+
+
+class RunSummary:
+    """Whole-run statistics at a given tail percentile (default p99.9)."""
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        duration_us: float,
+        type_specs: Optional[Sequence[RequestTypeSpec]] = None,
+        warmup_frac: float = 0.10,
+        pct: float = P999,
+    ):
+        cols = recorder.columns().after_warmup(warmup_frac)
+        self.pct = pct
+        self.duration_us = duration_us
+        self.completed = len(cols)
+        self.dropped = recorder.dropped
+        self.drop_rate = (
+            self.dropped / (self.dropped + recorder.completed)
+            if (self.dropped + recorder.completed)
+            else 0.0
+        )
+        if self.completed:
+            self.overall_tail_slowdown = percentile(cols.slowdowns, pct)
+            self.overall_tail_latency = percentile(cols.latencies, pct)
+            self.overall_mean_latency = float(cols.latencies.mean())
+            self.overall_mean_slowdown = float(cols.slowdowns.mean())
+            self.max_slowdown = float(cols.slowdowns.max())
+            self.total_preemptions = int(cols.preemptions.sum())
+            self.total_overhead_us = float(cols.overheads.sum())
+        else:
+            self.overall_tail_slowdown = float("nan")
+            self.overall_tail_latency = float("nan")
+            self.overall_mean_latency = float("nan")
+            self.overall_mean_slowdown = float("nan")
+            self.max_slowdown = float("nan")
+            self.total_preemptions = 0
+            self.total_overhead_us = 0
+        #: Achieved goodput over the run, in requests/us (== Mrps).
+        self.throughput = recorder.completed / duration_us if duration_us > 0 else 0.0
+
+        names: Dict[int, str] = {}
+        if type_specs:
+            names = {s.type_id: s.name for s in type_specs}
+        present = sorted(set(int(t) for t in cols.type_ids))
+        self.per_type: Dict[int, TypeSummary] = {}
+        for tid in present:
+            self.per_type[tid] = TypeSummary(
+                tid, names.get(tid, f"type{tid}"), cols.for_type(tid), pct
+            )
+
+    # ------------------------------------------------------------------
+    # the paper's two "performance views" (§5.1)
+    # ------------------------------------------------------------------
+    def slowdown_view(self) -> float:
+        """View (i): tail slowdown across *all* requests."""
+        return self.overall_tail_slowdown
+
+    def typed_latency_view(self) -> Dict[int, float]:
+        """View (ii): tail latency per type."""
+        return {tid: ts.tail_latency for tid, ts in self.per_type.items()}
+
+    def max_typed_slowdown(self) -> float:
+        """The worst per-type tail slowdown — Fig. 1's SLO is on *each*
+        type, so the binding constraint is the max over types."""
+        if not self.per_type:
+            return float("nan")
+        return max(ts.tail_slowdown for ts in self.per_type.values())
+
+    def type_by_name(self, name: str) -> Optional[TypeSummary]:
+        for ts in self.per_type.values():
+            if ts.name == name:
+                return ts
+        return None
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"RunSummary: {self.completed} completed, {self.dropped} dropped, "
+            f"throughput={self.throughput:.4f} Mrps",
+            f"  overall p{self.pct} slowdown = {self.overall_tail_slowdown:.1f}x, "
+            f"latency = {self.overall_tail_latency:.1f}us",
+        ]
+        for tid, ts in sorted(self.per_type.items()):
+            cred = "" if ts.tail_credible else "  (tail not credible)"
+            lines.append(
+                f"  {ts.name:<12} n={ts.count:>8}  p{self.pct} "
+                f"lat={ts.tail_latency:>10.1f}us  slow={ts.tail_slowdown:>8.1f}x{cred}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RunSummary(n={self.completed}, p{self.pct} "
+            f"slowdown={self.overall_tail_slowdown:.1f})"
+        )

@@ -1,0 +1,97 @@
+"""Windowed time-series statistics (for the Fig. 7 dynamic experiment).
+
+Fig. 7 plots per-type p99.9 latency in time buckets, keyed by the
+*sending* time of each request, plus the guaranteed-core allocation over
+time.  :class:`WindowedStats` bins completions by arrival time and
+reports per-window tail percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .percentiles import P999, percentile
+from .recorder import CompletionColumns
+
+
+class WindowedStats:
+    """Per-type tail latency in fixed-width time windows."""
+
+    def __init__(self, window_us: float):
+        if window_us <= 0:
+            raise ConfigurationError(f"window_us must be > 0, got {window_us}")
+        self.window_us = window_us
+
+    def series(
+        self, cols: CompletionColumns, type_id: Optional[int] = None, pct: float = P999
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(window_start_times, tail_latency_per_window)``.
+
+        Windows are keyed by *arrival* time (the paper: "the X axis is
+        the sending time").  Windows with no samples yield NaN.
+        """
+        if type_id is not None:
+            cols = cols.for_type(type_id)
+        if len(cols) == 0:
+            return np.array([]), np.array([])
+        arrivals = cols.arrivals
+        latencies = cols.latencies
+        start = 0.0
+        end = float(arrivals.max())
+        n_windows = int(end // self.window_us) + 1
+        times = start + self.window_us * np.arange(n_windows)
+        values = np.full(n_windows, np.nan)
+        idx = (arrivals // self.window_us).astype(np.int64)
+        for w in range(n_windows):
+            mask = idx == w
+            if mask.any():
+                values[w] = percentile(latencies[mask], pct)
+        return times, values
+
+
+    def throughput_series(
+        self, cols: CompletionColumns, type_id: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Completions per microsecond in each window, keyed by finish
+        time — the achieved-goodput view of a run."""
+        if type_id is not None:
+            cols = cols.for_type(type_id)
+        if len(cols) == 0:
+            return np.array([]), np.array([])
+        finishes = cols.finishes
+        n_windows = int(float(finishes.max()) // self.window_us) + 1
+        times = self.window_us * np.arange(n_windows)
+        counts = np.bincount(
+            (finishes // self.window_us).astype(np.int64), minlength=n_windows
+        )
+        return times, counts / self.window_us
+
+
+class AllocationTimeline:
+    """Step series of guaranteed cores per type, from DARC's reservation log.
+
+    The log entries are ``(time, {type_id: reserved_count})``; sampling
+    at time t returns the most recent entry at or before t (0 before the
+    first reservation — the c-FCFS warm-up window).
+    """
+
+    def __init__(self, log: List[Tuple[float, Dict[int, int]]]):
+        self.log = sorted(log, key=lambda e: e[0])
+
+    def at(self, t: float, type_id: int) -> int:
+        current = 0
+        for time, counts in self.log:
+            if time > t:
+                break
+            current = counts.get(type_id, 0)
+        return current
+
+    def sample(self, times: np.ndarray, type_id: int) -> np.ndarray:
+        return np.array([self.at(float(t), type_id) for t in times])
+
+    def update_times(self) -> List[float]:
+        """Times at which reservations changed (Fig. 7's markers)."""
+        return [t for t, _ in self.log]

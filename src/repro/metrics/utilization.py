@@ -1,0 +1,82 @@
+"""CPU utilization and waste accounting.
+
+The paper quantifies DARC's cost as "average CPU waste" — cores held
+idle by the reservation while they could in principle have served queued
+long requests.  Two views are provided:
+
+* the analytic Eq. 2 waste of a reservation
+  (:meth:`repro.core.reservation.Reservation.expected_waste`), and
+* the measured view here, built from the workers' busy-time counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..server.worker import Worker
+
+
+class UtilizationReport:
+    """Per-worker and aggregate utilization over a run."""
+
+    def __init__(self, workers: Sequence[Worker], duration_us: float):
+        if duration_us <= 0:
+            raise ValueError(f"duration_us must be > 0, got {duration_us}")
+        self.duration_us = duration_us
+        self.per_worker: Dict[int, float] = {
+            w.worker_id: w.utilization(duration_us) for w in workers
+        }
+        self.per_worker_overhead: Dict[int, float] = {
+            w.worker_id: w.total_overhead_time / duration_us for w in workers
+        }
+        self.completions: Dict[int, int] = {w.worker_id: w.completed for w in workers}
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.per_worker:
+            return 0.0
+        return sum(self.per_worker.values()) / len(self.per_worker)
+
+    @property
+    def busy_cores(self) -> float:
+        """Time-averaged number of busy cores."""
+        return sum(self.per_worker.values())
+
+    @property
+    def idle_cores(self) -> float:
+        """Time-averaged number of idle cores."""
+        return len(self.per_worker) - self.busy_cores
+
+    @property
+    def overhead_cores(self) -> float:
+        """Time-averaged cores burned on scheduling overhead (preemption,
+        stealing) rather than useful service."""
+        return sum(self.per_worker_overhead.values())
+
+    def imbalance(self) -> float:
+        """Max minus min per-worker utilization — a load-balance indicator
+        (d-FCFS shows large values; c-FCFS near zero)."""
+        if not self.per_worker:
+            return 0.0
+        values = list(self.per_worker.values())
+        return max(values) - min(values)
+
+    def describe(self) -> str:
+        lines = [
+            f"Utilization over {self.duration_us:.0f}us: "
+            f"mean={self.mean_utilization:.1%}, busy={self.busy_cores:.2f} cores, "
+            f"idle={self.idle_cores:.2f} cores, overhead={self.overhead_cores:.3f} cores"
+        ]
+        for wid in sorted(self.per_worker):
+            lines.append(
+                f"  worker {wid:>2}: util={self.per_worker[wid]:>7.1%} "
+                f"overhead={self.per_worker_overhead[wid]:>7.2%} "
+                f"done={self.completions[wid]}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"UtilizationReport(mean={self.mean_utilization:.1%}, "
+            f"idle={self.idle_cores:.2f})"
+        )

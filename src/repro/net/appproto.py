@@ -1,0 +1,174 @@
+"""Application-protocol parsers for request classification.
+
+The paper's premise (§1): "For many cloud applications, the messaging
+protocol exposes the required mechanisms to declare request types:
+Memcached request types are part of the protocol's header; Redis uses a
+serialization protocol specifying commands".  This module implements
+just enough of both protocols to build real classifiers:
+
+* **RESP** (REdis Serialization Protocol): commands arrive as arrays of
+  bulk strings, e.g. ``*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n``.  The command
+  name is the first element.
+* **Memcached binary protocol**: a 24-byte header whose second byte is
+  the opcode (GET=0x00, SET=0x01, ...).
+
+Both parsers return ``None`` for unrecognizable bytes — classifiers map
+that to UNKNOWN rather than failing the dispatch path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..workload.request import Request
+from ..core.classifier import DEFAULT_CLASSIFIER_COST_US, RequestClassifier
+
+# ----------------------------------------------------------------------
+# RESP (Redis)
+# ----------------------------------------------------------------------
+
+_CRLF = b"\r\n"
+
+
+def encode_resp_command(*parts: str) -> bytes:
+    """Serialize a command as a RESP array of bulk strings.
+
+    >>> encode_resp_command("GET", "foo")
+    b'*2\\r\\n$3\\r\\nGET\\r\\n$3\\r\\nfoo\\r\\n'
+    """
+    out = [b"*%d\r\n" % len(parts)]
+    for part in parts:
+        raw = part.encode()
+        out.append(b"$%d\r\n" % len(raw))
+        out.append(raw + _CRLF)
+    return b"".join(out)
+
+
+def parse_resp_command(payload: bytes) -> Optional[List[str]]:
+    """Parse a RESP array of bulk strings; None when malformed.
+
+    Only the array-of-bulk-strings form clients send is supported —
+    exactly what a dispatch-path classifier needs.
+    """
+    if not payload.startswith(b"*"):
+        return None
+    try:
+        head_end = payload.index(_CRLF)
+        count = int(payload[1:head_end])
+    except ValueError:
+        return None
+    if count < 1:
+        return None
+    parts: List[str] = []
+    cursor = head_end + 2
+    for _ in range(count):
+        if cursor >= len(payload) or payload[cursor : cursor + 1] != b"$":
+            return None
+        try:
+            len_end = payload.index(_CRLF, cursor)
+            length = int(payload[cursor + 1 : len_end])
+        except ValueError:
+            return None
+        start = len_end + 2
+        end = start + length
+        if payload[end : end + 2] != _CRLF:
+            return None
+        parts.append(payload[start:end].decode(errors="replace"))
+        cursor = end + 2
+    return parts
+
+
+class RespClassifier(RequestClassifier):
+    """Classify RESP payloads by command name.
+
+    ``command_types`` maps upper-case command names to type ids; unknown
+    commands and non-RESP bytes become UNKNOWN.
+    """
+
+    def __init__(
+        self,
+        command_types: Dict[str, int],
+        cost_us: float = DEFAULT_CLASSIFIER_COST_US,
+    ):
+        super().__init__(cost_us)
+        self.command_types = {k.upper(): v for k, v in command_types.items()}
+
+    def _classify(self, request: Request) -> int:
+        from ..workload.request import UNKNOWN_TYPE
+
+        if request.payload is None:
+            return UNKNOWN_TYPE
+        parts = parse_resp_command(request.payload)
+        if not parts:
+            return UNKNOWN_TYPE
+        return self.command_types.get(parts[0].upper(), UNKNOWN_TYPE)
+
+
+# ----------------------------------------------------------------------
+# Memcached binary protocol
+# ----------------------------------------------------------------------
+
+MEMCACHED_REQUEST_MAGIC = 0x80
+_MC_HEADER = struct.Struct("!BBHBBHIIQ")
+MEMCACHED_HEADER_LEN = _MC_HEADER.size  # 24 bytes
+
+#: A few well-known opcodes.
+MEMCACHED_OPCODES = {
+    "GET": 0x00,
+    "SET": 0x01,
+    "ADD": 0x02,
+    "REPLACE": 0x03,
+    "DELETE": 0x04,
+    "INCREMENT": 0x05,
+    "GETK": 0x0C,
+    "STAT": 0x10,
+}
+
+
+def encode_memcached_request(opcode: int, key: bytes = b"", value: bytes = b"") -> bytes:
+    """Build a binary-protocol request (header + key + value)."""
+    body_len = len(key) + len(value)
+    header = _MC_HEADER.pack(
+        MEMCACHED_REQUEST_MAGIC,  # magic
+        opcode,
+        len(key),
+        0,  # extras length
+        0,  # data type
+        0,  # vbucket
+        body_len,
+        0,  # opaque
+        0,  # cas
+    )
+    return header + key + value
+
+
+def parse_memcached_opcode(payload: bytes) -> Optional[int]:
+    """Read the opcode from a binary-protocol request header."""
+    if len(payload) < MEMCACHED_HEADER_LEN:
+        return None
+    if payload[0] != MEMCACHED_REQUEST_MAGIC:
+        return None
+    return payload[1]
+
+
+class MemcachedClassifier(RequestClassifier):
+    """Classify Memcached binary-protocol payloads by opcode."""
+
+    def __init__(
+        self,
+        opcode_types: Dict[int, int],
+        cost_us: float = DEFAULT_CLASSIFIER_COST_US,
+    ):
+        super().__init__(cost_us)
+        self.opcode_types = dict(opcode_types)
+
+    def _classify(self, request: Request) -> int:
+        from ..workload.request import UNKNOWN_TYPE
+
+        if request.payload is None:
+            return UNKNOWN_TYPE
+        opcode = parse_memcached_opcode(request.payload)
+        if opcode is None:
+            return UNKNOWN_TYPE
+        return self.opcode_types.get(opcode, UNKNOWN_TYPE)

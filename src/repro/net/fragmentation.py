@@ -1,0 +1,146 @@
+"""Multi-packet requests: fragmentation and reassembly (§4.3.1).
+
+"For requests contained in a single application-level buffer, we perform
+zero-copy and pass along to workers a pointer to the network buffer ...
+Our current implementation requires copy if the request spans multiple
+packets."
+
+This module fragments an application payload into MTU-sized UDP packets
+with a tiny fragmentation header, reassembles them at the receiver, and
+reports whether the fast (zero-copy) path applied — which the server
+model can translate into an extra per-byte copy cost.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from .packet import DEFAULT_MTU, HEADERS_LEN, Packet
+
+#: message id (u32) | fragment index (u16) | fragment count (u16)
+_FRAG_HEADER = struct.Struct("<IHH")
+FRAG_HEADER_LEN = _FRAG_HEADER.size
+
+#: Application bytes that fit in one fragment.
+FRAGMENT_PAYLOAD = DEFAULT_MTU - HEADERS_LEN - FRAG_HEADER_LEN
+
+#: Modelled cost of copying one byte out of the ring buffers when a
+#: request spans multiple packets (~10 GB/s memcpy => 1e-4 us/byte).
+COPY_US_PER_BYTE = 1e-4
+
+
+class FragmentationError(ReproError):
+    """Raised on malformed or inconsistent fragments."""
+
+
+def fragment(
+    message_id: int,
+    payload: bytes,
+    src_ip: int = 0x0A000001,
+    dst_ip: int = 0x0A000002,
+    src_port: int = 40000,
+    dst_port: int = 8080,
+) -> List[Packet]:
+    """Split ``payload`` into one or more wire packets."""
+    if not 0 <= message_id < 2**32:
+        raise FragmentationError(f"message_id out of range: {message_id}")
+    chunks = [
+        payload[i : i + FRAGMENT_PAYLOAD]
+        for i in range(0, len(payload), FRAGMENT_PAYLOAD)
+    ] or [b""]
+    if len(chunks) > 0xFFFF:
+        raise FragmentationError(f"payload needs {len(chunks)} fragments (max 65535)")
+    packets = []
+    for index, chunk in enumerate(chunks):
+        header = _FRAG_HEADER.pack(message_id, index, len(chunks))
+        packets.append(Packet(src_ip, dst_ip, src_port, dst_port, header + chunk))
+    return packets
+
+
+def parse_fragment(packet: Packet) -> Tuple[int, int, int, bytes]:
+    """Return ``(message_id, index, count, chunk)``."""
+    payload = packet.payload
+    if len(payload) < FRAG_HEADER_LEN:
+        raise FragmentationError("fragment too short for its header")
+    message_id, index, count = _FRAG_HEADER.unpack_from(payload, 0)
+    if count == 0 or index >= count:
+        raise FragmentationError(f"bad fragment index {index}/{count}")
+    return message_id, index, count, payload[FRAG_HEADER_LEN:]
+
+
+class ReassembledMessage:
+    """A complete message plus its delivery-path metadata."""
+
+    __slots__ = ("message_id", "payload", "n_fragments")
+
+    def __init__(self, message_id: int, payload: bytes, n_fragments: int):
+        self.message_id = message_id
+        self.payload = payload
+        self.n_fragments = n_fragments
+
+    @property
+    def zero_copy(self) -> bool:
+        """Single-fragment messages ride the zero-copy fast path."""
+        return self.n_fragments == 1
+
+    def copy_cost_us(self, us_per_byte: float = COPY_US_PER_BYTE) -> float:
+        """Extra dispatcher-side cost of gathering a multi-packet body."""
+        if self.zero_copy:
+            return 0.0
+        return len(self.payload) * us_per_byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        path = "zero-copy" if self.zero_copy else f"{self.n_fragments} fragments"
+        return f"ReassembledMessage(id={self.message_id}, {len(self.payload)}B, {path})"
+
+
+class Reassembler:
+    """Collects fragments until messages complete; drops stale partials.
+
+    ``max_partial`` bounds memory: when exceeded, the oldest partially-
+    assembled message is evicted (counted in ``evicted``) — UDP gives no
+    retransmit, so its remaining fragments are wasted, as in the real
+    system.
+    """
+
+    def __init__(self, max_partial: int = 1024):
+        if max_partial < 1:
+            raise FragmentationError(f"max_partial must be >= 1, got {max_partial}")
+        self.max_partial = max_partial
+        self._partial: Dict[int, List[Optional[bytes]]] = {}
+        self._order: List[int] = []
+        self.completed = 0
+        self.evicted = 0
+
+    def offer(self, packet: Packet) -> Optional[ReassembledMessage]:
+        """Feed one packet; returns the message when it completes."""
+        message_id, index, count, chunk = parse_fragment(packet)
+        if count == 1:
+            self.completed += 1
+            return ReassembledMessage(message_id, chunk, 1)
+        slots = self._partial.get(message_id)
+        if slots is None:
+            if len(self._partial) >= self.max_partial:
+                oldest = self._order.pop(0)
+                del self._partial[oldest]
+                self.evicted += 1
+            slots = [None] * count
+            self._partial[message_id] = slots
+            self._order.append(message_id)
+        if len(slots) != count:
+            raise FragmentationError(
+                f"message {message_id}: fragment count changed {len(slots)} -> {count}"
+            )
+        slots[index] = chunk
+        if all(s is not None for s in slots):
+            del self._partial[message_id]
+            self._order.remove(message_id)
+            self.completed += 1
+            return ReassembledMessage(message_id, b"".join(slots), count)
+        return None
+
+    @property
+    def pending(self) -> int:
+        return len(self._partial)

@@ -1,0 +1,113 @@
+"""Simulated NIC: RX/TX queues with RSS steering and a buffer pool.
+
+Models the parts of the NIC that matter to scheduling behaviour:
+
+* a bounded number of RX descriptors — overflow means packet drops at
+  the NIC, which is how Shinjuku fails past its sustainable load;
+* RSS steering of flows to RX queues (used by the Shenango/d-FCFS model);
+* a statically allocated buffer pool (§4.3.1) whose exhaustion also
+  drops packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import ConfigurationError
+from .packet import Packet, rss_hash
+
+
+class BufferPool:
+    """Fixed-size pool of network buffers (§4.3.1's memory pool)."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ConfigurationError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.available = size
+        self.allocation_failures = 0
+
+    def acquire(self) -> bool:
+        if self.available == 0:
+            self.allocation_failures += 1
+            return False
+        self.available -= 1
+        return True
+
+    def release(self) -> None:
+        if self.available >= self.size:
+            raise ConfigurationError("releasing more buffers than the pool holds")
+        self.available += 1
+
+    @property
+    def in_use(self) -> int:
+        return self.size - self.available
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BufferPool({self.available}/{self.size} free)"
+
+
+class Nic:
+    """RX side of the NIC with ``n_queues`` RSS-steered descriptor rings."""
+
+    def __init__(
+        self,
+        n_queues: int = 1,
+        ring_size: int = 1024,
+        pool: Optional[BufferPool] = None,
+    ):
+        if n_queues < 1:
+            raise ConfigurationError(f"n_queues must be >= 1, got {n_queues}")
+        if ring_size < 1:
+            raise ConfigurationError(f"ring_size must be >= 1, got {ring_size}")
+        self.n_queues = n_queues
+        self.ring_size = ring_size
+        self.pool = pool
+        self.rx_rings: List[Deque[Packet]] = [deque() for _ in range(n_queues)]
+        self.rx_drops = 0
+        self.received = 0
+        self.transmitted = 0
+
+    def steer(self, packet: Packet) -> int:
+        """RSS: hash the flow tuple onto a queue index."""
+        return rss_hash(packet.flow_tuple()) % self.n_queues
+
+    def receive(self, packet: Packet) -> bool:
+        """Packet arrives from the wire; False means dropped at the NIC."""
+        if self.pool is not None and not self.pool.acquire():
+            self.rx_drops += 1
+            return False
+        ring = self.rx_rings[self.steer(packet)]
+        if len(ring) >= self.ring_size:
+            if self.pool is not None:
+                self.pool.release()
+            self.rx_drops += 1
+            return False
+        ring.append(packet)
+        self.received += 1
+        return True
+
+    def poll(self, queue: int = 0, batch: int = 32) -> List[Packet]:
+        """Net worker polls up to ``batch`` packets from an RX ring."""
+        ring = self.rx_rings[queue]
+        out: List[Packet] = []
+        while ring and len(out) < batch:
+            out.append(ring.popleft())
+        return out
+
+    def transmit(self, packet: Packet) -> None:
+        """TX path: workers push response buffers straight to the NIC
+        (§4.3.1); buffers return to the pool."""
+        self.transmitted += 1
+        if self.pool is not None:
+            self.pool.release()
+
+    def pending(self) -> int:
+        return sum(len(r) for r in self.rx_rings)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Nic(queues={self.n_queues}, pending={self.pending()}, "
+            f"drops={self.rx_drops})"
+        )

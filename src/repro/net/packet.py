@@ -1,0 +1,75 @@
+"""Packet model.
+
+Perséphone's net worker is a layer-2 forwarder: it validates Ethernet/IP
+headers and hands payloads to the dispatcher (§6 "Networking model").
+The simulation keeps a byte-accurate packet representation so header
+classifiers have something real to parse, while the scheduling path only
+ever touches the decoded :class:`~repro.workload.request.Request`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+#: Conventional MTU; requests larger than this span multiple packets and
+#: lose the zero-copy fast path (§4.3.1).
+DEFAULT_MTU = 1500
+
+ETH_HEADER_LEN = 14
+IP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+HEADERS_LEN = ETH_HEADER_LEN + IP_HEADER_LEN + UDP_HEADER_LEN
+
+
+class Packet:
+    """A UDP datagram as the NIC sees it."""
+
+    __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "payload")
+
+    def __init__(self, src_ip: int, dst_ip: int, src_port: int, dst_port: int, payload: bytes):
+        for port in (src_port, dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ConfigurationError(f"invalid port {port}")
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.payload = payload
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-wire bytes including Ethernet/IP/UDP headers."""
+        return HEADERS_LEN + len(self.payload)
+
+    @property
+    def fits_single_mtu(self) -> bool:
+        return self.wire_size <= DEFAULT_MTU
+
+    def flow_tuple(self) -> Tuple[int, int, int, int]:
+        """The 4-tuple RSS hashes over (protocol fixed to UDP)."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet({self.src_ip}->{self.dst_ip}:{self.dst_port}, "
+            f"{len(self.payload)}B payload)"
+        )
+
+
+def rss_hash(flow: Tuple[int, int, int, int]) -> int:
+    """A deterministic Toeplitz-style hash over the flow tuple.
+
+    Real NICs use a keyed Toeplitz hash; for simulation purposes any
+    well-mixing deterministic hash gives the same per-flow steering
+    behaviour.  FNV-1a over the packed tuple.
+    """
+    data = struct.pack("<IIHH", flow[0] & 0xFFFFFFFF, flow[1] & 0xFFFFFFFF,
+                       flow[2] & 0xFFFF, flow[3] & 0xFFFF)
+    h = 0x811C9DC5
+    for byte in data:
+        h ^= byte
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h

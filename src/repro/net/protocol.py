@@ -1,0 +1,69 @@
+"""The simple request protocol of §5.1.
+
+"To interact with the server, we use a simple protocol where TPC-C
+transaction ID, RocksDB query ID, and synthetic workload request types
+are located in the requests' header."
+
+Wire format (little endian):
+
+====== ======= ==========================================
+offset size    field
+====== ======= ==========================================
+0      4       magic (0x50455250, "PERP")
+4      8       request id
+12     4       request type id (signed; -1 = unknown)
+16     8       client timestamp (us, float64)
+24     4       body length
+28     n       body (opaque application bytes)
+====== ======= ==========================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+
+MAGIC = 0x50455250
+_HEADER = struct.Struct("<IqidI")
+HEADER_LEN = _HEADER.size
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed request payloads."""
+
+
+def encode_request(rid: int, type_id: int, timestamp_us: float, body: bytes = b"") -> bytes:
+    """Serialize a request into its wire payload."""
+    return _HEADER.pack(MAGIC, rid, type_id, timestamp_us, len(body)) + body
+
+
+def decode_request(payload: bytes) -> Tuple[int, int, float, bytes]:
+    """Parse a payload; returns ``(rid, type_id, timestamp_us, body)``.
+
+    Raises :class:`ProtocolError` on truncation or a bad magic — which a
+    request classifier turns into UNKNOWN rather than propagating.
+    """
+    if len(payload) < HEADER_LEN:
+        raise ProtocolError(f"payload too short: {len(payload)} < {HEADER_LEN}")
+    magic, rid, type_id, timestamp, body_len = _HEADER.unpack_from(payload, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:08x}")
+    body = payload[HEADER_LEN : HEADER_LEN + body_len]
+    if len(body) != body_len:
+        raise ProtocolError(f"truncated body: {len(body)} != {body_len}")
+    return rid, type_id, timestamp, body
+
+
+def peek_type(payload: bytes) -> Optional[int]:
+    """Read just the type field — what a fast header classifier does.
+
+    Returns None when the payload is unparseable.
+    """
+    if len(payload) < HEADER_LEN:
+        return None
+    magic = struct.unpack_from("<I", payload, 0)[0]
+    if magic != MAGIC:
+        return None
+    return struct.unpack_from("<i", payload, 12)[0]

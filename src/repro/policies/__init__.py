@@ -1,0 +1,57 @@
+"""Scheduling policies: the Table 1 / Table 5 comparison set.
+
+DARC itself lives in :mod:`repro.core`; this package holds the baselines
+and the shared :class:`Scheduler` interface.
+"""
+
+from .base import PolicyTraits, Scheduler
+from .fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
+from .srpt import ShortestRemainingProcessingTime
+from .timesharing import TimeSharing
+from .typed import (
+    CSCQ,
+    DeficitRoundRobin,
+    EarliestDeadlineFirst,
+    FixedPriority,
+    ShortestJobFirst,
+    StaticPartitioning,
+)
+
+__all__ = [
+    "Scheduler",
+    "PolicyTraits",
+    "CentralizedFCFS",
+    "DecentralizedFCFS",
+    "WorkStealingFCFS",
+    "TimeSharing",
+    "ShortestRemainingProcessingTime",
+    "FixedPriority",
+    "ShortestJobFirst",
+    "EarliestDeadlineFirst",
+    "DeficitRoundRobin",
+    "StaticPartitioning",
+    "CSCQ",
+]
+
+
+def all_policy_traits():
+    """Every policy's :class:`PolicyTraits`, for the Table 1/5 benchmarks."""
+    from ..core.darc import DarcScheduler
+    from ..core.static import DarcStatic
+
+    classes = [
+        DecentralizedFCFS,
+        CentralizedFCFS,
+        WorkStealingFCFS,
+        TimeSharing,
+        ShortestRemainingProcessingTime,
+        FixedPriority,
+        ShortestJobFirst,
+        EarliestDeadlineFirst,
+        DeficitRoundRobin,
+        StaticPartitioning,
+        CSCQ,
+        DarcStatic,
+        DarcScheduler,
+    ]
+    return [cls.traits for cls in classes]

@@ -1,0 +1,149 @@
+"""Scheduler interface and policy metadata.
+
+Every scheduling policy implements :class:`Scheduler`.  The server calls
+``on_request`` when a request reaches the dispatcher and the base class
+routes completions back through ``on_worker_free``.  Non-preemptive
+policies only ever use :meth:`Scheduler.begin_service`; preemptive ones
+(time sharing) manage their own slice events.
+
+:class:`PolicyTraits` captures the taxonomy of Table 1 / Table 5 so the
+table-reproduction benchmarks can generate those rows from code instead
+of hand-writing them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError
+from ..server.worker import Worker
+from ..sim.engine import EventLoop
+from ..workload.request import Request
+
+CompletionCallback = Callable[[Request], None]
+DropCallback = Callable[[Request], None]
+
+
+@dataclass(frozen=True)
+class PolicyTraits:
+    """Taxonomy bits from the paper's Table 1 and Table 5."""
+
+    name: str
+    app_aware: bool
+    typed_queues: bool
+    work_conserving: bool
+    preemptive: bool
+    prevents_hol_blocking: bool
+    ideal_workload: str = ""
+    example_system: str = ""
+    comments: str = ""
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies.
+
+    Lifecycle: construct, then :meth:`bind` to an event loop and worker
+    set, then feed requests via :meth:`on_request`.  ``on_complete`` /
+    ``on_drop`` callbacks go to the metrics recorder.
+    """
+
+    traits: PolicyTraits
+
+    def __init__(self) -> None:
+        self.loop: Optional[EventLoop] = None
+        self.workers: List[Worker] = []
+        self._on_complete: Optional[CompletionCallback] = None
+        self._on_drop: Optional[DropCallback] = None
+        self._bound = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        loop: EventLoop,
+        workers: List[Worker],
+        on_complete: CompletionCallback,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        """Attach the policy to its execution environment."""
+        if self._bound:
+            raise SchedulingError(f"{type(self).__name__} already bound")
+        if not workers:
+            raise SchedulingError("need at least one worker")
+        self.loop = loop
+        self.workers = workers
+        self._on_complete = on_complete
+        self._on_drop = on_drop
+        self._bound = True
+        self.on_bound()
+
+    def on_bound(self) -> None:
+        """Hook for subclasses to build per-worker state after binding."""
+
+    # ------------------------------------------------------------------
+    # the policy surface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def on_request(self, request: Request) -> None:
+        """A request reached the dispatcher; enqueue and/or dispatch it."""
+
+    @abstractmethod
+    def on_worker_free(self, worker: Worker) -> None:
+        """``worker`` finished a request; give it more work if any."""
+
+    def pending_count(self) -> int:
+        """Number of requests currently queued (not being served).
+
+        Subclasses with queues should override; used by idle detection
+        and CPU-waste accounting.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
+    # service helpers for non-preemptive policies
+    # ------------------------------------------------------------------
+    def begin_service(self, worker: Worker, request: Request) -> None:
+        """Run ``request`` to completion on ``worker`` (non-preemptive)."""
+        assert self.loop is not None
+        request.dispatch_time = self.loop.now
+        worker.begin(request, self.loop.now)
+        self.loop.call_after(request.remaining_time, self._complete, worker, request)
+
+    def _complete(self, worker: Worker, request: Request) -> None:
+        assert self.loop is not None
+        worker.end(self.loop.now)
+        worker.completed += 1
+        request.remaining_time = 0.0
+        request.finish_time = self.loop.now
+        if self._on_complete is not None:
+            self._on_complete(request)
+        self.completion_hook(worker, request)
+        self.on_worker_free(worker)
+
+    def completion_hook(self, worker: Worker, request: Request) -> None:
+        """Subclass hook invoked on completion before the worker is reused
+        (DARC uses it for profiling)."""
+
+    def drop(self, request: Request) -> None:
+        """Flow control: reject ``request`` (bounded queue overflow)."""
+        request.dropped = True
+        if self._on_drop is not None:
+            self._on_drop(request)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def free_workers(self) -> List[Worker]:
+        return [w for w in self.workers if w.is_free]
+
+    def first_free_worker(self) -> Optional[Worker]:
+        for w in self.workers:
+            if w.is_free:
+                return w
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(workers={len(self.workers)})"

@@ -1,0 +1,239 @@
+"""First-come-first-served policies: c-FCFS, d-FCFS, and work stealing.
+
+* :class:`CentralizedFCFS` (c-FCFS) — one shared FIFO feeding any idle
+  worker; models ZygOS/Shenango's effective behaviour and the single
+  dispatch queue of e.g. NGINX.
+* :class:`DecentralizedFCFS` (d-FCFS) — per-worker FIFOs fed by an RSS
+  hash; models IX/Arrakis and Shenango with stealing disabled.
+* :class:`WorkStealingFCFS` — d-FCFS plus idle-worker stealing with a
+  per-steal cost; models how Shenango *approximates* c-FCFS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..server.worker import Worker
+from ..workload.request import Request
+from .base import PolicyTraits, Scheduler
+
+
+class CentralizedFCFS(Scheduler):
+    """Single shared queue, FIFO, work conserving, non-preemptive."""
+
+    traits = PolicyTraits(
+        name="c-FCFS",
+        app_aware=False,
+        typed_queues=False,
+        work_conserving=True,
+        preemptive=False,
+        prevents_hol_blocking=False,
+        ideal_workload="Light-tailed",
+        example_system="ZygOS / Shenango",
+        comments="Load imbalance free, but long requests block short ones",
+    )
+
+    def __init__(self, queue_capacity: Optional[int] = None):
+        super().__init__()
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ConfigurationError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.queue_capacity = queue_capacity
+        self.queue: Deque[Request] = deque()
+
+    def on_request(self, request: Request) -> None:
+        worker = self.first_free_worker()
+        if worker is not None:
+            self.begin_service(worker, request)
+            return
+        if self.queue_capacity is not None and len(self.queue) >= self.queue_capacity:
+            self.drop(request)
+            return
+        self.queue.append(request)
+
+    def on_worker_free(self, worker: Worker) -> None:
+        if self.queue:
+            self.begin_service(worker, self.queue.popleft())
+
+    def pending_count(self) -> int:
+        return len(self.queue)
+
+
+class DecentralizedFCFS(Scheduler):
+    """Per-worker FIFOs fed by a hash, as RSS does in hardware.
+
+    ``steering`` selects how arrivals map to workers:
+
+    * ``"random"``       — uniform random, the standard model of RSS over
+      many flows (requires ``rng``);
+    * ``"round_robin"``  — deterministic rotation;
+    * ``"rid_hash"``     — hash of the request id (deterministic but
+      uneven over small windows, closest to per-flow RSS).
+    """
+
+    traits = PolicyTraits(
+        name="d-FCFS",
+        app_aware=False,
+        typed_queues=False,
+        work_conserving=False,
+        preemptive=False,
+        prevents_hol_blocking=False,
+        ideal_workload="Light-tailed",
+        example_system="IX / Arrakis",
+        comments="Easy to implement; uncontrolled idleness under imbalance",
+    )
+
+    def __init__(
+        self,
+        steering: str = "random",
+        rng: Optional[np.random.Generator] = None,
+        queue_capacity: Optional[int] = None,
+    ):
+        super().__init__()
+        if steering not in ("random", "round_robin", "rid_hash"):
+            raise ConfigurationError(f"unknown steering {steering!r}")
+        if steering == "random" and rng is None:
+            raise ConfigurationError("steering='random' requires an rng")
+        self.steering = steering
+        self.rng = rng
+        self.queue_capacity = queue_capacity
+        self.queues: List[Deque[Request]] = []
+        self._rr_next = 0
+
+    def on_bound(self) -> None:
+        self.queues = [deque() for _ in self.workers]
+
+    def _steer(self, request: Request) -> int:
+        n = len(self.workers)
+        if self.steering == "random":
+            assert self.rng is not None
+            return int(self.rng.integers(0, n))
+        if self.steering == "round_robin":
+            idx = self._rr_next
+            self._rr_next = (self._rr_next + 1) % n
+            return idx
+        # rid_hash: a small multiplicative hash; deterministic.
+        return (request.rid * 2654435761) % n
+
+    def on_request(self, request: Request) -> None:
+        idx = self._steer(request)
+        worker = self.workers[idx]
+        if worker.is_free and not self.queues[idx]:
+            self.begin_service(worker, request)
+            return
+        if self.queue_capacity is not None and len(self.queues[idx]) >= self.queue_capacity:
+            self.drop(request)
+            return
+        self.queues[idx].append(request)
+
+    def on_worker_free(self, worker: Worker) -> None:
+        queue = self.queues[worker.worker_id - self.workers[0].worker_id]
+        if queue:
+            self.begin_service(worker, queue.popleft())
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+
+class WorkStealingFCFS(DecentralizedFCFS):
+    """d-FCFS plus work stealing — the Shenango/ZygOS c-FCFS approximation.
+
+    An idle worker whose own queue is empty steals the head of a victim
+    queue.  ``steal_cost_us`` models the cross-core coordination cost of
+    each successful steal (added to the stolen request's effective
+    occupancy as overhead).  ``victim`` picks the victimization rule.
+    """
+
+    traits = PolicyTraits(
+        name="ws-FCFS",
+        app_aware=False,
+        typed_queues=False,
+        work_conserving=True,
+        preemptive=False,
+        prevents_hol_blocking=False,
+        ideal_workload="Light-tailed",
+        example_system="Shenango",
+        comments="Approximates c-FCFS; stealing costs cross-core traffic",
+    )
+
+    def __init__(
+        self,
+        steering: str = "random",
+        rng: Optional[np.random.Generator] = None,
+        queue_capacity: Optional[int] = None,
+        steal_cost_us: float = 0.0,
+        victim: str = "longest",
+    ):
+        super().__init__(steering=steering, rng=rng, queue_capacity=queue_capacity)
+        if steal_cost_us < 0:
+            raise ConfigurationError(f"steal_cost_us must be >= 0, got {steal_cost_us}")
+        if victim not in ("longest", "random"):
+            raise ConfigurationError(f"unknown victim rule {victim!r}")
+        if victim == "random" and rng is None:
+            raise ConfigurationError("victim='random' requires an rng")
+        self.steal_cost_us = steal_cost_us
+        self.victim = victim
+        self.steals = 0
+
+    def on_request(self, request: Request) -> None:
+        idx = self._steer(request)
+        worker = self.workers[idx]
+        if worker.is_free and not self.queues[idx]:
+            self.begin_service(worker, request)
+            return
+        if self.queue_capacity is not None and len(self.queues[idx]) >= self.queue_capacity:
+            self.drop(request)
+            return
+        self.queues[idx].append(request)
+        # Stealing is also triggered by arrival: some *other* worker may be
+        # idle while this queue just became non-empty.
+        idle = self.first_free_worker()
+        if idle is not None:
+            self.on_worker_free(idle)
+
+    def _pick_victim(self) -> Optional[int]:
+        non_empty = [i for i, q in enumerate(self.queues) if q]
+        if not non_empty:
+            return None
+        if self.victim == "random":
+            assert self.rng is not None
+            return int(non_empty[self.rng.integers(0, len(non_empty))])
+        return max(non_empty, key=lambda i: len(self.queues[i]))
+
+    def on_worker_free(self, worker: Worker) -> None:
+        my_idx = worker.worker_id - self.workers[0].worker_id
+        if self.queues[my_idx]:
+            self.begin_service(worker, self.queues[my_idx].popleft())
+            return
+        victim = self._pick_victim()
+        if victim is None:
+            return
+        request = self.queues[victim].popleft()
+        self.steals += 1
+        if self.steal_cost_us > 0:
+            # The steal costs coordination time before service starts.
+            request.overhead_time += self.steal_cost_us
+            worker.begin(request, self.loop.now)
+            request.dispatch_time = self.loop.now
+            self.loop.call_after(
+                request.remaining_time + self.steal_cost_us,
+                self._complete_stolen,
+                worker,
+                request,
+            )
+        else:
+            self.begin_service(worker, request)
+
+    def _complete_stolen(self, worker: Worker, request: Request) -> None:
+        assert self.loop is not None
+        worker.end(self.loop.now, overhead=self.steal_cost_us)
+        worker.completed += 1
+        request.remaining_time = 0.0
+        request.finish_time = self.loop.now
+        if self._on_complete is not None:
+            self._on_complete(request)
+        self.completion_hook(worker, request)
+        self.on_worker_free(worker)

@@ -1,0 +1,268 @@
+"""Preemptive time sharing — the Shinjuku model (§2 "TS", §5, Fig. 10).
+
+Shinjuku preempts running requests every quantum (5 µs in the paper's
+tuning) using Dune-based user-level interrupts.  Each preemption costs
+the worker real time: the paper measured ≈2000 cycles (≈1 µs at 2 GHz)
+and Fig. 10 decomposes the cost into a propagation *delay* plus a
+preemption *overhead*.  This module models:
+
+* ``quantum_us`` — slice length;
+* ``preempt_overhead_us`` — worker time burned per preemption;
+* ``preempt_delay_us`` — extra time the request keeps the core after the
+  quantum expires before the interrupt lands (Fig. 10's "TS 4 µs" = 2 µs
+  delay + 2 µs overhead);
+* two queue disciplines, matching Shinjuku's policies (§5.1):
+
+  - ``single``: one central queue; preempted requests re-enter at the
+    *tail* (processor sharing across everything);
+  - ``multi``: one queue per request type; preempted requests re-enter at
+    the *head* of their queue; queues are picked by a Borrowed-Virtual-
+    Time-like rule (least virtual time, weighted).
+
+With ``preempt_overhead_us = preempt_delay_us = 0`` this is the ideal
+"TS 0 µs" system of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, SchedulingError
+from ..server.worker import Worker
+from ..workload.request import Request, RequestTypeSpec
+from .base import PolicyTraits, Scheduler
+
+
+class TimeSharing(Scheduler):
+    """Quantum-based preemptive scheduling with explicit preemption costs."""
+
+    traits = PolicyTraits(
+        name="TS",
+        app_aware=True,
+        typed_queues=True,
+        work_conserving=True,
+        preemptive=True,
+        prevents_hol_blocking=True,
+        ideal_workload="Heavy-tailed without priorities",
+        example_system="Shinjuku",
+        comments="Preemption overheads cap sustainable load at us scale",
+    )
+
+    def __init__(
+        self,
+        quantum_us: float = 5.0,
+        preempt_overhead_us: float = 1.0,
+        preempt_delay_us: float = 0.0,
+        mode: str = "single",
+        type_specs: Optional[Sequence[RequestTypeSpec]] = None,
+        weights: Optional[Dict[int, float]] = None,
+        queue_capacity: Optional[int] = None,
+        trigger: str = "timer",
+    ):
+        super().__init__()
+        if quantum_us <= 0:
+            raise ConfigurationError(f"quantum_us must be > 0, got {quantum_us}")
+        if preempt_overhead_us < 0 or preempt_delay_us < 0:
+            raise ConfigurationError("preemption costs must be >= 0")
+        if mode not in ("single", "multi"):
+            raise ConfigurationError(f"mode must be 'single' or 'multi', got {mode!r}")
+        if mode == "multi" and not type_specs:
+            raise ConfigurationError("multi-queue mode requires type_specs")
+        if trigger not in ("timer", "demand"):
+            raise ConfigurationError(
+                f"trigger must be 'timer' or 'demand', got {trigger!r}"
+            )
+        self.quantum_us = quantum_us
+        self.preempt_overhead_us = preempt_overhead_us
+        self.preempt_delay_us = preempt_delay_us
+        self.mode = mode
+        #: "timer" preempts at every quantum boundary (the real Shinjuku);
+        #: "demand" preempts only when queued work exists — past its
+        #: quantum a request runs on until a new arrival blocks, which is
+        #: the model behind the paper's §2/Fig. 10 simulations ("a
+        #: preemption event can be triggered as soon as a short request
+        #: is blocked in the queue").  Frequency stays capped at one
+        #: preemption per quantum per worker.
+        self.trigger = trigger
+        self.weights = weights or {}
+        self.queue_capacity = queue_capacity
+        self.preemptions = 0
+        #: worker_id -> (request, slice_start, completion_event) for
+        #: requests running past their quantum in demand mode.
+        self._overdue: Dict[int, tuple] = {}
+
+        self.central: Deque[Request] = deque()
+        self.typed: Dict[int, Deque[Request]] = {}
+        self.vtimes: Dict[int, float] = {}
+        if type_specs:
+            for spec in type_specs:
+                self.typed[spec.type_id] = deque()
+                self.vtimes[spec.type_id] = 0.0
+
+    # ------------------------------------------------------------------
+    # queue discipline
+    # ------------------------------------------------------------------
+    def _enqueue(self, request: Request, preempted: bool) -> bool:
+        """Returns False when flow control drops the request."""
+        if self.mode == "single":
+            if (
+                not preempted
+                and self.queue_capacity is not None
+                and len(self.central) >= self.queue_capacity
+            ):
+                return False
+            # Shinjuku single-queue: preempted requests go to the *tail*
+            # too — that is what shares the processor.
+            self.central.append(request)
+            return True
+        tid = request.effective_type()
+        queue = self.typed.get(tid)
+        if queue is None:
+            raise SchedulingError(f"request {request.rid} has unregistered type {tid}")
+        if (
+            not preempted
+            and self.queue_capacity is not None
+            and len(queue) >= self.queue_capacity
+        ):
+            return False
+        if preempted:
+            queue.appendleft(request)  # multi-queue: head of own queue
+        else:
+            queue.append(request)
+        return True
+
+    def _dequeue(self) -> Optional[Request]:
+        if self.mode == "single":
+            return self.central.popleft() if self.central else None
+        # BVT-like: serve the non-empty queue with the smallest virtual
+        # time; charge it the expected slice normalized by its weight.
+        best_tid = None
+        best_v = None
+        for tid, queue in self.typed.items():
+            if not queue:
+                continue
+            v = self.vtimes[tid]
+            if best_v is None or v < best_v:
+                best_v = v
+                best_tid = tid
+        if best_tid is None:
+            return None
+        request = self.typed[best_tid].popleft()
+        expected = min(request.remaining_time, self.quantum_us)
+        self.vtimes[best_tid] += expected / self.weights.get(best_tid, 1.0)
+        return request
+
+    def pending_count(self) -> int:
+        if self.mode == "single":
+            return len(self.central)
+        return sum(len(q) for q in self.typed.values())
+
+    # ------------------------------------------------------------------
+    # event handling
+    # ------------------------------------------------------------------
+    def on_request(self, request: Request) -> None:
+        worker = self.first_free_worker()
+        if worker is not None and not self.pending_count():
+            self._start_slice(worker, request)
+            return
+        if not self._enqueue(request, preempted=False):
+            self.drop(request)
+            return
+        if worker is not None:
+            self.on_worker_free(worker)
+            return
+        if self.trigger == "demand" and self._overdue:
+            self._preempt_most_overdue()
+
+    def on_worker_free(self, worker: Worker) -> None:
+        request = self._dequeue()
+        if request is not None:
+            self._start_slice(worker, request)
+
+    def _start_slice(self, worker: Worker, request: Request) -> None:
+        assert self.loop is not None
+        if request.dispatch_time is None:
+            request.dispatch_time = self.loop.now
+        worker.begin(request, self.loop.now)
+        slice_us = min(request.remaining_time, self.quantum_us)
+        if slice_us >= request.remaining_time:
+            self.loop.call_after(slice_us, self._slice_finished, worker, request)
+        elif self.trigger == "demand":
+            self.loop.call_after(slice_us, self._quantum_boundary, worker, request, slice_us)
+        else:
+            cost = self.preempt_delay_us + self.preempt_overhead_us
+            self.loop.call_after(
+                slice_us + cost, self._slice_preempted, worker, request, slice_us, cost
+            )
+
+    # ------------------------------------------------------------------
+    # demand-triggered preemption (§2 / Fig. 10 simulation model)
+    # ------------------------------------------------------------------
+    def _quantum_boundary(self, worker: Worker, request: Request, slice_us: float) -> None:
+        """The quantum elapsed; preempt only if someone is waiting."""
+        assert self.loop is not None
+        if self.pending_count() > 0:
+            cost = self.preempt_delay_us + self.preempt_overhead_us
+            self.loop.call_after(
+                cost, self._slice_preempted, worker, request, slice_us, cost
+            )
+            return
+        # Nobody waits: run on, but stay preemptible the moment work
+        # arrives.  Book the natural completion; a later preemption
+        # cancels it.
+        completion = self.loop.call_after(
+            request.remaining_time - slice_us, self._overdue_finished, worker, request
+        )
+        self._overdue[worker.worker_id] = (
+            request,
+            self.loop.now - slice_us,
+            completion,
+        )
+
+    def _overdue_finished(self, worker: Worker, request: Request) -> None:
+        self._overdue.pop(worker.worker_id, None)
+        self._slice_finished(worker, request)
+
+    def _preempt_most_overdue(self) -> None:
+        """A blocked arrival interrupts the longest-running overdue
+        request (capped at one preemption per arrival)."""
+        assert self.loop is not None
+        worker_id = min(self._overdue, key=lambda wid: self._overdue[wid][1])
+        request, slice_start, completion = self._overdue.pop(worker_id)
+        completion.cancel()
+        worker = self.workers[worker_id]
+        consumed = self.loop.now - slice_start
+        cost = self.preempt_delay_us + self.preempt_overhead_us
+        self.loop.call_after(
+            cost, self._slice_preempted, worker, request, consumed, cost
+        )
+
+    def _slice_finished(self, worker: Worker, request: Request) -> None:
+        assert self.loop is not None
+        worker.end(self.loop.now)
+        worker.completed += 1
+        request.remaining_time = 0.0
+        request.finish_time = self.loop.now
+        if self._on_complete is not None:
+            self._on_complete(request)
+        self.completion_hook(worker, request)
+        self.on_worker_free(worker)
+
+    def _slice_preempted(
+        self, worker: Worker, request: Request, slice_us: float, cost: float
+    ) -> None:
+        assert self.loop is not None
+        worker.end(self.loop.now, overhead=cost)
+        request.remaining_time -= slice_us
+        request.preemption_count += 1
+        request.overhead_time += cost
+        self.preemptions += 1
+        self._enqueue(request, preempted=True)
+        self.on_worker_free(worker)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TimeSharing(q={self.quantum_us}us, o={self.preempt_overhead_us}us, "
+            f"d={self.preempt_delay_us}us, mode={self.mode!r})"
+        )

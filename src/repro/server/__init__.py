@@ -1,0 +1,13 @@
+"""Server model: workers, configuration, the scheduling pipeline."""
+
+from .config import SIMULATION_WORKERS, TESTBED_WORKERS, ServerConfig
+from .server import Server
+from .worker import Worker
+
+__all__ = [
+    "Server",
+    "Worker",
+    "ServerConfig",
+    "TESTBED_WORKERS",
+    "SIMULATION_WORKERS",
+]

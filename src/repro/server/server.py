@@ -1,0 +1,96 @@
+"""The simulated server: workers + a scheduling policy + measurement.
+
+:class:`Server` wires a :class:`~repro.policies.base.Scheduler` to an
+event loop, a worker set and a :class:`~repro.metrics.recorder.Recorder`,
+and exposes the ingress entry point the load generator feeds.  The fixed
+ingress costs from :class:`~repro.server.config.ServerConfig` are applied
+as a delay between arrival and the scheduler seeing the request —
+matching the net-worker → classifier → typed-queue pipeline of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..errors import ConfigurationError
+from ..metrics.recorder import Recorder
+from ..metrics.utilization import UtilizationReport
+from ..sim.engine import EventLoop
+
+if TYPE_CHECKING:  # avoid a circular import (policies.base uses Worker)
+    from ..policies.base import Scheduler
+from ..workload.request import Request
+from .config import ServerConfig
+from .worker import Worker
+
+
+class Server:
+    """A single simulated machine running one scheduling policy."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        scheduler: "Scheduler",
+        config: Optional[ServerConfig] = None,
+        recorder: Optional[Recorder] = None,
+    ):
+        self.loop = loop
+        self.scheduler = scheduler
+        self.config = config if config is not None else ServerConfig()
+        self.recorder = recorder if recorder is not None else Recorder()
+        self.workers: List[Worker] = [Worker(i) for i in range(self.config.n_workers)]
+        self.received = 0
+        #: Requests the dispatcher stage dropped (its inbound queue full).
+        self.dispatcher_drops = 0
+        #: The serial dispatcher core's busy horizon (Fig. 2): requests
+        #: are handed to the scheduler in arrival order, each occupying
+        #: the dispatcher for ``dispatcher_service_us``.
+        self._dispatcher_free_at = 0.0
+        scheduler.bind(loop, self.workers, self.recorder.on_complete, self.recorder.on_drop)
+
+    def ingress(self, request: Request) -> None:
+        """Entry point for arriving requests (the generator's sink)."""
+        self.received += 1
+        delay = self.config.ingress_delay_us
+        cost = self.config.dispatcher_service_us
+        if cost > 0:
+            now = self.loop.now
+            backlog_us = max(0.0, self._dispatcher_free_at - now)
+            cap = self.config.dispatcher_queue_capacity
+            if cap is not None and backlog_us > cap * cost:
+                # The dispatcher cannot keep up; the NIC ring overflows.
+                self.dispatcher_drops += 1
+                request.dropped = True
+                self.recorder.on_drop(request)
+                return
+            self._dispatcher_free_at = max(now, self._dispatcher_free_at) + cost
+            self.loop.call_at(
+                self._dispatcher_free_at + delay, self.scheduler.on_request, request
+            )
+        elif delay > 0:
+            self.loop.call_after(delay, self.scheduler.on_request, request)
+        else:
+            self.scheduler.on_request(request)
+
+    def utilization(self) -> UtilizationReport:
+        """Utilization over the elapsed simulation time."""
+        now = self.loop.now
+        if now <= 0:
+            raise ConfigurationError("no simulated time has elapsed")
+        return UtilizationReport(self.workers, now)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests being served right now."""
+        return sum(1 for w in self.workers if not w.is_free)
+
+    @property
+    def pending(self) -> int:
+        """Requests queued at the scheduler."""
+        return self.scheduler.pending_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Server({type(self.scheduler).__name__}, "
+            f"{self.config.n_workers} workers, received={self.received})"
+        )

@@ -1,0 +1,88 @@
+"""Worker (application core) model with busy/idle accounting.
+
+A worker executes one request at a time, non-preemptively unless a
+preemptive policy slices its service.  Workers track busy time, overhead
+time (preemption costs) and completion counts so experiments can report
+utilization and CPU waste.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchedulingError
+from ..workload.request import Request
+
+
+class Worker:
+    """One application core."""
+
+    __slots__ = (
+        "worker_id",
+        "current",
+        "_busy_since",
+        "total_busy_time",
+        "total_overhead_time",
+        "completed",
+        "idle_since",
+        "tags",
+    )
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.current: Optional[Request] = None
+        self._busy_since: Optional[float] = None
+        self.total_busy_time = 0.0
+        #: Busy time that was pure scheduling overhead (preemption costs).
+        self.total_overhead_time = 0.0
+        self.completed = 0
+        self.idle_since = 0.0
+        #: Free-form labels (e.g. DARC group id) set by schedulers.
+        self.tags: dict = {}
+
+    @property
+    def is_free(self) -> bool:
+        return self.current is None
+
+    def begin(self, request: Request, now: float) -> None:
+        """Start (or resume) serving ``request``."""
+        if self.current is not None:
+            raise SchedulingError(
+                f"worker {self.worker_id} asked to begin request {request.rid} "
+                f"while busy with {self.current.rid}"
+            )
+        self.current = request
+        self._busy_since = now
+        request.worker_id = self.worker_id
+        if request.first_service_time is None:
+            request.first_service_time = now
+
+    def end(self, now: float, overhead: float = 0.0) -> Request:
+        """Stop serving; returns the request that was on the core.
+
+        ``overhead`` is the portion of the elapsed busy time that was
+        scheduling overhead rather than useful service.
+        """
+        if self.current is None or self._busy_since is None:
+            raise SchedulingError(f"worker {self.worker_id} asked to end while idle")
+        elapsed = now - self._busy_since
+        self.total_busy_time += elapsed
+        self.total_overhead_time += overhead
+        request = self.current
+        self.current = None
+        self._busy_since = None
+        self.idle_since = now
+        return request
+
+    def utilization(self, now: float) -> float:
+        """Fraction of wall time spent busy, counting an in-flight request."""
+        if now <= 0:
+            return 0.0
+        busy = self.total_busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        return busy / now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"busy(rid={self.current.rid})" if self.current else "idle"
+        return f"Worker({self.worker_id}, {state}, done={self.completed})"

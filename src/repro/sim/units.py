@@ -1,0 +1,75 @@
+"""Unit helpers: everything in this package is simulated *microseconds*.
+
+The paper mixes units freely — cycles for dispatcher costs, nanoseconds
+for the classifier, microseconds for service times, seconds for run
+durations, and millions of requests per second for load.  These helpers
+make each conversion explicit at the call site.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: Clock rate of the paper's CloudLab c6420 testbed (Intel Xeon Gold 6142).
+DEFAULT_CPU_GHZ = 2.6
+
+US_PER_SECOND = 1_000_000.0
+US_PER_MS = 1_000.0
+NS_PER_US = 1_000.0
+
+
+def seconds(s: float) -> float:
+    """Convert seconds to simulated microseconds."""
+    return s * US_PER_SECOND
+
+
+def milliseconds(ms: float) -> float:
+    """Convert milliseconds to simulated microseconds."""
+    return ms * US_PER_MS
+
+
+def nanoseconds(ns: float) -> float:
+    """Convert nanoseconds to simulated microseconds."""
+    return ns / NS_PER_US
+
+
+def cycles_to_us(cycles: float, ghz: float = DEFAULT_CPU_GHZ) -> float:
+    """Convert CPU cycles at ``ghz`` GHz to microseconds.
+
+    >>> round(cycles_to_us(2600), 3)
+    1.0
+    """
+    if ghz <= 0:
+        raise ConfigurationError(f"ghz must be > 0, got {ghz}")
+    return cycles / (ghz * 1_000.0)
+
+
+def us_to_cycles(us: float, ghz: float = DEFAULT_CPU_GHZ) -> float:
+    """Convert microseconds to CPU cycles at ``ghz`` GHz."""
+    if ghz <= 0:
+        raise ConfigurationError(f"ghz must be > 0, got {ghz}")
+    return us * ghz * 1_000.0
+
+
+def mrps_to_per_us(mrps: float) -> float:
+    """Convert millions of requests per second to requests per microsecond.
+
+    Conveniently, 1 Mrps == 1 request/us, so this is the identity — but
+    spelling it out keeps experiment code self-documenting.
+    """
+    return mrps
+
+
+def per_us_to_mrps(rate: float) -> float:
+    """Convert requests per microsecond to millions of requests per second."""
+    return rate
+
+
+def krps_to_per_us(krps: float) -> float:
+    """Convert thousands of requests per second to requests per microsecond."""
+    return krps / 1_000.0
+
+
+def per_us_to_krps(rate: float) -> float:
+    """Convert requests per microsecond to thousands of requests per second."""
+    return rate * 1_000.0

@@ -1,0 +1,22 @@
+"""System models: Perséphone, Shenango, Shinjuku."""
+
+from .base import SystemModel
+from .persephone import (
+    PersephoneCfcfsSystem,
+    PersephoneDfcfsSystem,
+    PersephoneStaticSystem,
+    PersephoneSystem,
+)
+from .shenango import DEFAULT_STEAL_COST_US, ShenangoSystem
+from .shinjuku import ShinjukuSystem
+
+__all__ = [
+    "SystemModel",
+    "PersephoneSystem",
+    "PersephoneStaticSystem",
+    "PersephoneCfcfsSystem",
+    "PersephoneDfcfsSystem",
+    "ShenangoSystem",
+    "DEFAULT_STEAL_COST_US",
+    "ShinjukuSystem",
+]

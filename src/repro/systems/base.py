@@ -1,0 +1,40 @@
+"""System models: named, reproducible configurations of the three
+systems the paper evaluates (§5.1 "Systems").
+
+A :class:`SystemModel` is a factory that, given a workload spec and a
+random-stream registry, produces a freshly configured
+:class:`~repro.policies.base.Scheduler` plus the server config to run it
+under.  Experiment drivers iterate over a list of system models and give
+each the same workload and seeds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..policies.base import Scheduler
+from ..server.config import ServerConfig
+from ..sim.randomness import RngRegistry
+from ..workload.spec import WorkloadSpec
+
+
+class SystemModel(ABC):
+    """A named scheduler+server configuration."""
+
+    #: Display name used in figures and tables.
+    name: str = "system"
+
+    def __init__(self, n_workers: int = 14):
+        self.n_workers = n_workers
+
+    @abstractmethod
+    def make_scheduler(self, spec: WorkloadSpec, rngs: RngRegistry) -> Scheduler:
+        """Build a fresh scheduler instance for one run."""
+
+    def make_config(self) -> ServerConfig:
+        """Server config (ingress costs) for this system; ideal by default."""
+        return ServerConfig(n_workers=self.n_workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, workers={self.n_workers})"

@@ -1,0 +1,93 @@
+"""Phased workloads for the Fig. 7 dynamic-adaptation experiment.
+
+The paper's §5.5 experiment drives four 5-second phases at 80% server
+utilization, changing (1) which type is fast, (2) the type ratios, and
+(3) finally removing one type entirely.  :class:`PhaseSchedule` arms the
+phase switches on the event loop, re-deriving the arrival rate each phase
+so utilization stays constant as the mean service time changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..sim.engine import EventLoop
+from .generator import OpenLoopGenerator
+from .spec import WorkloadSpec
+
+
+class Phase:
+    """One workload phase: a mixture and how long it lasts."""
+
+    __slots__ = ("spec", "duration_us", "utilization")
+
+    def __init__(self, spec: WorkloadSpec, duration_us: float, utilization: Optional[float] = None):
+        if duration_us <= 0:
+            raise WorkloadError(f"phase duration must be > 0, got {duration_us}")
+        if utilization is not None and not 0.0 < utilization < 1.5:
+            raise WorkloadError(f"utilization must be in (0, 1.5), got {utilization}")
+        self.spec = spec
+        self.duration_us = duration_us
+        #: Target utilization for this phase; None keeps the previous rate.
+        self.utilization = utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Phase({self.spec.name!r}, {self.duration_us}us, util={self.utilization})"
+
+
+class PhaseSchedule:
+    """Applies a sequence of phases to a running generator.
+
+    ``on_phase`` (if given) is called as ``on_phase(index, phase)`` at
+    each switch — experiments use it to annotate time series.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        generator: OpenLoopGenerator,
+        phases: Sequence[Phase],
+        n_workers: int,
+        on_phase: Optional[Callable[[int, Phase], None]] = None,
+    ):
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        self.loop = loop
+        self.generator = generator
+        self.phases: List[Phase] = list(phases)
+        self.n_workers = n_workers
+        self.on_phase = on_phase
+        self.current_index = -1
+        self._events = []
+
+    @property
+    def total_duration_us(self) -> float:
+        return sum(p.duration_us for p in self.phases)
+
+    def start(self) -> None:
+        """Apply phase 0 now and schedule the remaining switches."""
+        t = self.loop.now
+        self._apply(0)
+        for i in range(1, len(self.phases)):
+            t += self.phases[i - 1].duration_us
+            self._events.append(self.loop.call_at(t, self._apply, i))
+
+    def cancel(self) -> None:
+        """Cancel pending switches (the current phase keeps running)."""
+        for ev in self._events:
+            ev.cancel()
+        self._events.clear()
+
+    def _apply(self, index: int) -> None:
+        phase = self.phases[index]
+        self.current_index = index
+        self.generator.set_spec(phase.spec)
+        if phase.utilization is not None:
+            rate = phase.utilization * phase.spec.peak_load(self.n_workers)
+            self.generator.set_rate(rate)
+        if self.on_phase is not None:
+            self.on_phase(index, phase)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PhaseSchedule({len(self.phases)} phases, at={self.current_index})"

@@ -1,0 +1,107 @@
+"""Preset workloads from the paper.
+
+* ``high_bimodal``     — Table 3 row 1:   1 us @ 50%  +  100 us @ 50%   (100x dispersion)
+* ``extreme_bimodal``  — Table 3 row 2: 0.5 us @ 99.5% + 500 us @ 0.5%  (1000x dispersion)
+* ``figure1_workload`` — the §2 simulation mix (same shape as Extreme Bimodal)
+* ``tpcc``             — Table 4: five transaction types
+* ``rocksdb``          — §5.4.4: 50% GET (1.5 us) + 50% SCAN (635 us)   (~420x)
+
+Each function returns a fresh :class:`WorkloadSpec` so callers may mutate
+their copy freely.
+"""
+
+from __future__ import annotations
+
+from .spec import WorkloadSpec, bimodal_spec, nmodal_spec
+
+#: TPC-C transaction profile from Table 4: (name, runtime us, ratio),
+#: listed in ascending service time as the paper's figures do.
+TPCC_TRANSACTIONS = (
+    ("Payment", 5.7, 0.44),
+    ("OrderStatus", 6.0, 0.04),
+    ("NewOrder", 20.0, 0.44),
+    ("Delivery", 88.0, 0.04),
+    ("StockLevel", 100.0, 0.04),
+)
+
+
+def high_bimodal() -> WorkloadSpec:
+    """Table 3 *High Bimodal*: 50% x 1 us + 50% x 100 us (100x dispersion)."""
+    return bimodal_spec("high_bimodal", short_us=1.0, short_ratio=0.50, long_us=100.0)
+
+
+def extreme_bimodal() -> WorkloadSpec:
+    """Table 3 *Extreme Bimodal*: 99.5% x 0.5 us + 0.5% x 500 us (1000x)."""
+    return bimodal_spec("extreme_bimodal", short_us=0.5, short_ratio=0.995, long_us=500.0)
+
+
+def figure1_workload() -> WorkloadSpec:
+    """The §2 motivating simulation: identical mix to Extreme Bimodal.
+
+    Kept as a separate constructor because Fig. 1/Fig. 10 run it on a
+    16-worker ideal system, while §5 runs Extreme Bimodal on the
+    14-worker testbed model.
+    """
+    return bimodal_spec("figure1", short_us=0.5, short_ratio=0.995, long_us=500.0)
+
+
+def tpcc() -> WorkloadSpec:
+    """Table 4 TPC-C transaction mix (five types, 17.5x max dispersion)."""
+    return nmodal_spec("tpcc", TPCC_TRANSACTIONS)
+
+
+def rocksdb() -> WorkloadSpec:
+    """§5.4.4 RocksDB service: 50% GET (1.5 us) + 50% SCAN (635 us)."""
+    return bimodal_spec(
+        "rocksdb", short_us=1.5, short_ratio=0.50, long_us=635.0,
+        short_name="GET", long_name="SCAN",
+    )
+
+
+def ycsb_a() -> WorkloadSpec:
+    """A YCSB workload-A-shaped mix (§5.1: "an equal amount of short and
+    long requests (e.g., workload A in the YCSB benchmark)").
+
+    YCSB-A is 50% reads / 50% updates; on an in-memory store both are
+    fast, but updates pay index/log maintenance.  Calibrated to a Redis-
+    like engine: 2 us reads, 8 us updates (4x dispersion) — a *lightly*
+    tailed mix where work-conserving policies remain competitive, useful
+    as a contrast workload.
+    """
+    return nmodal_spec("ycsb_a", [("READ", 2.0, 0.50), ("UPDATE", 8.0, 0.50)])
+
+
+def facebook_usr() -> WorkloadSpec:
+    """A Facebook-USR-shaped mix (§5.1: "a majority of short requests
+    with a small amount of very long requests (e.g., Facebook's USR
+    workload)").
+
+    USR is dominated by tiny GETs with rare multigets/misses hitting
+    slower paths; modelled as 98% x 1 us + 1.8% x 30 us + 0.2% x 300 us
+    (300x dispersion with a thin middle tier).
+    """
+    return nmodal_spec(
+        "facebook_usr",
+        [("GET", 1.0, 0.98), ("MULTIGET", 30.0, 0.018), ("MISS", 300.0, 0.002)],
+    )
+
+
+PRESETS = {
+    "high_bimodal": high_bimodal,
+    "extreme_bimodal": extreme_bimodal,
+    "figure1": figure1_workload,
+    "tpcc": tpcc,
+    "rocksdb": rocksdb,
+    "ycsb_a": ycsb_a,
+    "facebook_usr": facebook_usr,
+}
+
+
+def by_name(name: str) -> WorkloadSpec:
+    """Look up a preset workload by name; raises KeyError with choices."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choices: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,143 @@
+"""Request and request-type models.
+
+A :class:`Request` is the unit of work flowing through every simulated
+system.  It carries the timestamps needed to compute the paper's two
+metrics:
+
+* latency   = ``finish_time - arrival_time`` (sojourn / response time)
+* slowdown  = latency / service_time          (paper §2, after [40])
+
+``type_id`` is what the *workload* knows the request to be; the type a
+*classifier* assigns may differ (misclassification experiments, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Type id used by classifiers for requests they cannot recognize (§4.2).
+UNKNOWN_TYPE = -1
+
+
+class Request:
+    """A single request traversing the system.
+
+    Attributes
+    ----------
+    rid:
+        Unique id, assigned in arrival order.
+    type_id:
+        Ground-truth workload type.
+    arrival_time:
+        When the request reached the server (us).
+    service_time:
+        Pure application processing time (us); the denominator of slowdown.
+    remaining_time:
+        Unfinished service; only preemptive policies ever reduce it below
+        ``service_time``.
+    classified_type:
+        Type assigned by the active request classifier; ``None`` until
+        classification happens.
+    """
+
+    __slots__ = (
+        "rid",
+        "type_id",
+        "arrival_time",
+        "service_time",
+        "remaining_time",
+        "classified_type",
+        "dispatch_time",
+        "first_service_time",
+        "finish_time",
+        "worker_id",
+        "preemption_count",
+        "overhead_time",
+        "dropped",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        type_id: int,
+        arrival_time: float,
+        service_time: float,
+        payload: Optional[bytes] = None,
+    ):
+        self.rid = rid
+        self.type_id = type_id
+        self.arrival_time = arrival_time
+        self.service_time = service_time
+        self.remaining_time = service_time
+        self.classified_type: Optional[int] = None
+        self.dispatch_time: Optional[float] = None
+        self.first_service_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.worker_id: Optional[int] = None
+        self.preemption_count = 0
+        #: Extra time the request occupied a worker beyond its service time
+        #: (preemption overheads); used for the Shinjuku overhead analysis.
+        self.overhead_time = 0.0
+        self.dropped = False
+        self.payload = payload
+
+    @property
+    def completed(self) -> bool:
+        """True once the request has finished application processing."""
+        return self.finish_time is not None
+
+    @property
+    def latency(self) -> float:
+        """Sojourn time (us).  Raises if the request has not completed."""
+        if self.finish_time is None:
+            raise ValueError(f"request {self.rid} has not completed")
+        return self.finish_time - self.arrival_time
+
+    @property
+    def slowdown(self) -> float:
+        """Latency divided by pure service time (paper §2)."""
+        if self.service_time <= 0:
+            raise ValueError(f"request {self.rid} has non-positive service time")
+        return self.latency / self.service_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Time spent queued before first touching a worker (us)."""
+        if self.first_service_time is None:
+            raise ValueError(f"request {self.rid} was never serviced")
+        return self.first_service_time - self.arrival_time
+
+    def effective_type(self) -> int:
+        """The type scheduling decisions were based on."""
+        return self.classified_type if self.classified_type is not None else self.type_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.completed else ("dropped" if self.dropped else "open")
+        return (
+            f"Request(rid={self.rid}, type={self.type_id}, "
+            f"t={self.arrival_time:.3f}, S={self.service_time:.3f}, {state})"
+        )
+
+
+class RequestTypeSpec:
+    """Static description of one request type in a workload mix.
+
+    ``ratio`` is the occurrence probability; ``mean_service_time`` is the
+    expected service time of the type's distribution.  ``name`` is used in
+    reports (e.g. TPC-C transaction names).
+    """
+
+    __slots__ = ("type_id", "name", "mean_service_time", "ratio")
+
+    def __init__(self, type_id: int, name: str, mean_service_time: float, ratio: float):
+        self.type_id = type_id
+        self.name = name
+        self.mean_service_time = mean_service_time
+        self.ratio = ratio
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RequestTypeSpec(id={self.type_id}, name={self.name!r}, "
+            f"S={self.mean_service_time}, R={self.ratio})"
+        )

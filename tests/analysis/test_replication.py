@@ -1,0 +1,84 @@
+"""Tests for seed replication with confidence intervals."""
+
+import pytest
+
+from repro.analysis.replication import Replication, replicate
+from repro.analysis.slo import overall_slowdown_metric
+from repro.errors import ConfigurationError
+from repro.systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="module")
+def cfcfs_replication():
+    return replicate(
+        PersephoneCfcfsSystem(n_workers=4),
+        high_bimodal(),
+        utilization=0.6,
+        n_seeds=4,
+        n_requests=3000,
+    )
+
+
+class TestReplicate:
+    def test_runs_requested_seeds(self, cfcfs_replication):
+        assert len(cfcfs_replication) == 4
+
+    def test_seeds_differ(self, cfcfs_replication):
+        values = cfcfs_replication.values(overall_slowdown_metric)
+        assert len(set(values.tolist())) > 1
+
+    def test_invalid_seeds(self):
+        with pytest.raises(ConfigurationError):
+            replicate(
+                PersephoneCfcfsSystem(n_workers=4),
+                high_bimodal(),
+                0.5,
+                n_seeds=0,
+            )
+
+
+class TestReplication:
+    def test_mean_within_value_range(self, cfcfs_replication):
+        values = cfcfs_replication.values(overall_slowdown_metric)
+        mean = cfcfs_replication.mean(overall_slowdown_metric)
+        assert values.min() <= mean <= values.max()
+
+    def test_ci_contains_mean(self, cfcfs_replication):
+        low, high = cfcfs_replication.confidence_interval(overall_slowdown_metric)
+        mean = cfcfs_replication.mean(overall_slowdown_metric)
+        assert low <= mean <= high
+        assert high > low
+
+    def test_single_replication_ci_degenerate(self):
+        rep = replicate(
+            PersephoneCfcfsSystem(n_workers=4),
+            high_bimodal(),
+            0.5,
+            n_seeds=1,
+            n_requests=1000,
+        )
+        low, high = rep.confidence_interval(overall_slowdown_metric)
+        assert low == high
+
+    def test_describe(self, cfcfs_replication):
+        text = cfcfs_replication.describe(overall_slowdown_metric, "p99.9 slowdown")
+        assert "ci95" in text
+        assert "4 seeds" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Replication([])
+
+    def test_darc_ci_below_cfcfs_ci(self, cfcfs_replication):
+        darc = replicate(
+            PersephoneSystem(n_workers=4, oracle=True),
+            high_bimodal(),
+            0.6,
+            n_seeds=4,
+            n_requests=3000,
+        )
+        _, darc_high = darc.confidence_interval(overall_slowdown_metric)
+        cfcfs_low, _ = cfcfs_replication.confidence_interval(overall_slowdown_metric)
+        # The improvement is larger than the seed noise.
+        assert darc_high < cfcfs_low

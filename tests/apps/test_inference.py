@@ -1,0 +1,124 @@
+"""Tests for the GBDT inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.inference import (
+    BATCH_TYPE,
+    FULL_TYPE,
+    LIGHT_TYPE,
+    GbdtModel,
+    InferenceService,
+    RegressionTree,
+    make_demo_model,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return make_demo_model(n_samples=300, n_trees=40)
+
+
+class TestRegressionTree:
+    def test_fits_constant_data(self):
+        X = np.zeros((20, 2))
+        y = np.full(20, 3.0)
+        tree = RegressionTree().fit(X, y)
+        assert tree.predict_one([0.0, 0.0]) == pytest.approx(3.0)
+
+    def test_splits_reduce_error(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(200, 1))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.predict_one([0.5]) == pytest.approx(1.0, abs=0.1)
+        assert tree.predict_one([-0.5]) == pytest.approx(-1.0, abs=0.1)
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(500, 3))
+        y = rng.standard_normal(500)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        # depth 2 => at most 1 + 2 + 4 = 7 nodes.
+        assert tree.n_nodes <= 7
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree().predict_one([0.0])
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            RegressionTree(max_depth=0)
+
+
+class TestGbdtModel:
+    def test_boosting_improves_fit(self, fitted):
+        model, X, y = fitted
+        few = model.predict(X, n_trees=2)
+        many = model.predict(X)
+        mse_few = float(((few - y) ** 2).mean())
+        mse_many = float(((many - y) ** 2).mean())
+        assert mse_many < mse_few
+
+    def test_model_learns_signal(self, fitted):
+        model, X, y = fitted
+        predictions = model.predict(X)
+        residual_var = float(((predictions - y) ** 2).mean())
+        assert residual_var < 0.5 * float(y.var())
+
+    def test_early_exit_uses_fewer_trees(self, fitted):
+        model, X, _ = fitted
+        row = X[0]
+        partial = model.predict_one(row, n_trees=1)
+        full = model.predict_one(row)
+        assert partial != full
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ConfigurationError):
+            GbdtModel().predict_one([0.0])
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GbdtModel(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            GbdtModel(learning_rate=0.0)
+
+
+class TestInferenceService:
+    def test_service_times_scale(self, fitted):
+        model, _, _ = fitted
+        service = InferenceService(model, light_trees=10, batch_rows=64)
+        light = service.service_time(LIGHT_TYPE)
+        full = service.service_time(FULL_TYPE)
+        batch = service.service_time(BATCH_TYPE)
+        assert light < full < batch
+        assert full / light == pytest.approx(model.n_trees / 10)
+        assert batch / full == pytest.approx(64)
+
+    def test_execute_runs_real_inference(self, fitted):
+        model, X, _ = fitted
+        service = InferenceService(model)
+        row = X[0]
+        assert isinstance(service.execute(LIGHT_TYPE, row), float)
+        assert isinstance(service.execute(FULL_TYPE, row), float)
+        assert isinstance(service.execute(BATCH_TYPE, row), float)
+        assert model.predictions_served > 0
+
+    def test_workload_spec(self, fitted):
+        model, _, _ = fitted
+        service = InferenceService(model)
+        spec = service.workload_spec()
+        assert spec.type_names() == ["LIGHT", "FULL", "BATCH"]
+        assert spec.dispersion() > 100  # microsecond-scale heavy tail
+
+    def test_invalid_params(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ConfigurationError):
+            InferenceService(model, light_trees=0)
+        with pytest.raises(ConfigurationError):
+            InferenceService(model, light_trees=10_000)
+        with pytest.raises(ConfigurationError):
+            InferenceService(model).workload_spec(light_ratio=0.9, full_ratio=0.1)
+        with pytest.raises(ConfigurationError):
+            InferenceService(model).service_time(99)

@@ -1,0 +1,81 @@
+"""Tests for the KV store application."""
+
+import pytest
+
+from repro.apps.kvstore import KvStore
+from repro.errors import ConfigurationError
+
+
+class TestKvStoreOperations:
+    def test_put_get(self):
+        store = KvStore()
+        store.put("k", b"v")
+        assert store.get("k") == b"v"
+        assert len(store) == 1
+
+    def test_get_missing(self):
+        assert KvStore().get("nope") is None
+
+    def test_delete(self):
+        store = KvStore()
+        store.put("k", b"v")
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.get("k") is None
+
+    def test_scan_sorted_range(self):
+        store = KvStore()
+        for key in ("c", "a", "b", "e", "d"):
+            store.put(key, key.encode())
+        result = store.scan("b", 3)
+        assert [k for k, _ in result] == ["b", "c", "d"]
+
+    def test_scan_after_mutation_sees_new_keys(self):
+        store = KvStore()
+        store.put("a", b"1")
+        store.scan("a", 10)
+        store.put("b", b"2")
+        assert [k for k, _ in store.scan("a", 10)] == ["a", "b"]
+
+    def test_eval_runs_function(self):
+        store = KvStore()
+        store.put("x", b"1")
+        assert store.eval(lambda s: len(s)) == 1
+
+    def test_op_counts(self):
+        store = KvStore()
+        store.put("a", b"")
+        store.get("a")
+        store.get("a")
+        assert store.op_counts["PUT"] == 1
+        assert store.op_counts["GET"] == 2
+
+
+class TestSchedulingIntegration:
+    def test_service_times_default_to_redis_profile(self):
+        store = KvStore()
+        assert store.service_time("GET") == 2.0
+        assert store.service_time("SCAN") == 300.0
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ConfigurationError):
+            KvStore().service_time("FLUSH")
+
+    def test_custom_costs(self):
+        store = KvStore(costs={"GET": 1.0})
+        assert store.service_time("GET") == 1.0
+
+    def test_unknown_custom_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KvStore(costs={"MAGIC": 1.0})
+
+    def test_workload_spec(self):
+        store = KvStore()
+        spec = store.workload_spec({"GET": 0.9, "SCAN": 0.1})
+        assert spec.n_types == 2
+        assert spec.type_names() == ["GET", "SCAN"]  # ascending cost
+        assert spec.mean_service_time() == pytest.approx(0.9 * 2 + 0.1 * 300)
+
+    def test_workload_spec_bad_mix(self):
+        with pytest.raises(ConfigurationError):
+            KvStore().workload_spec({"GET": 0.5})

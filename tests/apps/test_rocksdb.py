@@ -1,0 +1,56 @@
+"""Tests for the RocksDB-like store."""
+
+import pytest
+
+from repro.apps.rocksdb import RocksDbLike
+from repro.errors import ConfigurationError
+
+
+class TestRocksDbLike:
+    def test_paper_calibration(self):
+        store = RocksDbLike()
+        assert store.n_keys == 5000
+        assert store.service_time("GET") == 1.5
+        assert store.service_time("SCAN") == 635.0
+        assert store.dispersion == pytest.approx(635.0 / 1.5)
+
+    def test_get(self):
+        store = RocksDbLike(n_keys=10)
+        assert store.get("key00000003") == b"value-key00000003"
+        assert store.gets == 1
+
+    def test_get_by_index_wraps(self):
+        store = RocksDbLike(n_keys=10)
+        assert store.get_by_index(13) == store._data["key00000003"]
+
+    def test_full_scan_returns_all_in_order(self):
+        store = RocksDbLike(n_keys=100)
+        items = store.scan()
+        assert len(items) == 100
+        keys = [k for k, _ in items]
+        assert keys == sorted(keys)
+        assert store.scans == 1
+
+    def test_range_scan(self):
+        store = RocksDbLike(n_keys=100)
+        items = store.range_scan("key00000010", "key00000013")
+        assert [k for k, _ in items] == ["key00000010", "key00000011", "key00000012"]
+
+    def test_scan_cost_scaled(self):
+        store = RocksDbLike()
+        assert store.scan_cost_scaled(2500) == pytest.approx(635.0 / 2)
+
+    def test_workload_spec_matches_figure8(self):
+        spec = RocksDbLike().workload_spec()
+        assert spec.type_names() == ["GET", "SCAN"]
+        assert spec.mean_service_time() == pytest.approx(0.5 * 1.5 + 0.5 * 635.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RocksDbLike(n_keys=0)
+        with pytest.raises(ConfigurationError):
+            RocksDbLike(get_us=0.0)
+        with pytest.raises(ConfigurationError):
+            RocksDbLike().service_time("PUT")
+        with pytest.raises(ConfigurationError):
+            RocksDbLike().workload_spec(get_ratio=1.0)

@@ -1,0 +1,90 @@
+"""Tests for the TPC-C engine."""
+
+import pytest
+
+from repro.apps.tpcc import TXN_PROFILE, TpccDatabase
+from repro.errors import ConfigurationError
+
+
+class TestProfile:
+    def test_table4_service_times(self):
+        assert TpccDatabase.service_time("Payment") == 5.7
+        assert TpccDatabase.service_time("StockLevel") == 100.0
+
+    def test_type_ids_ascending_runtime(self):
+        runtimes = [TXN_PROFILE[name][1] for name in sorted(
+            TXN_PROFILE, key=lambda n: TXN_PROFILE[n][0]
+        )]
+        assert runtimes == sorted(runtimes)
+
+    def test_unknown_txn_raises(self):
+        with pytest.raises(ConfigurationError):
+            TpccDatabase.service_time("Refund")
+        with pytest.raises(ConfigurationError):
+            TpccDatabase.type_id("Refund")
+
+    def test_workload_spec_matches_table4(self):
+        spec = TpccDatabase.workload_spec()
+        assert spec.n_types == 5
+        assert spec.mean_service_time() == pytest.approx(
+            0.44 * 5.7 + 0.04 * 6.0 + 0.44 * 20.0 + 0.04 * 88.0 + 0.04 * 100.0
+        )
+
+
+class TestTransactions:
+    def test_payment_decrements_balance(self):
+        db = TpccDatabase(n_districts=1, n_customers=1)
+        balance = db.payment(district_id=0, amount=25.0)
+        assert balance == -25.0
+        assert db.txn_counts["Payment"] == 1
+
+    def test_new_order_creates_lines_and_consumes_stock(self):
+        db = TpccDatabase(n_items=50)
+        before = sum(db.stock.values())
+        order = db.new_order(district_id=0, n_lines=5)
+        assert len(order.lines) == 5
+        assert sum(db.stock.values()) < before
+
+    def test_order_status_returns_latest(self):
+        db = TpccDatabase()
+        assert db.order_status(district_id=0) is None
+        first = db.new_order(district_id=0)
+        second = db.new_order(district_id=0)
+        assert db.order_status(district_id=0).order_id == second.order_id
+
+    def test_delivery_marks_orders(self):
+        db = TpccDatabase()
+        for _ in range(3):
+            db.new_order(district_id=0)
+        delivered = db.delivery(district_id=0, batch=2)
+        assert delivered == 2
+        remaining = db.delivery(district_id=0, batch=10)
+        assert remaining == 1
+
+    def test_stock_level_counts_low_items(self):
+        db = TpccDatabase(n_items=10)
+        assert db.stock_level(threshold=50) == 0
+        db.stock[0] = 5
+        assert db.stock_level(threshold=50) == 1
+
+    def test_execute_dispatches_by_name(self):
+        db = TpccDatabase()
+        db.execute("Payment")
+        db.execute("NewOrder")
+        assert db.txn_counts["Payment"] == 1
+        assert db.txn_counts["NewOrder"] == 1
+        with pytest.raises(ConfigurationError):
+            db.execute("Refund")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            TpccDatabase(n_warehouses=0)
+
+    def test_deterministic_with_seed(self):
+        a = TpccDatabase(seed=3)
+        b = TpccDatabase(seed=3)
+        oa = a.new_order(district_id=0)
+        ob = b.new_order(district_id=0)
+        assert [(l.item_id, l.quantity) for l in oa.lines] == [
+            (l.item_id, l.quantity) for l in ob.lines
+        ]

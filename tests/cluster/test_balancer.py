@@ -1,0 +1,116 @@
+"""Tests for cluster load balancers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.balancer import (
+    JoinShortestQueue,
+    RandomBalancer,
+    RoundRobinBalancer,
+    TypeAwareBalancer,
+)
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS
+from repro.server.config import ServerConfig
+from repro.server.server import Server
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+
+
+def make_servers(loop, n=3, n_workers=1):
+    recorder = Recorder()
+    return [
+        Server(loop, CentralizedFCFS(), config=ServerConfig(n_workers=n_workers),
+               recorder=recorder)
+        for _ in range(n)
+    ]
+
+
+def req(rid, type_id=0, service=1.0):
+    return Request(rid, type_id, 0.0, service)
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 3)
+        balancer = RoundRobinBalancer(servers)
+        for i in range(6):
+            balancer.ingress(req(i))
+        assert [s.received for s in servers] == [2, 2, 2]
+        assert balancer.routed == 6
+
+    def test_empty_servers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinBalancer([])
+
+
+class TestRandom:
+    def test_roughly_uniform(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 4, n_workers=64)
+        balancer = RandomBalancer(servers, np.random.default_rng(0))
+        for i in range(4000):
+            balancer.ingress(req(i, service=0.001))
+        loads = [s.received for s in servers]
+        for load in loads:
+            assert load == pytest.approx(1000, abs=150)
+
+
+class TestJoinShortestQueue:
+    def test_prefers_idle_server(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 2)
+        balancer = JoinShortestQueue(servers)
+        balancer.ingress(req(0, service=100.0))  # server 0 busy
+        balancer.ingress(req(1, service=1.0))
+        assert servers[1].received == 1
+
+    def test_spreads_backlog_evenly(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 3)
+        balancer = JoinShortestQueue(servers)
+        for i in range(9):
+            balancer.ingress(req(i, service=50.0))
+        assert [s.received for s in servers] == [3, 3, 3]
+
+
+class TestTypeAware:
+    def test_types_routed_to_assigned_replicas(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 3)
+        balancer = TypeAwareBalancer(
+            servers, assignment={0: [0], 1: [1, 2]}
+        )
+        balancer.ingress(req(0, type_id=0))
+        balancer.ingress(req(1, type_id=1))
+        balancer.ingress(req(2, type_id=1))
+        assert servers[0].received == 1
+        assert servers[1].received + servers[2].received == 2
+
+    def test_unmapped_type_uses_default(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 2)
+        balancer = TypeAwareBalancer(servers, assignment={0: [0]}, default=[1])
+        balancer.ingress(req(0, type_id=9))
+        assert servers[1].received == 1
+
+    def test_jsq_within_replica_set(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 2)
+        balancer = TypeAwareBalancer(servers, assignment={0: [0, 1]})
+        balancer.ingress(req(0, type_id=0, service=100.0))
+        balancer.ingress(req(1, type_id=0, service=1.0))
+        assert servers[0].received == 1
+        assert servers[1].received == 1
+
+    def test_invalid_assignments(self):
+        loop = EventLoop()
+        servers = make_servers(loop, 2)
+        with pytest.raises(ConfigurationError):
+            TypeAwareBalancer(servers, assignment={0: []})
+        with pytest.raises(ConfigurationError):
+            TypeAwareBalancer(servers, assignment={0: [5]})
+        with pytest.raises(ConfigurationError):
+            TypeAwareBalancer(servers, assignment={0: [0]}, default=[])

@@ -1,0 +1,64 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.metrics.recorder import Recorder
+from repro.policies.base import Scheduler
+from repro.server.worker import Worker
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+class Harness:
+    """A bound scheduler + loop + recorder, ready to feed requests."""
+
+    def __init__(self, scheduler: Scheduler, n_workers: int):
+        self.loop = EventLoop()
+        self.scheduler = scheduler
+        self.workers = [Worker(i) for i in range(n_workers)]
+        self.recorder = Recorder()
+        scheduler.bind(
+            self.loop, self.workers, self.recorder.on_complete, self.recorder.on_drop
+        )
+        self._next_rid = 0
+
+    def submit(self, type_id: int, service: float, at: Optional[float] = None) -> Request:
+        """Schedule one request's arrival (default: now)."""
+        t = self.loop.now if at is None else at
+        request = Request(self._next_rid, type_id, t, service)
+        self._next_rid += 1
+        if t <= self.loop.now:
+            self.scheduler.on_request(request)
+        else:
+            self.loop.call_at(t, self.scheduler.on_request, request)
+        return request
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.loop.run(until=until)
+
+    def finish_times(self) -> List[float]:
+        return list(self.recorder.columns().finishes)
+
+
+def make_harness(scheduler: Scheduler, n_workers: int) -> Harness:
+    return Harness(scheduler, n_workers)
+
+
+@pytest.fixture
+def harness_factory():
+    return make_harness

@@ -1,0 +1,120 @@
+"""Tests for request classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (
+    CallableClassifier,
+    ConfusionClassifier,
+    OracleClassifier,
+    PartialClassifier,
+    RandomClassifier,
+)
+from repro.errors import ClassifierError
+from repro.workload.request import UNKNOWN_TYPE, Request
+
+
+def req(type_id=0, rid=0):
+    return Request(rid, type_id, 0.0, 1.0)
+
+
+class TestOracleClassifier:
+    def test_returns_ground_truth(self):
+        c = OracleClassifier()
+        assert c.classify(req(type_id=3)) == 3
+
+    def test_sets_classified_type(self):
+        c = OracleClassifier()
+        r = req(type_id=2)
+        c.classify(r)
+        assert r.classified_type == 2
+
+    def test_counters(self):
+        c = OracleClassifier()
+        for i in range(5):
+            c.classify(req(rid=i))
+        assert c.classified == 5
+        assert c.unknown == 0
+
+    def test_default_cost_is_100ns(self):
+        assert OracleClassifier().cost_us == pytest.approx(0.1)
+
+    def test_negative_cost_raises(self):
+        with pytest.raises(ClassifierError):
+            OracleClassifier(cost_us=-1.0)
+
+
+class TestRandomClassifier:
+    def test_uniform_over_types(self):
+        c = RandomClassifier(n_types=4, rng=np.random.default_rng(0))
+        counts = [0] * 4
+        for i in range(4000):
+            counts[c.classify(req(rid=i))] += 1
+        for count in counts:
+            assert count == pytest.approx(1000, abs=150)
+
+    def test_ignores_ground_truth(self):
+        rng = np.random.default_rng(1)
+        c = RandomClassifier(n_types=2, rng=rng)
+        labels = {c.classify(req(type_id=0, rid=i)) for i in range(100)}
+        assert labels == {0, 1}
+
+    def test_invalid_n_types(self):
+        with pytest.raises(ClassifierError):
+            RandomClassifier(n_types=0, rng=np.random.default_rng(0))
+
+
+class TestCallableClassifier:
+    def test_wraps_function(self):
+        c = CallableClassifier(lambda r: r.type_id * 2)
+        assert c.classify(req(type_id=3)) == 6
+
+    def test_none_means_unknown(self):
+        c = CallableClassifier(lambda r: None)
+        assert c.classify(req()) == UNKNOWN_TYPE
+        assert c.unknown == 1
+
+    def test_exception_means_unknown(self):
+        def boom(r):
+            raise RuntimeError("bad parse")
+
+        c = CallableClassifier(boom)
+        assert c.classify(req()) == UNKNOWN_TYPE
+
+
+class TestPartialClassifier:
+    def test_known_types_pass(self):
+        c = PartialClassifier(known_types=[0, 1])
+        assert c.classify(req(type_id=1)) == 1
+
+    def test_unknown_types_flagged(self):
+        c = PartialClassifier(known_types=[0])
+        assert c.classify(req(type_id=5)) == UNKNOWN_TYPE
+        assert c.unknown == 1
+
+
+class TestConfusionClassifier:
+    def test_zero_error_is_oracle(self):
+        c = ConfusionClassifier(0, 1, 0.0, np.random.default_rng(0))
+        assert all(c.classify(req(type_id=t, rid=i)) == t for i, t in enumerate([0, 1, 0]))
+
+    def test_full_error_swaps(self):
+        c = ConfusionClassifier(0, 1, 1.0, np.random.default_rng(0))
+        assert c.classify(req(type_id=0)) == 1
+        assert c.classify(req(type_id=1)) == 0
+
+    def test_asymmetric(self):
+        c = ConfusionClassifier(0, 1, 1.0, np.random.default_rng(0), symmetric=False)
+        assert c.classify(req(type_id=0)) == 1
+        assert c.classify(req(type_id=1)) == 1
+
+    def test_error_rate_statistics(self):
+        c = ConfusionClassifier(0, 1, 0.25, np.random.default_rng(2))
+        flips = sum(
+            1 for i in range(10_000) if c.classify(req(type_id=0, rid=i)) == 1
+        )
+        assert flips == pytest.approx(2500, abs=200)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ClassifierError):
+            ConfusionClassifier(0, 1, 1.5, np.random.default_rng(0))

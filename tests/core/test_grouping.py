@@ -1,0 +1,112 @@
+"""Tests for δ-similarity type grouping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import group_types
+from repro.errors import ConfigurationError
+
+
+class TestGroupTypes:
+    def test_tpcc_grouping_matches_paper(self):
+        # §5.4.3: {Payment, OrderStatus}, {NewOrder}, {Delivery, StockLevel}.
+        entries = [
+            (0, 5.7, 0.44),
+            (1, 6.0, 0.04),
+            (2, 20.0, 0.44),
+            (3, 88.0, 0.04),
+            (4, 100.0, 0.04),
+        ]
+        groups = group_types(entries, delta=2.0)
+        assert [g.type_ids for g in groups] == [[0, 1], [2], [3, 4]]
+
+    def test_delta_one_separates_distinct_times(self):
+        entries = [(0, 1.0, 0.5), (1, 2.0, 0.3), (2, 4.0, 0.2)]
+        groups = group_types(entries, delta=1.0)
+        assert [g.type_ids for g in groups] == [[0], [1], [2]]
+
+    def test_huge_delta_single_group(self):
+        entries = [(0, 1.0, 0.5), (1, 1000.0, 0.5)]
+        groups = group_types(entries, delta=10_000.0)
+        assert len(groups) == 1
+        assert groups[0].type_ids == [0, 1]
+
+    def test_groups_sorted_ascending(self):
+        entries = [(0, 100.0, 0.3), (1, 1.0, 0.7)]
+        groups = group_types(entries, delta=1.5)
+        assert groups[0].type_ids == [1]
+        assert groups[1].type_ids == [0]
+
+    def test_anchor_is_group_minimum(self):
+        # 1, 1.9, 3.5 with delta=2: 1.9 <= 2*1 joins; 3.5 > 2*1 starts new
+        # even though 3.5 <= 2*1.9.
+        entries = [(0, 1.0, 0.4), (1, 1.9, 0.3), (2, 3.5, 0.3)]
+        groups = group_types(entries, delta=2.0)
+        assert [g.type_ids for g in groups] == [[0, 1], [2]]
+
+    def test_demand_contribution(self):
+        entries = [(0, 2.0, 0.5), (1, 3.0, 0.5)]
+        groups = group_types(entries, delta=2.0)
+        assert groups[0].demand_contribution() == pytest.approx(2.5)
+
+    def test_group_mean_service_weighted(self):
+        entries = [(0, 1.0, 0.9), (1, 2.0, 0.1)]
+        group = group_types(entries, delta=2.0)[0]
+        # (1*0.9 + 2*0.1) / 1.0
+        assert group.mean_service() == pytest.approx(1.1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            group_types([(0, 1.0, 1.0)], delta=0.5)
+
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            group_types([(0, 0.0, 1.0)], delta=2.0)
+
+    def test_empty_entries_empty_groups(self):
+        assert group_types([], delta=2.0) == []
+
+
+class TestGroupingProperties:
+    @st.composite
+    def entries(draw):
+        n = draw(st.integers(min_value=1, max_value=12))
+        means = draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=1e4),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        return [(i, m, 1.0 / n) for i, m in enumerate(means)]
+
+    @given(entries=entries(), delta=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_covers_all_types_once(self, entries, delta):
+        groups = group_types(entries, delta)
+        seen = [tid for g in groups for tid in g.type_ids]
+        assert sorted(seen) == sorted(e[0] for e in entries)
+
+    @given(entries=entries(), delta=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_within_group_spread_bounded_by_delta(self, entries, delta):
+        for group in group_types(entries, delta):
+            assert group.max_service <= group.min_service * delta * (1 + 1e-9)
+
+    @given(entries=entries(), delta=st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_groups_ordered_and_demand_conserved(self, entries, delta):
+        groups = group_types(entries, delta)
+        mins = [g.min_service for g in groups]
+        assert mins == sorted(mins)
+        total = sum(g.demand_contribution() for g in groups)
+        expected = sum(m * r for _, m, r in entries)
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    @given(entries=entries())
+    @settings(max_examples=50, deadline=None)
+    def test_larger_delta_never_more_groups(self, entries):
+        small = len(group_types(entries, 1.5))
+        large = len(group_types(entries, 6.0))
+        assert large <= small

@@ -1,0 +1,94 @@
+"""Tests for the workload profiler."""
+
+import pytest
+
+from repro.core.profiler import WorkloadProfiler
+from repro.errors import ConfigurationError
+
+
+class TestWorkloadProfiler:
+    def test_first_sample_sets_ema(self):
+        p = WorkloadProfiler(ema_alpha=0.1)
+        p.observe(0, 5.0)
+        assert p.mean_service(0) == 5.0
+
+    def test_ema_converges_to_new_mean(self):
+        p = WorkloadProfiler(ema_alpha=0.1)
+        p.observe(0, 100.0)
+        for _ in range(200):
+            p.observe(0, 1.0)
+        assert p.mean_service(0) == pytest.approx(1.0, abs=0.01)
+
+    def test_unknown_type_mean_is_none(self):
+        assert WorkloadProfiler().mean_service(9) is None
+
+    def test_window_counts(self):
+        p = WorkloadProfiler()
+        for _ in range(3):
+            p.observe(0, 1.0)
+        p.observe(1, 2.0)
+        assert p.window_samples == 4
+
+    def test_reset_window_clears_counts_keeps_ema(self):
+        p = WorkloadProfiler(ema_alpha=0.5)
+        p.observe(0, 4.0)
+        p.reset_window()
+        assert p.window_samples == 0
+        assert p.windows_closed == 1
+        assert p.mean_service(0) == 4.0
+
+    def test_snapshot_ratios(self):
+        p = WorkloadProfiler()
+        for _ in range(9):
+            p.observe(0, 1.0)
+        p.observe(1, 100.0)
+        snap = p.snapshot()
+        entries = {tid: (mean, ratio) for tid, mean, ratio in snap}
+        assert entries[0][1] == pytest.approx(0.9)
+        assert entries[1][1] == pytest.approx(0.1)
+
+    def test_snapshot_sorted_by_service_time(self):
+        p = WorkloadProfiler()
+        p.observe(5, 100.0)
+        p.observe(2, 1.0)
+        p.observe(9, 10.0)
+        snap = p.snapshot()
+        assert snap.type_ids() == [2, 9, 5]
+
+    def test_snapshot_excludes_types_absent_this_window(self):
+        p = WorkloadProfiler()
+        p.observe(0, 1.0)
+        p.observe(1, 2.0)
+        p.reset_window()
+        p.observe(0, 1.0)
+        snap = p.snapshot()
+        assert snap.type_ids() == [0]
+
+    def test_snapshot_demand_shares(self):
+        p = WorkloadProfiler()
+        # 50/50 mix of 1us and 100us -> shares 0.5/50.5 and 50/50.5 (Eq. 1).
+        for _ in range(10):
+            p.observe(0, 1.0)
+            p.observe(1, 100.0)
+        shares = p.snapshot().demand_shares()
+        assert shares[0] == pytest.approx(0.5 / 50.5, rel=1e-6)
+        assert shares[1] == pytest.approx(50.0 / 50.5, rel=1e-6)
+
+    def test_seed(self):
+        p = WorkloadProfiler()
+        p.seed(3, 42.0, weight=5)
+        assert p.mean_service(3) == 42.0
+        assert p.window_samples == 5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfiler(ema_alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfiler(ema_alpha=1.5)
+
+    def test_snapshot_mean_lookup(self):
+        p = WorkloadProfiler()
+        p.observe(0, 7.0)
+        snap = p.snapshot()
+        assert snap.mean_service(0) == 7.0
+        assert snap.mean_service(1) is None

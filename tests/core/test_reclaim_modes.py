@@ -1,0 +1,136 @@
+"""Unit tests for DARC's completion-reclaim disciplines."""
+
+import pytest
+
+from repro.core.darc import DarcScheduler
+from repro.errors import ConfigurationError
+from repro.workload.presets import tpcc
+from repro.workload.spec import nmodal_spec
+
+from ..conftest import make_harness
+
+# Three well-separated types so each gets its own group (delta default 2).
+TRI = nmodal_spec("tri", [("FAST", 1.0, 0.3), ("MID", 10.0, 0.4), ("SLOW", 100.0, 0.3)])
+TRI_SPECS = TRI.type_specs()
+
+
+def darc(reclaim, n_workers=6):
+    scheduler = DarcScheduler(
+        profile=False, type_specs=TRI_SPECS, reclaim=reclaim
+    )
+    return make_harness(scheduler, n_workers=n_workers)
+
+
+class TestReclaimValidation:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DarcScheduler(profile=False, type_specs=TRI_SPECS, reclaim="sometimes")
+
+    def test_default_is_urgent(self):
+        scheduler = DarcScheduler(profile=False, type_specs=TRI_SPECS)
+        assert scheduler.reclaim == "urgent"
+
+
+class TestOwnerMode:
+    def test_stolen_core_reverts_to_owner(self):
+        h = darc("owner")
+        slow_alloc = h.scheduler.reservation.group_for_type(2)
+        slow_worker = slow_alloc.reserved[0]
+        # A fast request steals the idle slow worker...
+        # First fill FAST's own core(s).
+        fast_alloc = h.scheduler.reservation.group_for_type(0)
+        for _ in range(len(fast_alloc.reserved)):
+            h.submit(0, 1.0)
+        thief = h.submit(0, 1.0)
+        # Queue work for both FAST and SLOW while the thief runs.
+        queued_fast = h.submit(0, 1.0, at=0.5)
+        queued_slow = h.submit(2, 100.0, at=0.5)
+        h.run()
+        # When the thief's worker (if it stole slow's) completes, the
+        # owner's queued SLOW work gets it, not the queued FAST.
+        if thief.worker_id == slow_worker:
+            assert queued_slow.first_service_time <= queued_fast.first_service_time + 1.0
+
+    def test_owner_first_never_starves_owner(self):
+        h = darc("owner")
+        # Saturate MID so it wants to steal SLOW's workers at every
+        # completion; SLOW work must still run on SLOW's own cores.
+        for i in range(30):
+            h.submit(1, 10.0, at=float(i) * 0.1)
+        slow = h.submit(2, 100.0, at=1.0)
+        h.run()
+        slow_alloc = h.scheduler.reservation.group_for_type(2)
+        assert slow.worker_id in slow_alloc.reserved
+        # SLOW never waited for the whole MID backlog.
+        assert slow.waiting_time < 100.0
+
+
+class TestPriorityMode:
+    def test_shorter_group_wins_freed_core(self):
+        h = darc("priority")
+        slow_alloc = h.scheduler.reservation.group_for_type(2)
+        # Occupy every worker with SLOW requests.
+        for _ in range(6):
+            h.submit(2, 10.0)
+        queued_slow = h.submit(2, 10.0)
+        queued_fast = h.submit(0, 1.0, at=5.0)
+        h.run()
+        # At the first completion the FAST request wins, everywhere.
+        assert queued_fast.first_service_time < queued_slow.first_service_time
+
+
+class TestUrgentMode:
+    def _saturate(self, h):
+        """Occupy all six workers until t=10 (FAST core via a long FAST,
+        MID core + SLOW's four stealable cores via MID requests)."""
+        h.submit(0, 10.0)            # worker 0 (FAST reserved)
+        for _ in range(5):
+            h.submit(1, 10.0)        # workers 1-5 (MID reserved + steals)
+
+    def test_fresh_short_defers_to_owner(self):
+        h = darc("urgent")
+        self._saturate(h)
+        queued_mid = h.submit(1, 10.0, at=0.5)
+        # FAST arrives just before the completions at t=10.
+        fast = h.submit(0, 1.0, at=9.9995)
+        h.run()
+        # At the first completion FAST has waited 0.0005us < its 1us
+        # mean: the MID owner reclaims its core and the queued MID runs.
+        assert queued_mid.first_service_time == pytest.approx(10.0)
+
+    def test_delayed_short_overrides_owner(self):
+        h = darc("urgent")
+        self._saturate(h)
+        queued_mid = h.submit(1, 10.0, at=0.5)
+        fast = h.submit(0, 1.0, at=2.0)  # will wait 8us >> 1us mean
+        h.run()
+        # By the first completion (t=10) FAST is long overdue: it wins a
+        # core even over the owner's queued work...
+        assert fast.first_service_time == pytest.approx(10.0)
+        # ...while the owner's work takes another freed core at the same
+        # instant (five workers complete at t=10).
+        assert queued_mid.first_service_time == pytest.approx(10.0)
+
+
+class TestTpccRegression:
+    def test_urgent_protects_longest_group(self):
+        """Regression guard for the TPC-C starvation bug: under load,
+        Delivery/StockLevel must keep their reserved cores' capacity."""
+        spec = tpcc()
+        scheduler = DarcScheduler(profile=False, type_specs=spec.type_specs())
+        h = make_harness(scheduler, n_workers=14)
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        t = 0.0
+        rate = 0.85 * spec.peak_load(14)
+        for i in range(8000):
+            t += float(rng.exponential(1.0 / rate))
+            tid = spec.sample_type(rng)
+            h.submit(tid, spec.classes[tid].distribution.mean(), at=t)
+        h.run()
+        cols = h.recorder.columns()
+        stock = cols.for_type(4)
+        import numpy as np
+
+        assert np.percentile(stock.slowdowns, 99) < 30.0

@@ -1,0 +1,72 @@
+"""Tests for DARC-static (§5.3)."""
+
+import pytest
+
+from repro.core.static import DarcStatic
+from repro.errors import ConfigurationError
+from repro.workload.presets import high_bimodal
+
+from ..conftest import make_harness
+
+HB_SPECS = high_bimodal().type_specs()
+
+
+class TestDarcStatic:
+    def test_invalid_reserved(self):
+        with pytest.raises(ConfigurationError):
+            DarcStatic(HB_SPECS, n_reserved=-1)
+
+    def test_reserving_all_workers_raises_at_bind(self):
+        with pytest.raises(ConfigurationError):
+            make_harness(DarcStatic(HB_SPECS, n_reserved=4), n_workers=4)
+
+    def test_reserved_core_never_serves_longs(self):
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=2), n_workers=4)
+        for _ in range(20):
+            h.submit(1, 100.0)
+        h.run()
+        assert h.workers[0].completed == 0
+        assert h.workers[1].completed == 0
+
+    def test_short_can_use_every_core(self):
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=1), n_workers=4)
+        for _ in range(4):
+            h.submit(0, 1.0)
+        h.run()
+        assert h.loop.now == pytest.approx(1.0)  # all four in parallel
+
+    def test_short_protected_from_long_burst(self):
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=1), n_workers=4)
+        for _ in range(10):
+            h.submit(1, 100.0)
+        short = h.submit(0, 1.0)
+        h.run()
+        assert short.latency == pytest.approx(1.0)
+
+    def test_zero_reserved_is_fixed_priority(self):
+        # With 0 reserved cores, a short can be blocked behind longs on
+        # every core -- plain FP behaviour.
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=0), n_workers=2)
+        h.submit(1, 100.0)
+        h.submit(1, 100.0)
+        short = h.submit(0, 1.0)
+        h.run()
+        assert short.latency > 50.0
+
+    def test_priority_order_on_free_worker(self):
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=1), n_workers=2)
+        h.submit(1, 100.0)  # occupies the shared worker
+        long_req = h.submit(1, 100.0)
+        short_req = h.submit(0, 1.0)
+        h.run()
+        # The short was served on the reserved worker right away; the
+        # queued long waited for the shared worker.
+        assert short_req.finish_time < long_req.finish_time
+
+    def test_fifo_within_type(self):
+        h = make_harness(DarcStatic(HB_SPECS, n_reserved=1), n_workers=2)
+        first = h.submit(1, 10.0, at=0.0)
+        second = h.submit(1, 10.0, at=0.5)
+        third = h.submit(1, 10.0, at=1.0)
+        h.run()
+        assert first.finish_time < second.finish_time < third.finish_time

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["tables"])
+        assert args.experiment == "tables"
+        assert args.n_requests == 40_000
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["figure1", "--quick"])
+        assert args.quick
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_registry_covers_every_figure(self):
+        expected = {f"figure{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10)}
+        assert expected <= set(EXPERIMENTS)
+        assert "tables" in EXPERIMENTS
+
+
+class TestMain:
+    def test_tables_runs(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "DARC" in out
+
+    def test_figure_runs_quick(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        assert main(["figure3", "--quick", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_csv_export(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        assert main(["figure3", "--quick", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        data = (tmp_path / "figure3.csv").read_text()
+        assert data.startswith("system,")
+        assert "Persephone" in data or "DARC" in data
+        assert (tmp_path / "figure3_findings.csv").exists()
+
+    def test_csv_export_multi_figure(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        assert main(["figure5", "--quick", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "figure5_high_bimodal.csv").exists()
+        assert (tmp_path / "figure5_extreme_bimodal.csv").exists()

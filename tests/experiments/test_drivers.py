@@ -1,0 +1,96 @@
+"""Unit tests for figure-driver internals (system choices, parameters)."""
+
+import pytest
+
+from repro.experiments import figure1, figure5, figure6, figure7, figure8, figure10
+from repro.policies.timesharing import TimeSharing
+from repro.sim.randomness import RngRegistry
+from repro.workload.presets import extreme_bimodal, high_bimodal
+
+RNGS = RngRegistry(seed=0)
+
+
+class TestFigure1Systems:
+    def test_sixteen_workers_everywhere(self):
+        for system in figure1.default_systems():
+            assert system.n_workers == 16
+
+    def test_ts_is_demand_triggered_multiqueue(self):
+        systems = {s.name: s for s in figure1.default_systems()}
+        ts = systems["TS (5us, 1us)"]
+        scheduler = ts.make_scheduler(extreme_bimodal(), RNGS)
+        assert isinstance(scheduler, TimeSharing)
+        assert scheduler.trigger == "demand"
+        assert scheduler.mode == "multi"
+        assert scheduler.preempt_overhead_us == 1.0
+        assert scheduler.preempt_delay_us == 0.0
+
+    def test_darc_is_oracle(self):
+        systems = {s.name: s for s in figure1.default_systems()}
+        scheduler = systems["DARC"].make_scheduler(extreme_bimodal(), RNGS)
+        assert not scheduler.profile_enabled
+
+
+class TestFigure5Systems:
+    def test_shinjuku_queue_policy_per_workload(self):
+        # §5.4: multi-queue for High Bimodal, single-queue for Extreme.
+        high = {s.name: s for s in figure5.systems_for("high_bimodal")}
+        extreme = {s.name: s for s in figure5.systems_for("extreme_bimodal")}
+        assert high["Shinjuku"].mode == "multi"
+        assert extreme["Shinjuku"].mode == "single"
+
+    def test_quantum_is_5us(self):
+        for workload in ("high_bimodal", "extreme_bimodal"):
+            systems = {s.name: s for s in figure5.systems_for(workload)}
+            assert systems["Shinjuku"].quantum_us == 5.0
+
+    def test_persephone_is_profiled(self):
+        systems = {s.name: s for s in figure5.systems_for("high_bimodal")}
+        scheduler = systems["Persephone"].make_scheduler(high_bimodal(), RNGS)
+        assert scheduler.profile_enabled
+
+
+class TestFigure6And8Tuning:
+    def test_tpcc_uses_10us_quantum(self):
+        systems = {s.name: s for s in figure6.default_systems()}
+        assert systems["Shinjuku"].quantum_us == 10.0
+        assert systems["Shinjuku"].mode == "multi"
+
+    def test_rocksdb_uses_15us_quantum(self):
+        systems = {s.name: s for s in figure8.default_systems()}
+        assert systems["Shinjuku"].quantum_us == 15.0
+
+
+class TestFigure7Phases:
+    def test_four_phases_at_80_percent(self):
+        phases = figure7.default_phases()
+        assert len(phases) == 4
+        assert all(p.utilization == 0.80 for p in phases)
+
+    def test_phase_semantics(self):
+        phases = figure7.default_phases()
+        # Phase 1: A long, B short.
+        p1 = {c.name: c.distribution.mean() for c in phases[0].spec.classes}
+        assert p1["A"] > p1["B"]
+        # Phase 2: inverted.
+        p2 = {c.name: c.distribution.mean() for c in phases[1].spec.classes}
+        assert p2["A"] < p2["B"]
+        # Phase 3: 99.5% A.
+        ratios3 = {c.name: c.ratio for c in phases[2].spec.classes}
+        assert ratios3["A"] == pytest.approx(0.995)
+        # Phase 4: only A.
+        assert phases[3].spec.n_types == 1
+
+
+class TestFigure10Variants:
+    def test_costs_split_half_half(self):
+        systems = {s.name: s for s in figure10.default_systems()}
+        assert systems["TS 0us"].preempt_delay_us == 0.0
+        assert systems["TS 0us"].preempt_overhead_us == 0.0
+        assert systems["TS 4us"].preempt_delay_us == 2.0
+        assert systems["TS 4us"].preempt_overhead_us == 2.0
+
+    def test_all_demand_triggered(self):
+        for system in figure10.default_systems():
+            if system.name.startswith("TS"):
+                assert system.trigger == "demand"

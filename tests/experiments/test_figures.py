@@ -1,0 +1,134 @@
+"""Smoke tests for each figure driver at tiny scale.
+
+These verify the drivers run end-to-end, produce the expected structure,
+and render; the quantitative reproduction happens in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    tables,
+)
+
+SMALL = dict(n_requests=2_000, seed=3)
+LOADS = (0.3, 0.7)
+
+
+class TestFigure1:
+    def test_runs_and_renders(self):
+        result = figure1.run(utilizations=LOADS, **SMALL)
+        assert set(result.sweeps) == {"d-FCFS", "c-FCFS", "TS (5us, 1us)", "DARC"}
+        text = figure1.render(result)
+        assert "DARC" in text
+
+    def test_capacity_findings_present(self):
+        result = figure1.run(utilizations=LOADS, **SMALL)
+        assert any("capacity@10x" in k for k in result.findings)
+
+
+class TestFigure3:
+    def test_structure(self):
+        result = figure3.run(utilizations=LOADS, **SMALL)
+        assert set(result.sweeps) == {"d-FCFS", "c-FCFS", "DARC"}
+        assert "Figure 3" in figure3.render(result)
+
+
+class TestFigure4:
+    def test_sweep_and_best(self):
+        result = figure4.run(
+            reserved_counts=(0, 1, 2), utilization=0.9, **SMALL
+        )
+        assert set(result.sweeps) == {"high_bimodal", "extreme_bimodal"}
+        best = result.best_reserved("high_bimodal")
+        assert best in (0, 1, 2)
+        assert "Figure 4" in result.render()
+
+    def test_reserved_equal_to_workers_skipped(self):
+        result = figure4.run(reserved_counts=(0, 14, 20), utilization=0.5, **SMALL)
+        assert set(result.sweeps["high_bimodal"]) == {0}
+
+
+class TestFigure5:
+    def test_both_subfigures(self):
+        results = figure5.run(utilizations=LOADS, **SMALL)
+        assert set(results) == {"high_bimodal", "extreme_bimodal"}
+        for result in results.values():
+            assert set(result.sweeps) == {"Shenango", "Shinjuku", "Persephone"}
+        assert "Figure 5" in figure5.render(results)
+
+
+class TestFigure6:
+    def test_tpcc_structure(self):
+        result = figure6.run(utilizations=LOADS, **SMALL)
+        text = figure6.render(result)
+        for txn in ("Payment", "OrderStatus", "NewOrder", "Delivery", "StockLevel"):
+            assert txn in text
+
+
+class TestFigure7:
+    def test_phases_and_alloc_series(self):
+        phases = figure7.default_phases(phase_us=8_000.0)
+        result = figure7.run(phases=phases, seed=3, window_us=2_000.0)
+        assert set(result.latency_series) == {"c-FCFS", "DARC"}
+        assert "DARC" in result.alloc_series
+        assert result.reservation_updates["DARC"] >= 1
+        assert "Figure 7" in result.render()
+
+
+class TestFigure8:
+    def test_rocksdb_structure(self):
+        result = figure8.run(utilizations=LOADS, **SMALL)
+        assert "DARC reserved cores for GET" in result.findings
+        assert "Figure 8" in figure8.render(result)
+
+
+class TestFigure9:
+    def test_random_classifier_structure(self):
+        result = figure9.run(utilizations=LOADS, **SMALL)
+        assert set(result.sweeps) == {"c-FCFS", "DARC", "DARC-random"}
+        assert "Figure 9" in figure9.render(result)
+
+
+class TestFigure10:
+    def test_variants_present(self):
+        result = figure10.run(utilizations=LOADS, **SMALL)
+        assert set(result.sweeps) == {"TS 0us", "TS 1us", "TS 2us", "TS 4us", "DARC"}
+        assert "Figure 10" in figure10.render(result)
+
+
+class TestTables:
+    def test_table1(self):
+        rows = tables.table1_rows()
+        assert [r[0] for r in rows] == ["d-FCFS", "c-FCFS", "TS", "DARC"]
+        darc = rows[-1]
+        assert darc[1] and darc[2] and darc[3]  # typed, non-WC, non-preempt
+
+    def test_table3_matches_paper(self):
+        rows = {r[0]: r for r in tables.table3_rows()}
+        assert rows["high_bimodal"][5] == pytest.approx(100.0)
+        assert rows["extreme_bimodal"][5] == pytest.approx(1000.0)
+
+    def test_table4_dispersion_column(self):
+        rows = tables.table4_rows()
+        assert rows[-1][0] == "StockLevel"
+        assert rows[-1][3] == pytest.approx(100.0 / 5.7)
+
+    def test_table5_has_darc_row(self):
+        rows = tables.table5_rows()
+        names = [r[0] for r in rows]
+        assert "DARC" in names and "CSCQ" in names
+
+    def test_render_all(self):
+        text = tables.render_all()
+        assert "Table 1" in text and "Table 5" in text

@@ -1,0 +1,65 @@
+"""Tests for the FigureResult container."""
+
+import math
+
+from repro.experiments.results import FigureResult
+
+
+class FakeSummary:
+    def __init__(self, slowdown, drop_rate=0.0):
+        self.overall_tail_slowdown = slowdown
+        self.drop_rate = drop_rate
+        self.pct = 99.9
+
+
+class FakeResult:
+    def __init__(self, utilization, slowdown):
+        self.utilization = utilization
+        self.summary = FakeSummary(slowdown)
+
+
+def metric(result):
+    return result.summary.overall_tail_slowdown
+
+
+def build():
+    result = FigureResult("Figure X", [0.2, 0.5, 0.8])
+    result.add_sweep("A", [FakeResult(0.2, 1.0), FakeResult(0.5, 2.0), FakeResult(0.8, 50.0)])
+    result.add_sweep("B", [FakeResult(0.2, 1.0), FakeResult(0.5, 20.0), FakeResult(0.8, 90.0)])
+    return result
+
+
+class TestFigureResult:
+    def test_series(self):
+        series = build().series(metric)
+        assert series["A"] == [1.0, 2.0, 50.0]
+        assert series["B"] == [1.0, 20.0, 90.0]
+
+    def test_capacities(self):
+        caps = build().capacities(10.0, metric)
+        assert caps["A"] == 0.5
+        assert caps["B"] == 0.2
+
+    def test_render_metric(self):
+        text = build().render_metric(metric, "slowdown (x)")
+        assert "Figure X" in text
+        assert "A" in text and "B" in text
+        assert "50.0" in text
+
+    def test_render_findings_empty(self):
+        result = FigureResult("F", [0.5])
+        assert result.render_findings() == ""
+
+    def test_render_findings_formats_floats(self):
+        result = build()
+        result.findings["ratio"] = 2.5
+        result.findings["note"] = 7
+        text = result.render_findings()
+        assert "ratio = 2.50" in text
+        assert "note = 7" in text
+
+    def test_uneven_sweep_lengths_render(self):
+        result = FigureResult("F", [0.2, 0.5])
+        result.add_sweep("short", [FakeResult(0.2, 1.0)])
+        text = result.render_metric(metric, "x")
+        assert "-" in text  # padded with NaN cell

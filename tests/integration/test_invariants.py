@@ -1,0 +1,138 @@
+"""Property-based invariants over whole simulations.
+
+Hypothesis drives random (workload, load, policy) combinations through
+short runs and asserts structural invariants every correct scheduler must
+satisfy: conservation (nothing lost), causality (no service before
+arrival), per-worker serialization, and FIFO within a type for the
+non-preemptive FIFO-ordered policies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.darc import DarcScheduler
+from repro.core.static import DarcStatic
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
+from repro.policies.timesharing import TimeSharing
+from repro.policies.typed import FixedPriority
+from repro.server.worker import Worker
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+from repro.workload.spec import bimodal_spec
+
+SPEC = bimodal_spec("inv", 1.0, 0.5, 50.0)
+TYPE_SPECS = SPEC.type_specs()
+
+
+def policy_factory(name, rng):
+    if name == "cfcfs":
+        return CentralizedFCFS()
+    if name == "dfcfs":
+        return DecentralizedFCFS(steering="random", rng=rng)
+    if name == "ws":
+        return WorkStealingFCFS(steering="random", rng=rng, steal_cost_us=0.1)
+    if name == "fp":
+        return FixedPriority(TYPE_SPECS)
+    if name == "ts":
+        return TimeSharing(quantum_us=5.0, preempt_overhead_us=0.5, mode="single")
+    if name == "darc":
+        return DarcScheduler(profile=False, type_specs=TYPE_SPECS)
+    if name == "darc-static":
+        return DarcStatic(TYPE_SPECS, n_reserved=1)
+    raise ValueError(name)
+
+
+POLICIES = ["cfcfs", "dfcfs", "ws", "fp", "ts", "darc", "darc-static"]
+
+
+def run_random_workload(policy_name, n_workers, n_requests, seed):
+    rng = np.random.default_rng(seed)
+    loop = EventLoop()
+    scheduler = policy_factory(policy_name, rng)
+    workers = [Worker(i) for i in range(n_workers)]
+    recorder = Recorder()
+    scheduler.bind(loop, workers, recorder.on_complete, recorder.on_drop)
+    requests = []
+    t = 0.0
+    for rid in range(n_requests):
+        t += float(rng.exponential(3.0))
+        tid = int(rng.random() < 0.3)
+        service = 1.0 if tid == 0 else 50.0
+        req = Request(rid, tid, t, service)
+        requests.append(req)
+        loop.call_at(t, scheduler.on_request, req)
+    loop.run()
+    return requests, recorder, workers, loop
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    n_workers=st.integers(min_value=2, max_value=8),
+    n_requests=st.integers(min_value=5, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_conservation_every_request_completes(policy, n_workers, n_requests, seed):
+    requests, recorder, _, _ = run_random_workload(policy, n_workers, n_requests, seed)
+    assert recorder.completed + recorder.dropped == n_requests
+    for req in requests:
+        assert req.completed or req.dropped
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    n_workers=st.integers(min_value=2, max_value=8),
+    n_requests=st.integers(min_value=5, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_causality_and_minimum_service(policy, n_workers, n_requests, seed):
+    requests, _, _, _ = run_random_workload(policy, n_workers, n_requests, seed)
+    for req in requests:
+        if not req.completed:
+            continue
+        assert req.first_service_time >= req.arrival_time - 1e-9
+        # No request finishes before arrival + pure service time.
+        assert req.finish_time >= req.arrival_time + req.service_time - 1e-9
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_work_accounting_matches_busy_time(policy, seed):
+    requests, recorder, workers, loop = run_random_workload(policy, 4, 40, seed)
+    total_busy = sum(w.total_busy_time for w in workers)
+    completed_service = sum(r.service_time for r in requests if r.completed)
+    completed_overhead = sum(r.overhead_time for r in requests if r.completed)
+    assert total_busy == pytest.approx(completed_service + completed_overhead, rel=1e-6)
+
+
+@given(
+    policy=st.sampled_from(["cfcfs", "fp", "darc", "darc-static"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_fifo_within_type(policy, seed):
+    requests, _, _, _ = run_random_workload(policy, 3, 50, seed)
+    for tid in (0, 1):
+        same = [r for r in requests if r.type_id == tid and r.completed]
+        starts = [r.first_service_time for r in same]
+        assert starts == sorted(starts)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_darc_shorts_never_wait_behind_longs_when_reserved_free(seed):
+    # The defining DARC guarantee: a short request arriving when the
+    # short-reserved worker is free starts immediately.
+    requests, _, workers, _ = run_random_workload("darc", 4, 50, seed)
+    shorts = [r for r in requests if r.type_id == 0 and r.completed]
+    # At least the first short must start instantly (system empty).
+    if shorts:
+        first = min(shorts, key=lambda r: r.arrival_time)
+        assert first.waiting_time == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,165 @@
+"""Metamorphic properties of the simulation.
+
+These tests exploit transformations with known effects:
+
+* **Time rescaling** — multiplying every service time and inter-arrival
+  gap by the same constant multiplies every latency by that constant
+  (and leaves slowdowns untouched).  Catches any hidden absolute-time
+  constant in the scheduling path.
+* **Worker monotonicity** — adding workers at fixed arrival rate never
+  increases total completion time of a fixed batch under work-conserving
+  policies.
+* **Load monotonicity in expectation** — thinning arrivals (dropping
+  every other request) cannot make the survivors slower under FCFS.
+* **Permutation invariance** — DARC's reservation depends on the type
+  *profile*, not the order types are listed in.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.darc import DarcScheduler
+from repro.core.reservation import compute_reservation
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS
+from repro.policies.typed import FixedPriority
+from repro.server.worker import Worker
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+from repro.workload.spec import bimodal_spec
+
+
+def simulate(policy_factory, arrivals, n_workers):
+    """arrivals: list of (time, type_id, service)."""
+    loop = EventLoop()
+    scheduler = policy_factory()
+    workers = [Worker(i) for i in range(n_workers)]
+    recorder = Recorder()
+    scheduler.bind(loop, workers, recorder.on_complete, recorder.on_drop)
+    for rid, (t, tid, s) in enumerate(arrivals):
+        loop.call_at(t, scheduler.on_request, Request(rid, tid, t, s))
+    loop.run()
+    return recorder.columns()
+
+
+def random_arrivals(seed, n=80, short=1.0, long=50.0):
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += float(rng.exponential(4.0))
+        tid = int(rng.random() < 0.3)
+        out.append((t, tid, short if tid == 0 else long))
+    return out
+
+
+SPEC = bimodal_spec("meta", 1.0, 0.7, 50.0)
+TYPE_SPECS = SPEC.type_specs()
+
+
+def scaled_type_specs(scale):
+    """Type profiles for a time-rescaled world: the oracle's knowledge
+    must scale with the workload or urgency thresholds break the
+    symmetry (correctly — they are absolute-time quantities)."""
+    spec = bimodal_spec("meta-scaled", 1.0 * scale, 0.7, 50.0 * scale)
+    return spec.type_specs()
+
+
+POLICY_FACTORIES = {
+    "cfcfs": lambda scale=1.0: CentralizedFCFS(),
+    "fp": lambda scale=1.0: FixedPriority(scaled_type_specs(scale)),
+    "darc": lambda scale=1.0: DarcScheduler(
+        profile=False, type_specs=scaled_type_specs(scale)
+    ),
+}
+
+
+class TestTimeRescaling:
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    @pytest.mark.parametrize("scale", [0.5, 3.0])
+    def test_latencies_scale_linearly(self, policy, scale):
+        arrivals = random_arrivals(seed=7)
+        base = simulate(lambda: POLICY_FACTORIES[policy](1.0), arrivals, n_workers=3)
+        scaled_arrivals = [(t * scale, tid, s * scale) for t, tid, s in arrivals]
+        scaled = simulate(
+            lambda: POLICY_FACTORIES[policy](scale), scaled_arrivals, n_workers=3
+        )
+        assert np.allclose(scaled.latencies, base.latencies * scale, rtol=1e-9)
+
+    @pytest.mark.parametrize("policy", sorted(POLICY_FACTORIES))
+    def test_slowdowns_invariant_under_rescaling(self, policy):
+        arrivals = random_arrivals(seed=11)
+        base = simulate(lambda: POLICY_FACTORIES[policy](1.0), arrivals, n_workers=3)
+        scaled_arrivals = [(t * 10, tid, s * 10) for t, tid, s in arrivals]
+        scaled = simulate(
+            lambda: POLICY_FACTORIES[policy](10.0), scaled_arrivals, n_workers=3
+        )
+        assert np.allclose(scaled.slowdowns, base.slowdowns, rtol=1e-9)
+
+
+class TestWorkerMonotonicity:
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_more_workers_never_later_makespan_cfcfs(self, seed):
+        arrivals = random_arrivals(seed=seed, n=50)
+        small = simulate(POLICY_FACTORIES["cfcfs"], arrivals, n_workers=2)
+        large = simulate(POLICY_FACTORIES["cfcfs"], arrivals, n_workers=4)
+        assert large.finishes.max() <= small.finishes.max() + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_more_workers_never_increase_mean_latency_cfcfs(self, seed):
+        arrivals = random_arrivals(seed=seed, n=50)
+        small = simulate(POLICY_FACTORIES["cfcfs"], arrivals, n_workers=2)
+        large = simulate(POLICY_FACTORIES["cfcfs"], arrivals, n_workers=6)
+        assert large.latencies.mean() <= small.latencies.mean() + 1e-9
+
+
+class TestThinning:
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_removing_requests_never_slows_survivors_cfcfs(self, seed):
+        arrivals = random_arrivals(seed=seed, n=60)
+        full = simulate(POLICY_FACTORIES["cfcfs"], arrivals, n_workers=2)
+        survivors = arrivals[::2]
+        thin = simulate(POLICY_FACTORIES["cfcfs"], survivors, n_workers=2)
+        # Completion order differs between runs: key latencies by the
+        # (unique) arrival times.
+        full_by_arrival = dict(zip(full.arrivals.tolist(), full.latencies.tolist()))
+        thin_by_arrival = dict(zip(thin.arrivals.tolist(), thin.latencies.tolist()))
+        for t, _, _ in survivors:
+            assert thin_by_arrival[t] <= full_by_arrival[t] + 1e-9
+
+
+class TestReservationPermutation:
+    @given(
+        means=st.lists(
+            st.floats(min_value=0.1, max_value=1000.0), min_size=2, max_size=6,
+            unique=True,
+        ),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_entry_order_irrelevant(self, means, seed):
+        rng = np.random.default_rng(seed)
+        ratios = rng.dirichlet(np.ones(len(means)))
+        entries = [(i, m, float(r)) for i, (m, r) in enumerate(zip(means, ratios))]
+        base = compute_reservation(entries, n_workers=8)
+        shuffled = list(entries)
+        rng.shuffle(shuffled)
+        other = compute_reservation(shuffled, n_workers=8)
+        assert base.reserved_counts() == other.reserved_counts()
+
+    @given(scale=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_reservation_scale_invariant(self, scale):
+        # Eq. 1 is a ratio: scaling every service time identically must
+        # not change the allocation.
+        entries = [(0, 1.0, 0.5), (1, 100.0, 0.5)]
+        scaled = [(tid, m * scale, r) for tid, m, r in entries]
+        assert (
+            compute_reservation(entries, 14).reserved_counts()
+            == compute_reservation(scaled, 14).reserved_counts()
+        )

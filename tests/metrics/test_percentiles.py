@@ -1,0 +1,96 @@
+"""Tests for percentile utilities, including the P² estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.percentiles import (
+    P2Quantile,
+    p999,
+    percentile,
+    percentile_profile,
+    tail_credible,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_p999_of_uniform(self):
+        values = np.arange(10_000, dtype=float)
+        assert p999(values) == pytest.approx(9989, abs=2)
+
+    def test_empty_returns_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    def test_profile(self):
+        prof = percentile_profile(np.arange(1000, dtype=float))
+        assert prof[50] == pytest.approx(499.5)
+        assert prof[99.9] > prof[99] > prof[90]
+
+    def test_profile_empty(self):
+        prof = percentile_profile([])
+        assert all(math.isnan(v) for v in prof.values())
+
+
+class TestTailCredible:
+    def test_enough_samples(self):
+        assert tail_credible(100_000, 99.9)
+
+    def test_too_few(self):
+        assert not tail_credible(500, 99.9)
+
+    def test_threshold_boundary(self):
+        # 10_000 samples at p99.9 leave exactly 10 tail points.
+        assert tail_credible(10_000, 99.9, min_tail=10)
+        assert not tail_credible(9_999, 99.9, min_tail=10)
+
+
+class TestP2Quantile:
+    def test_median_estimate_converges(self):
+        rng = np.random.default_rng(0)
+        est = P2Quantile(0.5)
+        samples = rng.normal(10.0, 2.0, 50_000)
+        for x in samples:
+            est.update(float(x))
+        assert est.value() == pytest.approx(10.0, abs=0.1)
+
+    def test_p99_estimate_converges(self):
+        rng = np.random.default_rng(1)
+        est = P2Quantile(0.99)
+        samples = rng.exponential(1.0, 100_000)
+        for x in samples:
+            est.update(float(x))
+        exact = np.percentile(samples, 99)
+        assert est.value() == pytest.approx(exact, rel=0.1)
+
+    def test_few_samples_fall_back_to_exact(self):
+        est = P2Quantile(0.5)
+        for x in [3.0, 1.0, 2.0]:
+            est.update(x)
+        assert est.value() == 2.0
+
+    def test_no_samples_nan(self):
+        assert math.isnan(P2Quantile(0.9).value())
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=6, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_within_range(self, values):
+        est = P2Quantile(0.9)
+        for x in values:
+            est.update(x)
+        assert min(values) <= est.value() <= max(values)

@@ -1,0 +1,78 @@
+"""Tests for the recorder and completion columns."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.recorder import Recorder
+from repro.workload.request import Request
+
+
+def finished(rid, type_id, arrival, service, finish, first_service=None, preempts=0):
+    r = Request(rid, type_id, arrival, service)
+    r.first_service_time = first_service if first_service is not None else arrival
+    r.finish_time = finish
+    r.preemption_count = preempts
+    return r
+
+
+class TestRecorder:
+    def test_records_completions(self):
+        rec = Recorder()
+        rec.on_complete(finished(0, 0, 0.0, 1.0, 2.0))
+        rec.on_complete(finished(1, 1, 1.0, 10.0, 20.0))
+        assert rec.completed == 2
+        cols = rec.columns()
+        assert list(cols.latencies) == [2.0, 19.0]
+
+    def test_records_drops_by_type(self):
+        rec = Recorder()
+        rec.on_drop(Request(0, 3, 0.0, 1.0))
+        rec.on_drop(Request(1, 3, 0.0, 1.0))
+        rec.on_drop(Request(2, 5, 0.0, 1.0))
+        assert rec.dropped == 3
+        assert rec.dropped_by_type == {3: 2, 5: 1}
+
+    def test_wait_column(self):
+        rec = Recorder()
+        rec.on_complete(finished(0, 0, 0.0, 1.0, 6.0, first_service=5.0))
+        assert rec.columns().waits[0] == pytest.approx(5.0)
+
+
+class TestCompletionColumns:
+    def build(self):
+        rec = Recorder()
+        for i in range(10):
+            tid = i % 2
+            rec.on_complete(finished(i, tid, float(i), 1.0, float(i) + 1 + tid))
+        return rec.columns()
+
+    def test_slowdowns(self):
+        cols = self.build()
+        slow = cols.slowdowns
+        assert slow.min() == pytest.approx(1.0)
+        assert slow.max() == pytest.approx(2.0)
+
+    def test_for_type_filters(self):
+        cols = self.build()
+        t1 = cols.for_type(1)
+        assert len(t1) == 5
+        assert np.all(t1.type_ids == 1)
+
+    def test_after_warmup_drops_earliest(self):
+        cols = self.build()
+        trimmed = cols.after_warmup(0.2)
+        assert len(trimmed) == 8
+        assert trimmed.arrivals.min() == 2.0
+
+    def test_after_warmup_zero_noop(self):
+        cols = self.build()
+        assert len(cols.after_warmup(0.0)) == len(cols)
+
+    def test_after_warmup_invalid(self):
+        with pytest.raises(ValueError):
+            self.build().after_warmup(1.0)
+
+    def test_empty_columns(self):
+        cols = Recorder().columns()
+        assert len(cols) == 0
+        assert len(cols.after_warmup(0.5)) == 0

@@ -1,0 +1,95 @@
+"""Tests for run summaries."""
+
+import math
+
+import pytest
+
+from repro.metrics.recorder import Recorder
+from repro.metrics.summary import RunSummary
+from repro.workload.presets import high_bimodal
+from repro.workload.request import Request
+
+
+def fill_recorder(n_short=100, n_long=100, short_slow=2.0, long_slow=1.1):
+    rec = Recorder()
+    rid = 0
+    for i in range(n_short):
+        r = Request(rid, 0, float(i), 1.0)
+        r.first_service_time = r.arrival_time
+        r.finish_time = r.arrival_time + 1.0 * short_slow
+        rec.on_complete(r)
+        rid += 1
+    for i in range(n_long):
+        r = Request(rid, 1, float(i) + 0.5, 100.0)
+        r.first_service_time = r.arrival_time
+        r.finish_time = r.arrival_time + 100.0 * long_slow
+        rec.on_complete(r)
+        rid += 1
+    return rec
+
+
+class TestRunSummary:
+    def test_per_type_breakdown(self):
+        rec = fill_recorder()
+        summary = RunSummary(rec, duration_us=1000.0,
+                             type_specs=high_bimodal().type_specs(),
+                             warmup_frac=0.0)
+        assert summary.per_type[0].name == "SHORT"
+        assert summary.per_type[0].tail_slowdown == pytest.approx(2.0)
+        assert summary.per_type[1].tail_slowdown == pytest.approx(1.1)
+
+    def test_overall_slowdown_dominated_by_shorts(self):
+        rec = fill_recorder(short_slow=50.0)
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        assert summary.overall_tail_slowdown == pytest.approx(50.0)
+
+    def test_max_typed_slowdown(self):
+        rec = fill_recorder(short_slow=3.0, long_slow=1.5)
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        assert summary.max_typed_slowdown() == pytest.approx(3.0)
+
+    def test_throughput(self):
+        rec = fill_recorder(n_short=100, n_long=100)
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        assert summary.throughput == pytest.approx(0.2)
+
+    def test_warmup_discard(self):
+        rec = fill_recorder(n_short=100, n_long=0)
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.1)
+        assert summary.completed == 90
+
+    def test_drop_rate(self):
+        rec = fill_recorder(n_short=90, n_long=0)
+        for i in range(10):
+            rec.on_drop(Request(1000 + i, 0, 0.0, 1.0))
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        assert summary.drop_rate == pytest.approx(0.1)
+
+    def test_empty_run(self):
+        summary = RunSummary(Recorder(), duration_us=100.0)
+        assert summary.completed == 0
+        assert math.isnan(summary.overall_tail_slowdown)
+        assert math.isnan(summary.max_typed_slowdown())
+
+    def test_views(self):
+        rec = fill_recorder()
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        assert summary.slowdown_view() == summary.overall_tail_slowdown
+        typed = summary.typed_latency_view()
+        assert set(typed) == {0, 1}
+
+    def test_type_by_name(self):
+        rec = fill_recorder()
+        summary = RunSummary(
+            rec, duration_us=1000.0, type_specs=high_bimodal().type_specs(),
+            warmup_frac=0.0,
+        )
+        assert summary.type_by_name("LONG").type_id == 1
+        assert summary.type_by_name("nope") is None
+
+    def test_describe_contains_key_numbers(self):
+        rec = fill_recorder()
+        summary = RunSummary(rec, duration_us=1000.0, warmup_frac=0.0)
+        text = summary.describe()
+        assert "p99.9" in text
+        assert "completed" in text

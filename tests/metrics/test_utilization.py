@@ -1,0 +1,45 @@
+"""Tests for utilization reports."""
+
+import pytest
+
+from repro.metrics.utilization import UtilizationReport
+from repro.server.worker import Worker
+from repro.workload.request import Request
+
+
+def busy_worker(worker_id, busy_for, duration, overhead=0.0):
+    w = Worker(worker_id)
+    r = Request(worker_id, 0, 0.0, busy_for)
+    w.begin(r, 0.0)
+    w.end(busy_for, overhead=overhead)
+    w.completed = 1
+    return w
+
+
+class TestUtilizationReport:
+    def test_mean_and_cores(self):
+        workers = [busy_worker(0, 5.0, 10.0), busy_worker(1, 10.0, 10.0)]
+        report = UtilizationReport(workers, duration_us=10.0)
+        assert report.mean_utilization == pytest.approx(0.75)
+        assert report.busy_cores == pytest.approx(1.5)
+        assert report.idle_cores == pytest.approx(0.5)
+
+    def test_overhead_cores(self):
+        workers = [busy_worker(0, 10.0, 10.0, overhead=2.0)]
+        report = UtilizationReport(workers, duration_us=10.0)
+        assert report.overhead_cores == pytest.approx(0.2)
+
+    def test_imbalance(self):
+        workers = [busy_worker(0, 2.0, 10.0), busy_worker(1, 8.0, 10.0)]
+        report = UtilizationReport(workers, duration_us=10.0)
+        assert report.imbalance() == pytest.approx(0.6)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            UtilizationReport([Worker(0)], duration_us=0.0)
+
+    def test_describe(self):
+        report = UtilizationReport([busy_worker(0, 5.0, 10.0)], duration_us=10.0)
+        text = report.describe()
+        assert "worker  0" in text
+        assert "50.0%" in text

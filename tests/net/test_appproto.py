@@ -1,0 +1,113 @@
+"""Tests for the RESP and Memcached protocol classifiers."""
+
+import pytest
+
+from repro.net.appproto import (
+    MEMCACHED_OPCODES,
+    MemcachedClassifier,
+    RespClassifier,
+    encode_memcached_request,
+    encode_resp_command,
+    parse_memcached_opcode,
+    parse_resp_command,
+)
+from repro.workload.request import UNKNOWN_TYPE, Request
+
+
+def req(payload, rid=0):
+    return Request(rid, 0, 0.0, 1.0, payload=payload)
+
+
+class TestRespParsing:
+    def test_encode_matches_spec(self):
+        assert encode_resp_command("GET", "foo") == b"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n"
+
+    def test_roundtrip(self):
+        payload = encode_resp_command("SET", "key", "value with spaces")
+        assert parse_resp_command(payload) == ["SET", "key", "value with spaces"]
+
+    def test_single_part_command(self):
+        assert parse_resp_command(encode_resp_command("PING")) == ["PING"]
+
+    def test_not_an_array(self):
+        assert parse_resp_command(b"+OK\r\n") is None
+
+    def test_truncated(self):
+        payload = encode_resp_command("GET", "foo")[:-4]
+        assert parse_resp_command(payload) is None
+
+    def test_garbage(self):
+        assert parse_resp_command(b"\x00\x01\x02") is None
+        assert parse_resp_command(b"*x\r\n") is None
+        assert parse_resp_command(b"*0\r\n") is None
+
+
+class TestRespClassifier:
+    def classifier(self):
+        return RespClassifier({"GET": 0, "SET": 1, "SCAN": 2, "EVAL": 3})
+
+    def test_known_commands(self):
+        c = self.classifier()
+        assert c.classify(req(encode_resp_command("GET", "k"))) == 0
+        assert c.classify(req(encode_resp_command("SCAN", "0"), rid=1)) == 2
+
+    def test_case_insensitive(self):
+        c = self.classifier()
+        assert c.classify(req(encode_resp_command("get", "k"))) == 0
+
+    def test_unknown_command(self):
+        c = self.classifier()
+        assert c.classify(req(encode_resp_command("FLUSHALL"))) == UNKNOWN_TYPE
+
+    def test_non_resp_payload(self):
+        c = self.classifier()
+        assert c.classify(req(b"GET k\r\n")) == UNKNOWN_TYPE
+        assert c.classify(req(None)) == UNKNOWN_TYPE
+
+
+class TestMemcachedParsing:
+    def test_roundtrip(self):
+        payload = encode_memcached_request(MEMCACHED_OPCODES["SET"], b"key", b"value")
+        assert parse_memcached_opcode(payload) == 0x01
+
+    def test_get_opcode(self):
+        payload = encode_memcached_request(MEMCACHED_OPCODES["GET"], b"key")
+        assert parse_memcached_opcode(payload) == 0x00
+
+    def test_bad_magic(self):
+        payload = bytearray(encode_memcached_request(0x00, b"k"))
+        payload[0] = 0x81  # response magic
+        assert parse_memcached_opcode(bytes(payload)) is None
+
+    def test_truncated_header(self):
+        assert parse_memcached_opcode(b"\x80\x01") is None
+
+
+class TestMemcachedClassifier:
+    def test_opcode_mapping(self):
+        c = MemcachedClassifier({0x00: 0, 0x01: 1})
+        get = encode_memcached_request(0x00, b"k")
+        stat = encode_memcached_request(0x10)
+        assert c.classify(req(get)) == 0
+        assert c.classify(req(stat, rid=1)) == UNKNOWN_TYPE
+
+    def test_end_to_end_with_darc(self):
+        """RESP bytes through DARC: SCANs isolated from GETs by command."""
+        from repro.core.darc import DarcScheduler
+        from repro.workload.presets import high_bimodal
+        from tests.conftest import make_harness
+
+        classifier = RespClassifier({"GET": 0, "SCAN": 1})
+        scheduler = DarcScheduler(
+            classifier=classifier, profile=False,
+            type_specs=high_bimodal().type_specs(),
+        )
+        h = make_harness(scheduler, n_workers=4)
+        for i in range(8):
+            r = Request(i, 1, 0.0, 100.0, payload=encode_resp_command("SCAN", "0"))
+            h.scheduler.on_request(r)
+        short = Request(99, 0, 0.0, 1.0, payload=encode_resp_command("GET", "k"))
+        h.scheduler.on_request(short)
+        h.run()
+        assert short.classified_type == 0
+        assert short.latency == pytest.approx(1.0)  # protected by reservation

@@ -1,0 +1,135 @@
+"""Tests for multi-packet fragmentation/reassembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fragmentation import (
+    FRAGMENT_PAYLOAD,
+    FragmentationError,
+    Reassembler,
+    ReassembledMessage,
+    fragment,
+    parse_fragment,
+)
+
+
+class TestFragment:
+    def test_small_payload_single_packet(self):
+        packets = fragment(1, b"hello")
+        assert len(packets) == 1
+        assert packets[0].fits_single_mtu
+
+    def test_large_payload_splits(self):
+        payload = b"x" * (FRAGMENT_PAYLOAD * 2 + 10)
+        packets = fragment(2, payload)
+        assert len(packets) == 3
+        for p in packets:
+            assert p.fits_single_mtu
+
+    def test_empty_payload_one_fragment(self):
+        packets = fragment(3, b"")
+        assert len(packets) == 1
+
+    def test_fragments_share_flow_tuple(self):
+        packets = fragment(4, b"y" * (FRAGMENT_PAYLOAD + 1))
+        flows = {p.flow_tuple() for p in packets}
+        assert len(flows) == 1  # RSS steers them to the same queue
+
+    def test_invalid_message_id(self):
+        with pytest.raises(FragmentationError):
+            fragment(-1, b"x")
+
+    def test_parse_roundtrip(self):
+        packets = fragment(7, b"abc")
+        message_id, index, count, chunk = parse_fragment(packets[0])
+        assert (message_id, index, count, chunk) == (7, 0, 1, b"abc")
+
+    def test_parse_garbage_raises(self):
+        from repro.net.packet import Packet
+
+        with pytest.raises(FragmentationError):
+            parse_fragment(Packet(1, 2, 3, 4, b"xy"))
+
+
+class TestReassembler:
+    def test_single_fragment_is_zero_copy(self):
+        reasm = Reassembler()
+        message = reasm.offer(fragment(1, b"data")[0])
+        assert message is not None
+        assert message.zero_copy
+        assert message.copy_cost_us() == 0.0
+
+    def test_multi_fragment_reassembly(self):
+        payload = bytes(range(256)) * 12  # > 1 fragment
+        packets = fragment(2, payload)
+        reasm = Reassembler()
+        results = [reasm.offer(p) for p in packets]
+        assert results[:-1] == [None] * (len(packets) - 1)
+        message = results[-1]
+        assert message.payload == payload
+        assert not message.zero_copy
+        assert message.copy_cost_us() > 0
+
+    def test_out_of_order_fragments(self):
+        payload = b"z" * (FRAGMENT_PAYLOAD * 2)
+        packets = fragment(3, payload)
+        reasm = Reassembler()
+        assert reasm.offer(packets[1]) is None
+        message = reasm.offer(packets[0])
+        assert message is not None
+        assert message.payload == payload
+
+    def test_interleaved_messages(self):
+        a = fragment(10, b"a" * (FRAGMENT_PAYLOAD + 5))
+        b = fragment(11, b"b" * (FRAGMENT_PAYLOAD + 5))
+        reasm = Reassembler()
+        assert reasm.offer(a[0]) is None
+        assert reasm.offer(b[0]) is None
+        assert reasm.pending == 2
+        msg_a = reasm.offer(a[1])
+        msg_b = reasm.offer(b[1])
+        assert msg_a.message_id == 10
+        assert msg_b.message_id == 11
+        assert reasm.pending == 0
+
+    def test_eviction_of_oldest_partial(self):
+        reasm = Reassembler(max_partial=1)
+        a = fragment(20, b"a" * (FRAGMENT_PAYLOAD + 1))
+        b = fragment(21, b"b" * (FRAGMENT_PAYLOAD + 1))
+        reasm.offer(a[0])
+        reasm.offer(b[0])  # evicts message 20
+        assert reasm.evicted == 1
+        # Message 20 can no longer complete...
+        assert reasm.offer(a[1]) is None or reasm.pending >= 1
+        # ...but message 21 still can.
+        reasm2_result = reasm.offer(b[1])
+        assert reasm2_result is None or reasm2_result.message_id == 21
+
+    def test_inconsistent_count_raises(self):
+        from repro.net.fragmentation import _FRAG_HEADER
+        from repro.net.packet import Packet
+
+        reasm = Reassembler()
+        first = Packet(1, 2, 3, 4, _FRAG_HEADER.pack(5, 0, 3) + b"x")
+        conflicting = Packet(1, 2, 3, 4, _FRAG_HEADER.pack(5, 1, 4) + b"y")
+        reasm.offer(first)
+        with pytest.raises(FragmentationError):
+            reasm.offer(conflicting)
+
+    def test_invalid_max_partial(self):
+        with pytest.raises(FragmentationError):
+            Reassembler(max_partial=0)
+
+    @given(size=st.integers(min_value=0, max_value=FRAGMENT_PAYLOAD * 5))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_size(self, size):
+        payload = bytes(i % 251 for i in range(size))
+        packets = fragment(42, payload)
+        reasm = Reassembler()
+        message = None
+        for p in packets:
+            message = reasm.offer(p)
+        assert message is not None
+        assert message.payload == payload
+        assert message.n_fragments == len(packets)

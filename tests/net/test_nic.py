@@ -1,0 +1,89 @@
+"""Tests for the simulated NIC."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.nic import BufferPool, Nic
+from repro.net.packet import Packet
+
+
+def packet(port):
+    return Packet(1, 2, port, 80, b"payload")
+
+
+class TestBufferPool:
+    def test_acquire_release_cycle(self):
+        pool = BufferPool(2)
+        assert pool.acquire()
+        assert pool.acquire()
+        assert not pool.acquire()
+        assert pool.allocation_failures == 1
+        pool.release()
+        assert pool.acquire()
+
+    def test_over_release_raises(self):
+        pool = BufferPool(1)
+        with pytest.raises(ConfigurationError):
+            pool.release()
+
+    def test_in_use(self):
+        pool = BufferPool(3)
+        pool.acquire()
+        assert pool.in_use == 1
+
+
+class TestNic:
+    def test_receive_and_poll(self):
+        nic = Nic(n_queues=1)
+        assert nic.receive(packet(1))
+        assert nic.receive(packet(2))
+        polled = nic.poll(0, batch=10)
+        assert len(polled) == 2
+        assert nic.pending() == 0
+
+    def test_rss_steering_consistent_per_flow(self):
+        nic = Nic(n_queues=4)
+        p = packet(1234)
+        assert nic.steer(p) == nic.steer(p)
+
+    def test_rss_spreads_flows(self):
+        nic = Nic(n_queues=4)
+        queues = {nic.steer(packet(port)) for port in range(100)}
+        assert queues == {0, 1, 2, 3}
+
+    def test_ring_overflow_drops(self):
+        nic = Nic(n_queues=1, ring_size=2)
+        assert nic.receive(packet(1))
+        assert nic.receive(packet(1))
+        assert not nic.receive(packet(1))
+        assert nic.rx_drops == 1
+
+    def test_pool_exhaustion_drops(self):
+        nic = Nic(n_queues=1, pool=BufferPool(1))
+        assert nic.receive(packet(1))
+        assert not nic.receive(packet(2))
+        assert nic.rx_drops == 1
+
+    def test_transmit_returns_buffer(self):
+        pool = BufferPool(1)
+        nic = Nic(n_queues=1, pool=pool)
+        nic.receive(packet(1))
+        assert pool.available == 0
+        nic.transmit(packet(1))
+        assert pool.available == 1
+        assert nic.transmitted == 1
+
+    def test_poll_batch_limit(self):
+        nic = Nic(n_queues=1)
+        for i in range(10):
+            nic.receive(packet(1))
+        assert len(nic.poll(0, batch=3)) == 3
+        assert nic.pending() == 7
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Nic(n_queues=0)
+        with pytest.raises(ConfigurationError):
+            Nic(ring_size=0)
+        with pytest.raises(ConfigurationError):
+            BufferPool(0)

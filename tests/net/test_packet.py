@@ -1,0 +1,47 @@
+"""Tests for the packet model and RSS hash."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import DEFAULT_MTU, HEADERS_LEN, Packet, rss_hash
+
+
+def make_packet(src_port=1000, payload=b"x" * 10):
+    return Packet(0x0A000001, 0x0A000002, src_port, 8080, payload)
+
+
+class TestPacket:
+    def test_wire_size_includes_headers(self):
+        p = make_packet(payload=b"x" * 100)
+        assert p.wire_size == HEADERS_LEN + 100
+
+    def test_fits_single_mtu(self):
+        assert make_packet(payload=b"x" * 100).fits_single_mtu
+        assert not make_packet(payload=b"x" * DEFAULT_MTU).fits_single_mtu
+
+    def test_invalid_port(self):
+        with pytest.raises(ConfigurationError):
+            Packet(1, 2, 70000, 80, b"")
+
+    def test_flow_tuple(self):
+        p = make_packet(src_port=1234)
+        assert p.flow_tuple() == (0x0A000001, 0x0A000002, 1234, 8080)
+
+
+class TestRssHash:
+    def test_deterministic(self):
+        flow = (1, 2, 3, 4)
+        assert rss_hash(flow) == rss_hash(flow)
+
+    def test_different_flows_usually_differ(self):
+        h1 = rss_hash((1, 2, 3, 4))
+        h2 = rss_hash((1, 2, 3, 5))
+        assert h1 != h2
+
+    def test_spreads_over_queues(self):
+        # Hashing many flows over 16 queues should cover most queues.
+        queues = {rss_hash((1, 2, port, 80)) % 16 for port in range(1000, 1200)}
+        assert len(queues) >= 12
+
+    def test_fits_32_bits(self):
+        assert 0 <= rss_hash((2**32 - 1, 2**32 - 1, 65535, 65535)) < 2**32

@@ -1,0 +1,54 @@
+"""Tests for the wire protocol."""
+
+import pytest
+
+from repro.net.protocol import (
+    HEADER_LEN,
+    ProtocolError,
+    decode_request,
+    encode_request,
+    peek_type,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        payload = encode_request(42, 3, 123.5, b"hello")
+        rid, type_id, ts, body = decode_request(payload)
+        assert (rid, type_id, ts, body) == (42, 3, 123.5, b"hello")
+
+    def test_empty_body(self):
+        payload = encode_request(1, 0, 0.0)
+        assert decode_request(payload)[3] == b""
+
+    def test_negative_type_id(self):
+        # UNKNOWN_TYPE (-1) must survive the signed field.
+        payload = encode_request(1, -1, 0.0)
+        assert decode_request(payload)[1] == -1
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_request(b"\x00" * (HEADER_LEN - 1))
+
+    def test_bad_magic_raises(self):
+        payload = bytearray(encode_request(1, 0, 0.0))
+        payload[0] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_request(bytes(payload))
+
+    def test_truncated_body_raises(self):
+        payload = encode_request(1, 0, 0.0, b"abcdef")[:-2]
+        with pytest.raises(ProtocolError):
+            decode_request(payload)
+
+
+class TestPeekType:
+    def test_peek_matches_decode(self):
+        payload = encode_request(7, 4, 1.0, b"body")
+        assert peek_type(payload) == 4
+
+    def test_peek_too_short_returns_none(self):
+        assert peek_type(b"xx") is None
+
+    def test_peek_bad_magic_returns_none(self):
+        assert peek_type(b"\x00" * HEADER_LEN) is None

@@ -1,0 +1,102 @@
+"""Tests for demand-triggered preemption (the §2/Fig. 10 TS model)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.timesharing import TimeSharing
+from repro.workload.presets import high_bimodal
+
+from ..conftest import make_harness
+
+HB = high_bimodal().type_specs()
+
+
+def demand_ts(**kwargs):
+    defaults = dict(quantum_us=5.0, preempt_overhead_us=1.0, trigger="demand")
+    defaults.update(kwargs)
+    return TimeSharing(**defaults)
+
+
+class TestDemandTrigger:
+    def test_no_preemption_when_nothing_waits(self):
+        # A lone long request runs past its quantum untouched.
+        h = make_harness(demand_ts(), n_workers=1)
+        r = h.submit(0, 50.0)
+        h.run()
+        assert r.preemption_count == 0
+        assert r.latency == pytest.approx(50.0)
+        assert r.overhead_time == 0.0
+
+    def test_boundary_preempts_when_queue_nonempty(self):
+        h = make_harness(demand_ts(), n_workers=1)
+        long_req = h.submit(0, 50.0)
+        waiter = h.submit(0, 1.0, at=2.0)
+        h.run()
+        # The long is preempted at its first 5us boundary (+1us overhead).
+        assert long_req.preemption_count >= 1
+        assert waiter.first_service_time == pytest.approx(6.0)
+
+    def test_arrival_interrupts_overdue_request(self):
+        h = make_harness(demand_ts(), n_workers=1)
+        long_req = h.submit(0, 50.0)
+        # No queue at the t=5 boundary, so the long runs on (overdue).
+        late = h.submit(0, 1.0, at=20.0)
+        h.run()
+        # The arrival triggers an immediate preemption: cost 1us, then
+        # the short runs at 21.0.
+        assert late.first_service_time == pytest.approx(21.0)
+        assert long_req.preemption_count == 1
+
+    def test_overdue_completion_cancels_cleanly(self):
+        h = make_harness(demand_ts(), n_workers=1)
+        first = h.submit(0, 12.0)   # overdue after 5us, finishes at 12
+        second = h.submit(0, 1.0, at=15.0)  # arrives after completion
+        h.run()
+        assert first.preemption_count == 0
+        assert first.latency == pytest.approx(12.0)
+        assert second.latency == pytest.approx(1.0)
+
+    def test_one_preemption_per_arrival(self):
+        h = make_harness(demand_ts(), n_workers=2)
+        a = h.submit(0, 50.0)
+        b = h.submit(0, 50.0)
+        h.submit(0, 1.0, at=20.0)
+        h.run()
+        # Only the most-overdue worker is interrupted by the one arrival
+        # (both may later hit boundary preemptions while work queues).
+        assert a.preemption_count + b.preemption_count >= 1
+
+    def test_most_overdue_victim_chosen(self):
+        h = make_harness(demand_ts(), n_workers=2)
+        older = h.submit(0, 50.0, at=0.0)
+        newer = h.submit(0, 50.0, at=4.9)  # just before older's boundary
+        trigger = h.submit(0, 1.0, at=20.0)
+        h.run()
+        assert older.preemption_count >= 1
+
+    def test_frequency_capped_by_quantum(self):
+        # A 50us request with a continuous stream of shorts: preemptions
+        # happen at most every ~5us of its service, so <= 10 of them.
+        h = make_harness(demand_ts(preempt_overhead_us=0.0), n_workers=1)
+        long_req = h.submit(0, 50.0)
+        for i in range(100):
+            h.submit(0, 0.2, at=1.0 + i)
+        h.run()
+        assert long_req.preemption_count <= 10
+
+    def test_invalid_trigger(self):
+        with pytest.raises(ConfigurationError):
+            TimeSharing(trigger="psychic")
+
+    def test_multi_queue_demand_mode(self):
+        sched = TimeSharing(
+            quantum_us=5.0, preempt_overhead_us=0.0, mode="multi",
+            type_specs=HB, trigger="demand",
+        )
+        h = make_harness(sched, n_workers=1)
+        long_req = h.submit(1, 100.0)
+        short_req = h.submit(0, 1.0, at=10.0)
+        h.run()
+        # The overdue long is preempted on arrival; BVT picks the short.
+        assert short_req.finish_time == pytest.approx(11.0)
+        assert long_req.completed

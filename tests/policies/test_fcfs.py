@@ -1,0 +1,163 @@
+"""Tests for c-FCFS, d-FCFS, and work-stealing FCFS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies.fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
+
+from ..conftest import make_harness
+
+
+class TestCentralizedFCFS:
+    def test_fifo_across_types(self):
+        h = make_harness(CentralizedFCFS(), n_workers=1)
+        first = h.submit(1, 10.0, at=0.0)
+        second = h.submit(0, 1.0, at=0.1)
+        h.run()
+        # Strict arrival order: the short waits behind the long.
+        assert first.finish_time < second.finish_time
+        assert second.latency == pytest.approx(10.0 - 0.1 + 1.0)
+
+    def test_work_conserving(self):
+        h = make_harness(CentralizedFCFS(), n_workers=4)
+        for _ in range(4):
+            h.submit(0, 5.0)
+        h.run()
+        assert h.loop.now == pytest.approx(5.0)
+
+    def test_idle_worker_takes_queued_work(self):
+        h = make_harness(CentralizedFCFS(), n_workers=2)
+        for _ in range(6):
+            h.submit(0, 2.0)
+        h.run()
+        assert h.loop.now == pytest.approx(6.0)
+        assert h.recorder.completed == 6
+
+    def test_queue_capacity_drops(self):
+        h = make_harness(CentralizedFCFS(queue_capacity=1), n_workers=1)
+        for _ in range(5):
+            h.submit(0, 10.0)
+        h.run()
+        assert h.recorder.completed == 2  # one served + one queued
+        assert h.recorder.dropped == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedFCFS(queue_capacity=0)
+
+    def test_dispersion_based_hol_blocking(self):
+        # The §2 phenomenon: one long request blocks shorts on all cores.
+        h = make_harness(CentralizedFCFS(), n_workers=2)
+        h.submit(1, 100.0)
+        h.submit(1, 100.0)
+        short = h.submit(0, 1.0)
+        h.run()
+        assert short.slowdown > 50
+
+
+class TestDecentralizedFCFS:
+    def test_round_robin_steering(self):
+        h = make_harness(DecentralizedFCFS(steering="round_robin"), n_workers=2)
+        reqs = [h.submit(0, 10.0) for _ in range(4)]
+        h.run()
+        workers = [r.worker_id for r in reqs]
+        assert workers == [0, 1, 0, 1]
+
+    def test_local_queue_blocks_even_if_other_idle(self):
+        # The defining d-FCFS pathology: worker 1 idles while worker 0's
+        # queue has work.
+        h = make_harness(DecentralizedFCFS(steering="round_robin"), n_workers=2)
+        a = h.submit(0, 10.0)  # -> worker 0
+        b = h.submit(0, 1.0)   # -> worker 1 (finishes at 1.0)
+        c = h.submit(0, 1.0)   # -> worker 0's queue, waits behind a
+        h.run()
+        assert c.first_service_time == pytest.approx(10.0)
+
+    def test_random_steering_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            DecentralizedFCFS(steering="random")
+
+    def test_random_steering_spreads(self):
+        rng = np.random.default_rng(0)
+        h = make_harness(DecentralizedFCFS(steering="random", rng=rng), n_workers=4)
+        reqs = [h.submit(0, 0.001, at=float(i)) for i in range(400)]
+        h.run()
+        used = {r.worker_id for r in reqs}
+        assert used == {0, 1, 2, 3}
+
+    def test_rid_hash_deterministic(self):
+        def run_once():
+            h = make_harness(DecentralizedFCFS(steering="rid_hash"), n_workers=4)
+            reqs = [h.submit(0, 1.0) for _ in range(16)]
+            h.run()
+            return [r.worker_id for r in reqs]
+
+        assert run_once() == run_once()
+
+    def test_unknown_steering(self):
+        with pytest.raises(ConfigurationError):
+            DecentralizedFCFS(steering="magic")
+
+    def test_per_queue_capacity(self):
+        h = make_harness(
+            DecentralizedFCFS(steering="round_robin", queue_capacity=1), n_workers=1
+        )
+        for _ in range(4):
+            h.submit(0, 10.0)
+        h.run()
+        assert h.recorder.dropped == 2
+
+
+class TestWorkStealingFCFS:
+    def test_idle_worker_steals(self):
+        h = make_harness(
+            WorkStealingFCFS(steering="round_robin", steal_cost_us=0.0), n_workers=2
+        )
+        a = h.submit(0, 10.0)  # worker 0
+        b = h.submit(0, 1.0)   # worker 1
+        c = h.submit(0, 1.0)   # worker 0's queue -- stolen by worker 1
+        h.run()
+        assert c.first_service_time < 10.0
+        assert h.scheduler.steals >= 1
+
+    def test_steal_cost_delays_completion(self):
+        h = make_harness(
+            WorkStealingFCFS(steering="round_robin", steal_cost_us=0.5), n_workers=2
+        )
+        h.submit(0, 10.0)
+        h.submit(0, 1.0)
+        c = h.submit(0, 1.0)
+        h.run()
+        # Stolen request pays the steal cost before completing at 1.0+0.5+1.0.
+        assert c.finish_time == pytest.approx(2.5)
+        assert c.overhead_time == pytest.approx(0.5)
+
+    def test_longest_victim_preferred(self):
+        rng = np.random.default_rng(1)
+        h = make_harness(
+            WorkStealingFCFS(steering="round_robin", steal_cost_us=0.0, victim="longest"),
+            n_workers=3,
+        )
+        # Worker 0 gets a long queue; worker 1 a short one; worker 2 idle.
+        h.submit(0, 100.0)  # w0 busy
+        h.submit(0, 100.0)  # w1 busy
+        h.submit(0, 1.0)    # w2 busy
+        queued = [h.submit(0, 1.0) for _ in range(3)]  # w0, w1, w2 queues
+        h.run()
+        assert h.recorder.completed == 6
+
+    def test_negative_steal_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkStealingFCFS(steering="round_robin", steal_cost_us=-1.0)
+
+    def test_approximates_cfcfs_utilization(self):
+        # With zero steal cost, work stealing should finish a batch as
+        # fast as c-FCFS would.
+        ws = make_harness(
+            WorkStealingFCFS(steering="round_robin", steal_cost_us=0.0), n_workers=4
+        )
+        for _ in range(8):
+            ws.submit(0, 2.0)
+        ws.run()
+        assert ws.loop.now == pytest.approx(4.0)

@@ -1,0 +1,198 @@
+"""Tests for the typed baseline policies (FP, SJF, EDF, DRR, SP, CSCQ)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.policies.typed import (
+    CSCQ,
+    DeficitRoundRobin,
+    EarliestDeadlineFirst,
+    FixedPriority,
+    ShortestJobFirst,
+    StaticPartitioning,
+)
+from repro.workload.presets import high_bimodal, tpcc
+
+from ..conftest import make_harness
+
+HB = high_bimodal().type_specs()
+TPCC = tpcc().type_specs()
+
+
+class TestFixedPriority:
+    def test_short_type_dispatched_first(self):
+        h = make_harness(FixedPriority(HB), n_workers=1)
+        h.submit(1, 100.0)           # occupies the worker
+        long_req = h.submit(1, 100.0)
+        short_req = h.submit(0, 1.0)
+        h.run()
+        assert short_req.finish_time < long_req.finish_time
+
+    def test_work_conserving(self):
+        h = make_harness(FixedPriority(HB), n_workers=2)
+        h.submit(1, 5.0)
+        h.submit(1, 5.0)
+        h.run()
+        assert h.loop.now == pytest.approx(5.0)
+
+    def test_hol_blocking_remains(self):
+        # FP cannot protect shorts once longs occupy every worker.
+        h = make_harness(FixedPriority(HB), n_workers=2)
+        h.submit(1, 100.0)
+        h.submit(1, 100.0)
+        short = h.submit(0, 1.0)
+        h.run()
+        assert short.slowdown > 50
+
+    def test_unregistered_type_raises(self):
+        h = make_harness(FixedPriority(HB), n_workers=2)
+        h.submit(1, 1.0)
+        h.submit(1, 1.0)
+        with pytest.raises(SchedulingError):
+            h.submit(7, 1.0)
+
+    def test_priority_order_from_means(self):
+        sched = FixedPriority(TPCC)
+        assert sched.priority_order == [0, 1, 2, 3, 4]
+
+
+class TestShortestJobFirst:
+    def test_orders_by_actual_service(self):
+        h = make_harness(ShortestJobFirst(), n_workers=1)
+        h.submit(0, 5.0)       # occupies the worker
+        big = h.submit(0, 9.0)
+        small = h.submit(0, 1.0)
+        h.run()
+        assert small.finish_time < big.finish_time
+
+    def test_ties_break_by_arrival(self):
+        h = make_harness(ShortestJobFirst(), n_workers=1)
+        h.submit(0, 5.0)
+        first = h.submit(0, 2.0, at=0.1)
+        second = h.submit(0, 2.0, at=0.2)
+        h.run()
+        assert first.finish_time < second.finish_time
+
+
+class TestEarliestDeadlineFirst:
+    def test_deadline_uses_type_mean(self):
+        h = make_harness(EarliestDeadlineFirst(HB, deadline_factor=10.0), n_workers=1)
+        h.submit(0, 1.0)  # occupies the worker
+        # Long arrives first but has a loose deadline (10*100); the short
+        # arriving slightly later has deadline 10*1 and wins.
+        long_req = h.submit(1, 100.0, at=0.1)
+        short_req = h.submit(0, 1.0, at=0.2)
+        h.run()
+        assert short_req.finish_time < long_req.finish_time
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            EarliestDeadlineFirst(HB, deadline_factor=0.0)
+
+
+class TestDeficitRoundRobin:
+    def test_round_robin_fairness(self):
+        h = make_harness(DeficitRoundRobin(HB, quantum_us=50.0), n_workers=1)
+        h.submit(0, 1.0)  # occupies the worker briefly
+        shorts = [h.submit(0, 1.0) for _ in range(3)]
+        longs = [h.submit(1, 100.0) for _ in range(3)]
+        h.run()
+        assert h.recorder.completed == 7
+        # Both types make progress before either queue drains fully.
+        assert shorts[0].finish_time < longs[-1].finish_time
+
+    def test_forced_progress_on_large_head(self):
+        # Head larger than a few quanta must still run (work conservation).
+        h = make_harness(DeficitRoundRobin(HB, quantum_us=1.0), n_workers=1)
+        h.submit(0, 1.0)
+        big = h.submit(1, 100.0)
+        h.run()
+        assert big.completed
+
+    def test_weights_bias_service(self):
+        sched = DeficitRoundRobin(HB, quantum_us=10.0, weights={0: 4.0})
+        h = make_harness(sched, n_workers=1)
+        h.submit(0, 1.0)
+        for _ in range(4):
+            h.submit(0, 8.0)
+            h.submit(1, 8.0)
+        h.run()
+        assert h.recorder.completed == 9
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ConfigurationError):
+            DeficitRoundRobin(HB, quantum_us=0.0)
+
+
+class TestStaticPartitioning:
+    def test_auto_allocation_covers_all_workers(self):
+        h = make_harness(StaticPartitioning(HB), n_workers=14)
+        sets = h.scheduler.worker_sets
+        total = sum(len(ws) for ws in sets.values())
+        assert total == 14
+        assert all(len(ws) >= 1 for ws in sets.values())
+
+    def test_partition_isolation(self):
+        h = make_harness(StaticPartitioning(HB, allocation={0: 1, 1: 3}), n_workers=4)
+        short_workers = {w.worker_id for w in h.scheduler.worker_sets[0]}
+        for _ in range(8):
+            h.submit(1, 10.0)
+        shorts = [h.submit(0, 1.0) for _ in range(2)]
+        h.run()
+        for r in shorts:
+            assert r.worker_id in short_workers
+
+    def test_no_stealing_even_when_idle(self):
+        h = make_harness(StaticPartitioning(HB, allocation={0: 2, 1: 2}), n_workers=4)
+        # Only longs arrive; the two short workers stay idle forever.
+        for _ in range(8):
+            h.submit(1, 10.0)
+        h.run()
+        assert h.loop.now == pytest.approx(40.0)
+        short_ids = {w.worker_id for w in h.scheduler.worker_sets[0]}
+        for wid in short_ids:
+            assert h.workers[wid].completed == 0
+
+    def test_more_types_than_workers_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_harness(StaticPartitioning(TPCC), n_workers=3)
+
+    def test_bad_allocation_sum_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_harness(StaticPartitioning(HB, allocation={0: 1, 1: 1}), n_workers=4)
+
+
+class TestCSCQ:
+    def test_short_steals_long_workers(self):
+        sched = CSCQ(HB, threshold_us=10.0, n_short_workers=1)
+        h = make_harness(sched, n_workers=4)
+        shorts = [h.submit(0, 1.0) for _ in range(4)]
+        h.run()
+        assert h.loop.now == pytest.approx(1.0)  # ran on all four cores
+
+    def test_long_never_uses_short_worker(self):
+        sched = CSCQ(HB, threshold_us=10.0, n_short_workers=2)
+        h = make_harness(sched, n_workers=4)
+        for _ in range(10):
+            h.submit(1, 10.0)
+        h.run()
+        assert h.workers[0].completed == 0
+        assert h.workers[1].completed == 0
+
+    def test_donor_prefers_own_class(self):
+        sched = CSCQ(HB, threshold_us=10.0, n_short_workers=1)
+        h = make_harness(sched, n_workers=2)
+        h.submit(1, 10.0)          # long worker busy
+        queued_long = h.submit(1, 10.0)
+        queued_short = h.submit(0, 1.0, at=5.0)
+        h.run()
+        # Short runs immediately on its own worker; queued long follows
+        # on the long worker.
+        assert queued_short.first_service_time == pytest.approx(5.0)
+        assert queued_long.first_service_time == pytest.approx(10.0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            CSCQ(HB, threshold_us=10.0, n_short_workers=0)
+        with pytest.raises(ConfigurationError):
+            make_harness(CSCQ(HB, threshold_us=10.0, n_short_workers=4), n_workers=4)

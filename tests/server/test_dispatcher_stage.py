@@ -1,0 +1,80 @@
+"""Tests for the serial dispatcher stage (Fig. 2's bottleneck resource)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS
+from repro.server.config import ServerConfig
+from repro.server.server import Server
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+
+
+def build(dispatcher_service_us=0.5, capacity=None, n_workers=4):
+    loop = EventLoop()
+    recorder = Recorder()
+    config = ServerConfig(
+        n_workers=n_workers,
+        dispatcher_service_us=dispatcher_service_us,
+        dispatcher_queue_capacity=capacity,
+    )
+    server = Server(loop, CentralizedFCFS(), config=config, recorder=recorder)
+    return loop, server, recorder
+
+
+class TestDispatcherStage:
+    def test_serializes_back_to_back_arrivals(self):
+        loop, server, recorder = build(dispatcher_service_us=0.5)
+        reqs = [Request(i, 0, 0.0, 1.0) for i in range(3)]
+        for r in reqs:
+            server.ingress(r)
+        loop.run()
+        # Dispatch instants 0.5, 1.0, 1.5 -> finishes 1.5, 2.0, 2.5.
+        finishes = sorted(recorder.columns().finishes)
+        assert finishes == pytest.approx([1.5, 2.0, 2.5])
+
+    def test_idle_dispatcher_adds_only_its_service(self):
+        loop, server, recorder = build(dispatcher_service_us=0.5)
+        server.ingress(Request(0, 0, 0.0, 1.0))
+        loop.run(until=10.0)
+        server.ingress(Request(1, 0, 10.0, 1.0))
+        loop.run()
+        finishes = sorted(recorder.columns().finishes)
+        assert finishes[1] == pytest.approx(11.5)
+
+    def test_throughput_ceiling(self):
+        # Offer 4 req/us to a dispatcher that sustains 2 req/us: half the
+        # offered load queues at the dispatcher, inflating latency.
+        loop, server, recorder = build(dispatcher_service_us=0.5, n_workers=16)
+        for i in range(100):
+            loop.call_at(i * 0.25, server.ingress, Request(i, 0, i * 0.25, 0.01))
+        loop.run()
+        cols = recorder.columns()
+        # The last request waited ~half the run behind the dispatcher.
+        assert cols.latencies.max() > 10.0
+
+    def test_capacity_drops_excess(self):
+        loop, server, recorder = build(dispatcher_service_us=1.0, capacity=2)
+        for i in range(10):
+            server.ingress(Request(i, 0, 0.0, 0.1))
+        loop.run()
+        assert server.dispatcher_drops > 0
+        assert recorder.dropped == server.dispatcher_drops
+        assert recorder.completed + recorder.dropped == 10
+
+    def test_zero_cost_is_passthrough(self):
+        loop, server, recorder = build(dispatcher_service_us=0.0)
+        server.ingress(Request(0, 0, 0.0, 1.0))
+        loop.run()
+        assert recorder.columns().finishes[0] == pytest.approx(1.0)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ServerConfig(dispatcher_service_us=-0.1)
+        with pytest.raises(ConfigurationError):
+            ServerConfig(dispatcher_queue_capacity=0)
+
+    def test_prototype_ceiling_is_7mpps(self):
+        cfg = ServerConfig.prototype()
+        assert 1.0 / cfg.dispatcher_service_us == pytest.approx(7.0)

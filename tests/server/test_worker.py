@@ -1,0 +1,73 @@
+"""Tests for the worker model."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.server.worker import Worker
+from repro.workload.request import Request
+
+
+def req(rid=0, service=5.0):
+    return Request(rid, 0, 0.0, service)
+
+
+class TestWorker:
+    def test_begin_end_cycle(self):
+        w = Worker(0)
+        r = req()
+        w.begin(r, 1.0)
+        assert not w.is_free
+        assert r.worker_id == 0
+        assert r.first_service_time == 1.0
+        returned = w.end(6.0)
+        assert returned is r
+        assert w.is_free
+        assert w.total_busy_time == 5.0
+
+    def test_begin_while_busy_raises(self):
+        w = Worker(0)
+        w.begin(req(0), 0.0)
+        with pytest.raises(SchedulingError):
+            w.begin(req(1), 1.0)
+
+    def test_end_while_idle_raises(self):
+        with pytest.raises(SchedulingError):
+            Worker(0).end(1.0)
+
+    def test_first_service_time_preserved_on_resume(self):
+        # Preemptive policies begin/end the same request repeatedly; the
+        # first touch time must not be overwritten.
+        w = Worker(0)
+        r = req()
+        w.begin(r, 1.0)
+        w.end(3.0)
+        w.begin(r, 10.0)
+        w.end(12.0)
+        assert r.first_service_time == 1.0
+        assert w.total_busy_time == 4.0
+
+    def test_overhead_accounting(self):
+        w = Worker(0)
+        w.begin(req(), 0.0)
+        w.end(6.0, overhead=1.0)
+        assert w.total_overhead_time == 1.0
+
+    def test_utilization(self):
+        w = Worker(0)
+        w.begin(req(), 0.0)
+        w.end(5.0)
+        assert w.utilization(10.0) == pytest.approx(0.5)
+
+    def test_utilization_counts_in_flight(self):
+        w = Worker(0)
+        w.begin(req(), 0.0)
+        assert w.utilization(4.0) == pytest.approx(1.0)
+
+    def test_utilization_zero_time(self):
+        assert Worker(0).utilization(0.0) == 0.0
+
+    def test_idle_since_updated(self):
+        w = Worker(0)
+        w.begin(req(), 0.0)
+        w.end(7.0)
+        assert w.idle_since == 7.0

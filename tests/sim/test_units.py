@@ -1,0 +1,43 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import units
+
+
+class TestTimeConversions:
+    def test_seconds(self):
+        assert units.seconds(1) == 1_000_000.0
+
+    def test_milliseconds(self):
+        assert units.milliseconds(2) == 2_000.0
+
+    def test_nanoseconds(self):
+        assert units.nanoseconds(100) == pytest.approx(0.1)
+
+    def test_cycles_roundtrip(self):
+        us = units.cycles_to_us(2600, ghz=2.6)
+        assert us == pytest.approx(1.0)
+        assert units.us_to_cycles(us, ghz=2.6) == pytest.approx(2600)
+
+    def test_paper_channel_cost(self):
+        # §4.3.2: 88 cycles at the 2.6 GHz testbed is ~34 ns.
+        assert units.cycles_to_us(88) == pytest.approx(0.0338, rel=1e-2)
+
+    def test_cycles_invalid_ghz(self):
+        with pytest.raises(ConfigurationError):
+            units.cycles_to_us(100, ghz=0)
+        with pytest.raises(ConfigurationError):
+            units.us_to_cycles(1.0, ghz=-1)
+
+
+class TestRateConversions:
+    def test_mrps_identity(self):
+        # 1 Mrps is exactly 1 request per microsecond.
+        assert units.mrps_to_per_us(5.1) == 5.1
+        assert units.per_us_to_mrps(5.1) == 5.1
+
+    def test_krps(self):
+        assert units.krps_to_per_us(260) == pytest.approx(0.26)
+        assert units.per_us_to_krps(0.26) == pytest.approx(260)

@@ -1,0 +1,98 @@
+"""Tests for system model factories."""
+
+import pytest
+
+from repro.core.classifier import RandomClassifier
+from repro.core.darc import DarcScheduler
+from repro.core.static import DarcStatic
+from repro.policies.fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
+from repro.policies.timesharing import TimeSharing
+from repro.sim.randomness import RngRegistry
+from repro.systems.persephone import (
+    PersephoneCfcfsSystem,
+    PersephoneDfcfsSystem,
+    PersephoneStaticSystem,
+    PersephoneSystem,
+)
+from repro.systems.shenango import ShenangoSystem
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.workload.presets import high_bimodal
+
+
+RNGS = RngRegistry(seed=0)
+SPEC = high_bimodal()
+
+
+class TestPersephoneSystem:
+    def test_profiled_by_default(self):
+        sched = PersephoneSystem().make_scheduler(SPEC, RNGS)
+        assert isinstance(sched, DarcScheduler)
+        assert sched.profile_enabled
+
+    def test_oracle_mode(self):
+        sched = PersephoneSystem(oracle=True).make_scheduler(SPEC, RNGS)
+        assert not sched.profile_enabled
+        assert sched.type_specs is not None
+
+    def test_classifier_factory(self):
+        system = PersephoneSystem(
+            classifier_factory=lambda spec, rngs: RandomClassifier(
+                spec.n_types, rngs.stream("c")
+            )
+        )
+        sched = system.make_scheduler(SPEC, RNGS)
+        assert isinstance(sched.classifier, RandomClassifier)
+
+    def test_prototype_costs(self):
+        cfg = PersephoneSystem(prototype_costs=True).make_config()
+        assert cfg.ingress_delay_us > 0
+
+    def test_static_variant(self):
+        sched = PersephoneStaticSystem(n_reserved=3).make_scheduler(SPEC, RNGS)
+        assert isinstance(sched, DarcStatic)
+        assert sched.n_reserved == 3
+
+    def test_cfcfs_and_dfcfs_variants(self):
+        assert isinstance(
+            PersephoneCfcfsSystem().make_scheduler(SPEC, RNGS), CentralizedFCFS
+        )
+        assert isinstance(
+            PersephoneDfcfsSystem().make_scheduler(SPEC, RNGS), DecentralizedFCFS
+        )
+
+
+class TestShenangoSystem:
+    def test_stealing_on(self):
+        sched = ShenangoSystem(work_stealing=True).make_scheduler(SPEC, RNGS)
+        assert isinstance(sched, WorkStealingFCFS)
+        assert sched.steal_cost_us > 0
+
+    def test_stealing_off_is_dfcfs(self):
+        sched = ShenangoSystem(work_stealing=False).make_scheduler(SPEC, RNGS)
+        assert isinstance(sched, DecentralizedFCFS)
+        assert not isinstance(sched, WorkStealingFCFS)
+
+    def test_names(self):
+        assert "c-FCFS" in ShenangoSystem(work_stealing=True).name
+        assert "d-FCFS" in ShenangoSystem(work_stealing=False).name
+
+
+class TestShinjukuSystem:
+    def test_multi_queue_gets_type_specs(self):
+        sched = ShinjukuSystem(mode="multi").make_scheduler(SPEC, RNGS)
+        assert isinstance(sched, TimeSharing)
+        assert sched.mode == "multi"
+        assert set(sched.typed) == {0, 1}
+
+    def test_single_queue(self):
+        sched = ShinjukuSystem(mode="single").make_scheduler(SPEC, RNGS)
+        assert sched.mode == "single"
+
+    def test_default_costs_about_2us(self):
+        system = ShinjukuSystem()
+        sched = system.make_scheduler(SPEC, RNGS)
+        assert sched.preempt_overhead_us + sched.preempt_delay_us == pytest.approx(2.0)
+
+    def test_quantum_configurable(self):
+        sched = ShinjukuSystem(quantum_us=15.0).make_scheduler(SPEC, RNGS)
+        assert sched.quantum_us == 15.0

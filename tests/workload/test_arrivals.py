@@ -1,0 +1,82 @@
+"""Tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    arrival_stream,
+)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        p = PoissonArrivals(rate=0.5)
+        rng = np.random.default_rng(0)
+        times = p.times(rng, 100_000)
+        empirical_rate = len(times) / times[-1]
+        assert empirical_rate == pytest.approx(0.5, rel=0.02)
+
+    def test_times_monotone(self):
+        p = PoissonArrivals(rate=2.0)
+        times = p.times(np.random.default_rng(1), 1000)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_exponential_gaps(self):
+        # Coefficient of variation of exponential gaps is 1.
+        p = PoissonArrivals(rate=1.0)
+        rng = np.random.default_rng(2)
+        gaps = np.diff(np.concatenate([[0.0], p.times(rng, 50_000)]))
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.03)
+
+    def test_invalid_rate(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(0.0)
+
+
+class TestDeterministic:
+    def test_even_spacing(self):
+        d = DeterministicArrivals(rate=0.25)
+        times = d.times(np.random.default_rng(0), 4)
+        assert list(times) == [4.0, 8.0, 12.0, 16.0]
+
+    def test_start_offset(self):
+        d = DeterministicArrivals(rate=1.0)
+        times = d.times(np.random.default_rng(0), 2, start=100.0)
+        assert list(times) == [101.0, 102.0]
+
+
+class TestBursty:
+    def test_long_run_rate_matches(self):
+        b = BurstyArrivals(rate=0.2, burst_factor=4.0, burst_len_us=50.0, calm_len_us=200.0)
+        rng = np.random.default_rng(3)
+        times = b.times(rng, 200_000)
+        assert len(times) / times[-1] == pytest.approx(0.2, rel=0.05)
+
+    def test_gaps_overdispersed(self):
+        # Bursty traffic has CV > 1 (more variable than Poisson).
+        b = BurstyArrivals(rate=0.2, burst_factor=5.0, burst_len_us=100.0, calm_len_us=700.0)
+        rng = np.random.default_rng(4)
+        gaps = np.array([b.inter_arrival(rng) for _ in range(100_000)])
+        assert gaps.std() / gaps.mean() > 1.1
+
+    def test_infeasible_parameters_raise(self):
+        # burst_factor so high the calm state would need negative rate.
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(rate=1.0, burst_factor=10.0, burst_len_us=500.0, calm_len_us=100.0)
+
+    def test_invalid_burst_factor(self):
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(rate=1.0, burst_factor=1.0)
+
+
+class TestArrivalStream:
+    def test_limit_respected(self):
+        p = PoissonArrivals(rate=1.0)
+        times = list(arrival_stream(p, np.random.default_rng(5), limit=10))
+        assert len(times) == 10
+        assert all(b > a for a, b in zip(times, times[1:]))

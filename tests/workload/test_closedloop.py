@@ -1,0 +1,117 @@
+"""Tests for closed-loop clients."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS
+from repro.server.config import ServerConfig
+from repro.server.server import Server
+from repro.sim.engine import EventLoop
+from repro.sim.randomness import RngRegistry
+from repro.workload.closedloop import ClosedLoopClients
+from repro.workload.presets import high_bimodal
+from repro.workload.spec import bimodal_spec
+
+
+def build(n_clients=4, think=10.0, max_requests=100, n_workers=2, spec=None):
+    loop = EventLoop()
+    rngs = RngRegistry(seed=8)
+    recorder = Recorder()
+    scheduler = CentralizedFCFS()
+    server = Server(loop, scheduler, config=ServerConfig(n_workers=n_workers),
+                    recorder=recorder)
+    clients = ClosedLoopClients(
+        loop,
+        spec if spec is not None else high_bimodal(),
+        server.ingress,
+        n_clients=n_clients,
+        think_time_us=think,
+        type_rng=rngs.stream("t"),
+        service_rng=rngs.stream("s"),
+        think_rng=rngs.stream("think"),
+        max_requests=max_requests,
+    )
+
+    base_on_complete = recorder.on_complete
+
+    def chained(request):
+        base_on_complete(request)
+        clients.on_complete(request)
+
+    scheduler._on_complete = chained
+    return loop, clients, recorder
+
+
+class TestClosedLoopClients:
+    def test_generates_up_to_max(self):
+        loop, clients, recorder = build(max_requests=50)
+        clients.start()
+        loop.run()
+        assert clients.generated == 50
+        assert recorder.completed == 50
+        assert clients.outstanding == 0
+
+    def test_one_outstanding_per_client(self):
+        loop, clients, recorder = build(n_clients=3, think=0.0, max_requests=200)
+        clients.start()
+        # At any poll point, in-flight requests <= number of clients.
+        for checkpoint in (5.0, 50.0, 200.0):
+            loop.run(until=checkpoint)
+            assert clients.outstanding <= 3
+        loop.run()
+
+    def test_self_throttling_under_slow_server(self):
+        # One worker, long services: clients wait, so generation rate
+        # collapses to ~service rate instead of overwhelming the server.
+        spec = bimodal_spec("slow", 50.0, 0.5, 50.0)
+        loop, clients, recorder = build(
+            n_clients=4, think=0.0, max_requests=40, n_workers=1, spec=spec
+        )
+        clients.start()
+        loop.run()
+        # 40 requests x 50us each on 1 worker => makespan ~2000us.
+        assert loop.now == pytest.approx(2000.0, rel=0.05)
+        # Queue never exceeded the client population.
+        assert recorder.completed == 40
+
+    def test_littles_law_ceiling(self):
+        loop, clients, _ = build(n_clients=10, think=90.0)
+        # E[latency] ~ 10us => ceiling = 10 / (10 + 90) = 0.1 req/us.
+        assert clients.theoretical_max_rate(10.0) == pytest.approx(0.1)
+
+    def test_throughput_matches_littles_law(self):
+        spec = bimodal_spec("fixed", 10.0, 0.5, 10.0)
+        loop, clients, recorder = build(
+            n_clients=4, think=30.0, max_requests=2000, n_workers=4, spec=spec
+        )
+        clients.start()
+        loop.run()
+        measured_rate = recorder.completed / loop.now
+        # Latency ~= service (no queueing, 4 workers for 4 clients).
+        expected = clients.theoretical_max_rate(10.0)
+        assert measured_rate == pytest.approx(expected, rel=0.1)
+
+    def test_stop_halts_new_requests(self):
+        loop, clients, recorder = build(think=1.0, max_requests=10_000)
+        clients.start()
+        loop.call_at(100.0, clients.stop)
+        loop.run()
+        assert clients.generated < 10_000
+        assert recorder.completed == clients.generated
+
+    def test_invalid_params(self):
+        loop = EventLoop()
+        rngs = RngRegistry(seed=1)
+        with pytest.raises(WorkloadError):
+            ClosedLoopClients(
+                loop, high_bimodal(), print, n_clients=0, think_time_us=1.0,
+                type_rng=rngs.stream("t"), service_rng=rngs.stream("s"),
+                think_rng=rngs.stream("k"),
+            )
+        with pytest.raises(WorkloadError):
+            ClosedLoopClients(
+                loop, high_bimodal(), print, n_clients=1, think_time_us=-1.0,
+                type_rng=rngs.stream("t"), service_rng=rngs.stream("s"),
+                think_rng=rngs.stream("k"),
+            )

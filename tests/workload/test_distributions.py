@@ -1,0 +1,157 @@
+"""Tests for service-time distributions, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import (
+    Bimodal,
+    Exponential,
+    Fixed,
+    LogNormal,
+    Pareto,
+    Uniform,
+)
+
+RNG = np.random.default_rng(42)
+
+
+class TestFixed:
+    def test_mean_and_sample(self):
+        d = Fixed(3.5)
+        assert d.mean() == 3.5
+        assert d.sample(RNG) == 3.5
+
+    def test_sample_many(self):
+        d = Fixed(2.0)
+        assert np.all(d.sample_many(RNG, 10) == 2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Fixed(0.0)
+        with pytest.raises(ConfigurationError):
+            Fixed(-1.0)
+
+
+class TestExponential:
+    def test_empirical_mean(self):
+        d = Exponential(5.0)
+        samples = d.sample_many(np.random.default_rng(1), 200_000)
+        assert samples.mean() == pytest.approx(5.0, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_mean_is_calibrated(self):
+        d = LogNormal(10.0, sigma=1.5)
+        samples = d.sample_many(np.random.default_rng(2), 500_000)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormal(1.0, sigma=0.0)
+
+
+class TestPareto:
+    def test_mean_formula(self):
+        d = Pareto(minimum_us=1.0, alpha=2.0)
+        assert d.mean() == pytest.approx(2.0)
+
+    def test_empirical_mean(self):
+        d = Pareto(minimum_us=1.0, alpha=3.0)
+        samples = d.sample_many(np.random.default_rng(3), 500_000)
+        assert samples.mean() == pytest.approx(d.mean(), rel=0.05)
+
+    def test_samples_respect_minimum(self):
+        d = Pareto(minimum_us=2.0, alpha=2.5)
+        samples = d.sample_many(np.random.default_rng(4), 10_000)
+        assert samples.min() >= 2.0
+
+    def test_heavy_tail_vs_exponential(self):
+        # Same mean, but the Pareto's p99.9 should be far larger relative
+        # to its mean than... actually compare tail mass directly.
+        par = Pareto(minimum_us=1.0, alpha=1.5)
+        rng = np.random.default_rng(5)
+        samples = par.sample_many(rng, 100_000)
+        assert np.percentile(samples, 99.9) / par.mean() > 10
+
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            Pareto(1.0, alpha=1.0)
+
+
+class TestUniform:
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean() == 2.0
+
+    def test_bounds(self):
+        d = Uniform(1.0, 3.0)
+        samples = d.sample_many(np.random.default_rng(6), 10_000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 3.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(3.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Uniform(0.0, 1.0)
+
+
+class TestBimodal:
+    def test_mean_matches_mixture(self):
+        d = Bimodal(short=0.5, long=500.0, short_ratio=0.995)
+        # The Extreme Bimodal mean the paper's load points divide by.
+        assert d.mean() == pytest.approx(0.995 * 0.5 + 0.005 * 500.0)
+
+    def test_samples_are_two_valued(self):
+        d = Bimodal(1.0, 100.0, 0.5)
+        samples = set(d.sample_many(np.random.default_rng(7), 1000).tolist())
+        assert samples <= {1.0, 100.0}
+
+    def test_ratio_respected(self):
+        d = Bimodal(1.0, 100.0, 0.9)
+        samples = d.sample_many(np.random.default_rng(8), 100_000)
+        assert (samples == 1.0).mean() == pytest.approx(0.9, abs=0.01)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ConfigurationError):
+            Bimodal(1.0, 2.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            Bimodal(1.0, 2.0, 1.0)
+
+
+class TestProperties:
+    @given(
+        mean=st.floats(min_value=0.01, max_value=1e4),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exponential_samples_positive(self, mean, n):
+        d = Exponential(mean)
+        samples = d.sample_many(np.random.default_rng(0), n)
+        assert np.all(samples >= 0)
+
+    @given(
+        short=st.floats(min_value=0.01, max_value=10),
+        longer=st.floats(min_value=10.01, max_value=1e4),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bimodal_mean_between_modes(self, short, longer, p):
+        d = Bimodal(short, longer, p)
+        assert short <= d.mean() <= longer
+
+    @given(
+        minimum=st.floats(min_value=0.01, max_value=100),
+        alpha=st.floats(min_value=1.05, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pareto_mean_exceeds_minimum(self, minimum, alpha):
+        assert Pareto(minimum, alpha).mean() >= minimum

@@ -1,0 +1,101 @@
+"""Tests for the open-loop generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import EventLoop
+from repro.sim.randomness import RngRegistry
+from repro.workload.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.presets import high_bimodal
+
+
+def make_generator(limit=10, rate=1.0, process=None, sink=None, spec=None):
+    loop = EventLoop()
+    rngs = RngRegistry(seed=9)
+    collected = []
+    generator = OpenLoopGenerator(
+        loop,
+        spec if spec is not None else high_bimodal(),
+        process if process is not None else DeterministicArrivals(rate),
+        sink if sink is not None else collected.append,
+        type_rng=rngs.stream("types"),
+        service_rng=rngs.stream("service"),
+        arrival_rng=rngs.stream("arrivals"),
+        limit=limit,
+    )
+    return loop, generator, collected
+
+
+class TestOpenLoopGenerator:
+    def test_generates_exactly_limit(self):
+        loop, gen, got = make_generator(limit=25)
+        gen.start()
+        loop.run()
+        assert len(got) == 25
+        assert gen.generated == 25
+
+    def test_rids_sequential(self):
+        loop, gen, got = make_generator(limit=5)
+        gen.start()
+        loop.run()
+        assert [r.rid for r in got] == [0, 1, 2, 3, 4]
+
+    def test_arrival_times_match_clock(self):
+        loop, gen, got = make_generator(limit=3, rate=0.5)
+        gen.start()
+        loop.run()
+        assert [r.arrival_time for r in got] == [2.0, 4.0, 6.0]
+
+    def test_double_start_raises(self):
+        loop, gen, _ = make_generator()
+        gen.start()
+        with pytest.raises(WorkloadError):
+            gen.start()
+
+    def test_stop_halts_generation(self):
+        loop, gen, got = make_generator(limit=100, rate=1.0)
+        gen.start()
+        loop.call_at(5.5, gen.stop)
+        loop.run()
+        assert len(got) == 5
+
+    def test_set_spec_changes_future_requests(self):
+        from repro.workload.spec import bimodal_spec
+
+        loop, gen, got = make_generator(limit=10, rate=1.0)
+        new_spec = bimodal_spec("swap", 7.0, 0.5, 70.0)
+        gen.start()
+        loop.call_at(5.5, gen.set_spec, new_spec)
+        loop.run()
+        services = {r.service_time for r in got[5:]}
+        assert services <= {7.0, 70.0}
+
+    def test_set_rate_requires_poisson(self):
+        loop, gen, _ = make_generator(process=DeterministicArrivals(1.0))
+        with pytest.raises(WorkloadError):
+            gen.set_rate(2.0)
+
+    def test_set_rate_poisson(self):
+        loop, gen, got = make_generator(limit=2000, process=PoissonArrivals(1.0))
+        gen.start()
+        loop.run()
+        # With rate 1.0, 2000 arrivals take ~2000us.
+        assert loop.now == pytest.approx(2000, rel=0.15)
+
+    def test_same_seeds_same_requests(self):
+        def collect():
+            loop, gen, got = make_generator(limit=50, process=PoissonArrivals(0.3))
+            gen.start()
+            loop.run()
+            return [(r.arrival_time, r.type_id, r.service_time) for r in got]
+
+        assert collect() == collect()
+
+    def test_type_mix_statistics(self):
+        loop, gen, got = make_generator(limit=20_000, rate=10.0)
+        gen.start()
+        loop.run()
+        shorts = sum(1 for r in got if r.type_id == 0)
+        assert shorts / len(got) == pytest.approx(0.5, abs=0.02)

@@ -1,0 +1,112 @@
+"""Tests for phased workloads (Fig. 7 machinery)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import EventLoop
+from repro.sim.randomness import RngRegistry
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.generator import OpenLoopGenerator
+from repro.workload.phases import Phase, PhaseSchedule
+from repro.workload.spec import bimodal_spec
+
+
+def build(phases, limit=None):
+    loop = EventLoop()
+    rngs = RngRegistry(seed=4)
+    got = []
+    generator = OpenLoopGenerator(
+        loop,
+        phases[0].spec,
+        PoissonArrivals(0.1),
+        got.append,
+        type_rng=rngs.stream("t"),
+        service_rng=rngs.stream("s"),
+        arrival_rng=rngs.stream("a"),
+        limit=limit,
+    )
+    return loop, generator, got
+
+
+def specs():
+    a = bimodal_spec("p1", 1.0, 0.5, 100.0)
+    b = bimodal_spec("p2", 2.0, 0.5, 200.0)
+    return a, b
+
+
+class TestPhase:
+    def test_invalid_duration(self):
+        a, _ = specs()
+        with pytest.raises(WorkloadError):
+            Phase(a, 0.0)
+
+    def test_invalid_utilization(self):
+        a, _ = specs()
+        with pytest.raises(WorkloadError):
+            Phase(a, 10.0, utilization=2.0)
+
+
+class TestPhaseSchedule:
+    def test_phases_switch_spec(self):
+        a, b = specs()
+        phases = [Phase(a, 100.0), Phase(b, 100.0)]
+        loop, generator, got = build(phases)
+        schedule = PhaseSchedule(loop, generator, phases, n_workers=4)
+        generator.start()
+        schedule.start()
+        loop.call_at(200.0, generator.stop)
+        loop.run()
+        first = [r for r in got if r.arrival_time <= 100.0]
+        second = [r for r in got if r.arrival_time > 100.0]
+        assert {r.service_time for r in first} <= {1.0, 100.0}
+        assert {r.service_time for r in second} <= {2.0, 200.0}
+
+    def test_utilization_sets_rate(self):
+        a, _ = specs()
+        phases = [Phase(a, 1000.0, utilization=0.5)]
+        loop, generator, _ = build(phases)
+        schedule = PhaseSchedule(loop, generator, phases, n_workers=10)
+        generator.start()
+        schedule.start()
+        expected = 0.5 * a.peak_load(10)
+        assert generator.process.rate == pytest.approx(expected)
+
+    def test_on_phase_callback(self):
+        a, b = specs()
+        phases = [Phase(a, 50.0), Phase(b, 50.0)]
+        loop, generator, _ = build(phases)
+        seen = []
+        schedule = PhaseSchedule(
+            loop, generator, phases, n_workers=2,
+            on_phase=lambda i, p: seen.append((i, p.spec.name)),
+        )
+        generator.start()
+        schedule.start()
+        loop.call_at(100.0, generator.stop)
+        loop.run()
+        assert seen == [(0, "p1"), (1, "p2")]
+
+    def test_total_duration(self):
+        a, b = specs()
+        schedule_phases = [Phase(a, 10.0), Phase(b, 30.0)]
+        loop, generator, _ = build(schedule_phases)
+        schedule = PhaseSchedule(loop, generator, schedule_phases, n_workers=2)
+        assert schedule.total_duration_us == 40.0
+
+    def test_cancel_stops_future_switches(self):
+        a, b = specs()
+        phases = [Phase(a, 50.0), Phase(b, 50.0)]
+        loop, generator, got = build(phases)
+        schedule = PhaseSchedule(loop, generator, phases, n_workers=2)
+        generator.start()
+        schedule.start()
+        schedule.cancel()
+        loop.call_at(150.0, generator.stop)
+        loop.run()
+        assert schedule.current_index == 0
+        assert {r.service_time for r in got} <= {1.0, 100.0}
+
+    def test_empty_phases_raise(self):
+        loop = EventLoop()
+        with pytest.raises(WorkloadError):
+            PhaseSchedule(loop, None, [], n_workers=2)

@@ -1,0 +1,37 @@
+"""Tests for the extension presets (YCSB-A, Facebook USR)."""
+
+import pytest
+
+from repro.workload.presets import by_name, facebook_usr, ycsb_a
+
+
+class TestYcsbA:
+    def test_shape(self):
+        spec = ycsb_a()
+        assert spec.type_names() == ["READ", "UPDATE"]
+        assert spec.classes[0].ratio == 0.50
+        assert spec.dispersion() == pytest.approx(4.0)
+
+    def test_registered(self):
+        assert by_name("ycsb_a").name == "ycsb_a"
+
+
+class TestFacebookUsr:
+    def test_majority_short(self):
+        spec = facebook_usr()
+        assert spec.classes[0].ratio == pytest.approx(0.98)
+        assert spec.dispersion() == pytest.approx(300.0)
+
+    def test_ratios_sum(self):
+        spec = facebook_usr()
+        assert sum(c.ratio for c in spec.classes) == pytest.approx(1.0)
+
+    def test_demand_dominated_by_tail(self):
+        # The 0.2% MISS type carries a large demand share despite its
+        # tiny occurrence — the DARC-relevant property.
+        spec = facebook_usr()
+        shares = spec.demand_shares()
+        assert shares[2] > 0.2
+
+    def test_registered(self):
+        assert by_name("facebook_usr").name == "facebook_usr"

@@ -1,0 +1,71 @@
+"""Tests for the request model."""
+
+import pytest
+
+from repro.workload.request import UNKNOWN_TYPE, Request, RequestTypeSpec
+
+
+class TestRequest:
+    def make(self, **kwargs):
+        defaults = dict(rid=1, type_id=0, arrival_time=10.0, service_time=2.0)
+        defaults.update(kwargs)
+        return Request(**defaults)
+
+    def test_initial_state(self):
+        r = self.make()
+        assert not r.completed
+        assert not r.dropped
+        assert r.remaining_time == 2.0
+        assert r.classified_type is None
+
+    def test_latency_and_slowdown(self):
+        r = self.make()
+        r.finish_time = 30.0
+        assert r.latency == 20.0
+        assert r.slowdown == 10.0
+
+    def test_latency_before_completion_raises(self):
+        r = self.make()
+        with pytest.raises(ValueError):
+            _ = r.latency
+
+    def test_slowdown_zero_service_raises(self):
+        r = self.make(service_time=0.0)
+        r.finish_time = 11.0
+        with pytest.raises(ValueError):
+            _ = r.slowdown
+
+    def test_waiting_time(self):
+        r = self.make()
+        r.first_service_time = 15.0
+        assert r.waiting_time == 5.0
+
+    def test_waiting_time_never_served_raises(self):
+        r = self.make()
+        with pytest.raises(ValueError):
+            _ = r.waiting_time
+
+    def test_effective_type_prefers_classification(self):
+        r = self.make(type_id=0)
+        assert r.effective_type() == 0
+        r.classified_type = 3
+        assert r.effective_type() == 3
+
+    def test_effective_type_unknown(self):
+        r = self.make()
+        r.classified_type = UNKNOWN_TYPE
+        assert r.effective_type() == UNKNOWN_TYPE
+
+    def test_slowdown_of_one_for_instant_service(self):
+        r = self.make()
+        r.finish_time = r.arrival_time + r.service_time
+        assert r.slowdown == pytest.approx(1.0)
+
+
+class TestRequestTypeSpec:
+    def test_fields(self):
+        s = RequestTypeSpec(2, "SCAN", 635.0, 0.5)
+        assert s.type_id == 2
+        assert s.name == "SCAN"
+        assert s.mean_service_time == 635.0
+        assert s.ratio == 0.5

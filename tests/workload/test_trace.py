@@ -1,0 +1,90 @@
+"""Tests for trace record/replay."""
+
+import io
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.engine import EventLoop
+from repro.sim.randomness import RngRegistry
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.presets import high_bimodal
+from repro.workload.trace import Trace, TraceReplayer, record_trace
+
+
+def sample_trace(n=100):
+    rngs = RngRegistry(seed=5)
+    return record_trace(
+        high_bimodal(),
+        PoissonArrivals(0.5),
+        n,
+        type_rng=rngs.stream("t"),
+        service_rng=rngs.stream("s"),
+        arrival_rng=rngs.stream("a"),
+    )
+
+
+class TestTrace:
+    def test_record_produces_n_rows(self):
+        trace = sample_trace(100)
+        assert len(trace) == 100
+
+    def test_rows_time_ordered(self):
+        trace = sample_trace(200)
+        times = [t for t, _, _ in trace]
+        assert times == sorted(times)
+
+    def test_out_of_order_rows_raise(self):
+        with pytest.raises(WorkloadError):
+            Trace([(2.0, 0, 1.0), (1.0, 0, 1.0)])
+
+    def test_offered_rate(self):
+        trace = sample_trace(5000)
+        assert trace.offered_rate() == pytest.approx(0.5, rel=0.1)
+
+    def test_type_counts(self):
+        trace = sample_trace(1000)
+        counts = trace.type_counts()
+        assert sum(counts.values()) == 1000
+        assert set(counts) <= {0, 1}
+
+    def test_save_load_roundtrip(self):
+        trace = sample_trace(50)
+        buf = io.StringIO()
+        trace.save(buf)
+        buf.seek(0)
+        loaded = Trace.load(buf, name=trace.name)
+        assert loaded.rows == trace.rows
+
+    def test_dumps_loads_roundtrip(self):
+        trace = sample_trace(20)
+        assert Trace.loads(trace.dumps()).rows == trace.rows
+
+    def test_empty_trace_duration(self):
+        trace = Trace([])
+        assert trace.duration() == 0.0
+        assert trace.offered_rate() == 0.0
+
+
+class TestTraceReplayer:
+    def test_replay_preserves_everything(self):
+        trace = sample_trace(100)
+        loop = EventLoop()
+        got = []
+        replayer = TraceReplayer(loop, trace, got.append)
+        replayer.start()
+        loop.run()
+        assert replayer.replayed == 100
+        assert [(r.arrival_time, r.type_id, r.service_time) for r in got] == trace.rows
+
+    def test_replay_is_deterministic_across_runs(self):
+        trace = sample_trace(50)
+
+        def replay():
+            loop = EventLoop()
+            got = []
+            TraceReplayer(loop, trace, got.append).start()
+            loop.run()
+            return [(r.rid, r.arrival_time) for r in got]
+
+        assert replay() == replay()
