@@ -26,7 +26,9 @@ Quickstart::
 
 from .core.classifier import OracleClassifier, RandomClassifier
 from .core.darc import DarcScheduler
+from .errors import SanitizerViolation
 from .experiments.common import RunResult, run_once, run_sweep
+from .lint.sanitizer import SimSanitizer
 from .metrics.summary import RunSummary
 from .policies.fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
 from .policies.timesharing import TimeSharing
@@ -60,6 +62,8 @@ __all__ = [
     "TimeSharing",
     "Server",
     "EventLoop",
+    "SimSanitizer",
+    "SanitizerViolation",
     "PersephoneSystem",
     "PersephoneStaticSystem",
     "PersephoneCfcfsSystem",

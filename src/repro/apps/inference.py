@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..sim.randomness import RngRegistry
 from ..workload.distributions import Fixed
 from ..workload.spec import TypedClass, WorkloadSpec
 
@@ -225,7 +226,7 @@ def make_demo_model(
     n_samples: int = 400, n_features: int = 5, n_trees: int = 100, seed: int = 5
 ) -> Tuple[GbdtModel, np.ndarray, np.ndarray]:
     """Fit a small model on a synthetic nonlinear regression task."""
-    rng = np.random.default_rng(seed)
+    rng = RngRegistry(seed=seed).stream("inference-demo")
     X = rng.uniform(-1, 1, size=(n_samples, n_features))
     y = (
         np.sin(3 * X[:, 0])

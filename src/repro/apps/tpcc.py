@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..sim.randomness import RngRegistry
 from ..workload.presets import TPCC_TRANSACTIONS
 from ..workload.spec import WorkloadSpec, nmodal_spec
 
@@ -79,7 +80,7 @@ class TpccDatabase:
         self.districts: List[District] = [
             District(d, n_customers) for d in range(n_warehouses * n_districts)
         ]
-        self._rng = np.random.default_rng(seed)
+        self._rng = RngRegistry(seed=seed).stream("tpcc-db")
         self.txn_counts: Dict[str, int] = {name: 0 for name in TXN_PROFILE}
 
     def _district(self, district_id: Optional[int] = None) -> District:

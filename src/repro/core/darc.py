@@ -532,6 +532,25 @@ class DarcScheduler(Scheduler):
         alloc = self.reservation.group_for_type(type_id)
         return len(alloc.reserved) if alloc else 0
 
+    def worker_may_serve(self, worker_id: int, type_id: int) -> bool:
+        """True when the current reservation permits ``worker_id`` to
+        serve requests of ``type_id``.
+
+        During the c-FCFS startup window (no reservation yet) every
+        worker may serve every type.  Types outside the reservation
+        (orphans and UNKNOWN) are eligible only on the spillway core.
+        Used by the runtime sanitizer to assert that typed queues only
+        drain to eligible workers.
+        """
+        if self.reservation is None:
+            return True
+        if worker_id < len(self._allowed) and type_id in self._allowed[worker_id]:
+            return True
+        spill = self.reservation.spillway_worker
+        if spill is not None and worker_id == spill:
+            return self.reservation.group_for_type(type_id) is None
+        return False
+
     def expected_waste(self) -> float:
         """Analytic Eq. 2 waste of the current reservation."""
         return self.reservation.expected_waste() if self.reservation else 0.0

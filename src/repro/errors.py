@@ -29,3 +29,41 @@ class SchedulingError(ReproError):
 
 class ClassifierError(ReproError):
     """Raised when a request classifier misbehaves in a detectable way."""
+
+
+class LintError(ReproError):
+    """Raised for fatal problems inside the ``repro.lint`` analyzer itself
+    (unparseable source, unknown rule ids, bad suppression syntax) — *not*
+    for lint findings, which are reported as data, never raised."""
+
+
+class SanitizerViolation(ReproError):
+    """A simulation invariant was broken at runtime.
+
+    Raised by :class:`repro.lint.sanitizer.SimSanitizer` the moment an
+    invariant check fails.  Carries structured context so test harnesses
+    and CI logs can pinpoint the offending event:
+
+    ``invariant``
+        Stable identifier of the broken invariant (e.g.
+        ``"monotonic-time"``, ``"request-conservation"``).
+    ``time``
+        Simulation time (us) at which the violation was detected, or
+        ``None`` when no loop was attached.
+    ``context``
+        Free-form dict of supporting values (counters, worker ids, ...).
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        time: "float | None" = None,
+        context: "dict | None" = None,
+    ):
+        self.invariant = invariant
+        self.time = time
+        self.context = dict(context) if context else {}
+        at = f" at t={time:.3f}us" if time is not None else ""
+        detail = f" ({', '.join(f'{k}={v}' for k, v in self.context.items())})" if self.context else ""
+        super().__init__(f"[{invariant}]{at}: {message}{detail}")

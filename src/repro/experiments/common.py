@@ -74,6 +74,7 @@ def run_once(
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
     max_sim_time_us: Optional[float] = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """Simulate one load point and summarize it.
 
@@ -81,6 +82,12 @@ def run_once(
     server (every generated request completes unless dropped by flow
     control).  ``max_sim_time_us`` optionally caps the drain for badly
     overloaded configurations.
+
+    ``sanitize=True`` attaches a
+    :class:`~repro.lint.sanitizer.SimSanitizer` that asserts simulation
+    invariants (time monotonicity, request conservation, worker
+    exclusivity, DARC reservation rules) after every event, raising
+    :class:`~repro.errors.SanitizerViolation` on the first breakage.
     """
     if utilization <= 0:
         raise ConfigurationError(f"utilization must be > 0, got {utilization}")
@@ -93,6 +100,10 @@ def run_once(
     config = system.make_config()
     recorder = Recorder()
     server = Server(loop, scheduler, config=config, recorder=recorder)
+    if sanitize:
+        from ..lint.sanitizer import SimSanitizer
+
+        SimSanitizer().attach(loop, server)
 
     rate = utilization * spec.peak_load(config.n_workers)
     generator = OpenLoopGenerator(

@@ -1,0 +1,42 @@
+"""repro.lint — simulation-correctness analyzer.
+
+Three layers, one goal: keep the discrete-event simulation *provably*
+deterministic and conservation-correct so the paper's queueing results
+can be trusted.
+
+* :mod:`repro.lint.rules` / :mod:`repro.lint.runner` — AST lint rules
+  (``repro-lint`` CLI) flagging nondeterminism and unit bugs at rest;
+* :mod:`repro.lint.sanitizer` — :class:`SimSanitizer`, an opt-in runtime
+  invariant checker hooked into the event loop;
+* :mod:`repro.lint.determinism` — the twice-run same-seed digest check.
+
+See ``docs/lint.md`` for the rule catalogue and suppression syntax.
+"""
+
+from .determinism import (
+    DeterminismReport,
+    RunDigest,
+    check_all,
+    check_system,
+    digest_run,
+)
+from .rules import ALL_RULES, RULES_BY_ID, Rule
+from .runner import Finding, has_errors, lint_file, lint_paths, lint_source
+from .sanitizer import SimSanitizer
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Finding",
+    "has_errors",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "SimSanitizer",
+    "DeterminismReport",
+    "RunDigest",
+    "digest_run",
+    "check_system",
+    "check_all",
+]

@@ -1,0 +1,173 @@
+"""Seed-determinism checker.
+
+Runs an experiment twice with the same root seed and compares a digest of
+the observable event stream — every completion's (type, arrival, service,
+finish, wait) plus engine counters and drop totals.  Two same-seed runs
+of a correct simulator must produce byte-identical digests; any
+divergence means hidden state (wall clock, unseeded RNG, hash-order
+iteration, cross-run leakage) reached a scheduling decision.
+
+Exposed as ``repro-lint --determinism`` and as a pytest suite
+(``tests/lint/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.common import run_once
+from ..systems.base import SystemModel
+from ..workload.spec import WorkloadSpec
+
+
+class RunDigest(NamedTuple):
+    """Fingerprint of one simulated run."""
+
+    system: str
+    seed: int
+    digest: str
+    completed: int
+    dropped: int
+    events_processed: int
+    final_time: float
+
+
+class DeterminismReport(NamedTuple):
+    """Outcome of one twice-run comparison."""
+
+    system: str
+    seed: int
+    identical: bool
+    first: RunDigest
+    second: RunDigest
+
+    def describe(self) -> str:
+        verdict = "OK " if self.identical else "FAIL"
+        line = (
+            f"[{verdict}] {self.system}: seed={self.seed} "
+            f"digest={self.first.digest[:16]}"
+        )
+        if not self.identical:
+            line += (
+                f" != {self.second.digest[:16]} "
+                f"(completed {self.first.completed}/{self.second.completed}, "
+                f"events {self.first.events_processed}/{self.second.events_processed})"
+            )
+        return line
+
+
+def digest_run(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float = 0.7,
+    n_requests: int = 2000,
+    seed: int = 1,
+    sanitize: bool = False,
+) -> RunDigest:
+    """Simulate one load point and hash its observable outcome."""
+    result = run_once(
+        system,
+        spec,
+        utilization,
+        n_requests=n_requests,
+        seed=seed,
+        sanitize=sanitize,
+    )
+    recorder = result.server.recorder
+    columns = recorder.columns()
+    sha = hashlib.sha256()
+    for array in (
+        columns.type_ids,
+        columns.arrivals,
+        columns.services,
+        columns.finishes,
+        columns.waits,
+        columns.preemptions,
+        columns.overheads,
+    ):
+        sha.update(np.ascontiguousarray(array).tobytes())
+    loop = result.server.loop
+    sha.update(
+        struct.pack(
+            "<qqqd",
+            recorder.completed,
+            recorder.dropped,
+            loop.events_processed,
+            loop.now,
+        )
+    )
+    return RunDigest(
+        system=result.system_name,
+        seed=seed,
+        digest=sha.hexdigest(),
+        completed=recorder.completed,
+        dropped=recorder.dropped,
+        events_processed=loop.events_processed,
+        final_time=loop.now,
+    )
+
+
+def check_system(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float = 0.7,
+    n_requests: int = 2000,
+    seed: int = 1,
+    sanitize: bool = False,
+) -> DeterminismReport:
+    """Run ``system`` twice with the same seed and compare digests."""
+    first = digest_run(system, spec, utilization, n_requests, seed, sanitize)
+    second = digest_run(system, spec, utilization, n_requests, seed, sanitize)
+    return DeterminismReport(
+        system=first.system,
+        seed=seed,
+        identical=first.digest == second.digest,
+        first=first,
+        second=second,
+    )
+
+
+def default_systems() -> List[SystemModel]:
+    """The paper's three systems, as checked by CI."""
+    from ..systems.persephone import PersephoneSystem
+    from ..systems.shenango import ShenangoSystem
+    from ..systems.shinjuku import ShinjukuSystem
+
+    return [
+        PersephoneSystem(n_workers=8, min_samples=200),
+        ShenangoSystem(n_workers=8),
+        ShinjukuSystem(n_workers=8),
+    ]
+
+
+def check_all(
+    systems: Optional[Sequence[SystemModel]] = None,
+    spec_factory: Optional[Callable[[], WorkloadSpec]] = None,
+    utilization: float = 0.7,
+    n_requests: int = 2000,
+    seed: int = 1,
+    sanitize: bool = False,
+) -> List[DeterminismReport]:
+    """Twice-run every system; a fresh spec per run pair guards against
+    workload-spec mutation leaking between runs."""
+    if spec_factory is None:
+        from ..workload.presets import high_bimodal
+
+        spec_factory = high_bimodal
+    reports = []
+    for system in systems if systems is not None else default_systems():
+        reports.append(
+            check_system(
+                system,
+                spec_factory(),
+                utilization=utilization,
+                n_requests=n_requests,
+                seed=seed,
+                sanitize=sanitize,
+            )
+        )
+    return reports

@@ -1,0 +1,166 @@
+"""Lint driver: walk files, run rules, honour suppressions.
+
+The runner is a library first (:func:`lint_paths`, :func:`lint_source`)
+and a CLI second (:mod:`repro.lint.cli`), so tests and tooling can lint
+in-memory snippets without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set
+
+from ..errors import LintError
+from .rules import ALL_RULES, RULES_BY_ID, ModuleContext, Rule
+
+#: ``# repro-lint: disable=R001,R002`` (line) / ``disable-file=R005`` (file).
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+#: How deep into a file a ``disable-file`` comment may appear.
+_FILE_PRAGMA_WINDOW = 10
+
+
+class Finding(NamedTuple):
+    """One lint violation, after suppression filtering."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+
+
+class Suppressions:
+    """Parsed ``repro-lint`` pragmas for one file."""
+
+    def __init__(self, source: str):
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        for lineno, comment in self._comments(source):
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            ids = {part.strip().upper() for part in match.group("ids").split(",") if part.strip()}
+            for rule_id in ids:
+                if rule_id != "ALL" and rule_id not in RULES_BY_ID:
+                    raise LintError(
+                        f"line {lineno}: unknown rule id {rule_id!r} in suppression "
+                        f"(known: {', '.join(sorted(RULES_BY_ID))}, or 'all')"
+                    )
+            if match.group("kind") == "disable-file":
+                if lineno <= _FILE_PRAGMA_WINDOW:
+                    self.file_wide.update(ids)
+                else:
+                    raise LintError(
+                        f"line {lineno}: disable-file pragma must appear in the "
+                        f"first {_FILE_PRAGMA_WINDOW} lines"
+                    )
+            else:
+                self.by_line.setdefault(lineno, set()).update(ids)
+
+    @staticmethod
+    def _comments(source: str):
+        """Yield (lineno, text) for genuine comment tokens only, so a
+        pragma quoted inside a docstring is not treated as live."""
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rule_id = rule_id.upper()
+        if "ALL" in self.file_wide or rule_id in self.file_wide:
+            return True
+        ids = self.by_line.get(line)
+        return ids is not None and ("ALL" in ids or rule_id in ids)
+
+
+def _make_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    if select is None:
+        return [rule() for rule in ALL_RULES]
+    rules: List[Rule] = []
+    for rule_id in select:
+        cls = RULES_BY_ID.get(rule_id.upper())
+        if cls is None:
+            raise LintError(f"unknown rule id {rule_id!r}")
+        rules.append(cls())
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+    ctx = ModuleContext(path, source, tree)
+    suppressions = Suppressions(source)
+    findings: List[Finding] = []
+    for rule in _make_rules(select):
+        if rule.scoped and not ctx.is_sim_critical:
+            continue
+        for raw in rule.check(ctx):
+            if suppressions.is_suppressed(raw.line, rule.id):
+                continue
+            findings.append(
+                Finding(path, raw.line, raw.col, rule.id, rule.severity, raw.message)
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            collected.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if not d.startswith((".", "__pycache__")))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        collected.append(os.path.join(root, name))
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(collected))
+
+
+def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fp:
+        return lint_source(fp.read(), path=path, select=select)
+
+
+def lint_paths(
+    paths: Iterable[str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns all findings."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select))
+    return findings
+
+
+def has_errors(findings: Sequence[Finding], strict: bool = False) -> bool:
+    """True when the findings should fail the run (errors always;
+    warnings only under ``strict``)."""
+    if strict:
+        return bool(findings)
+    return any(f.severity == "error" for f in findings)

@@ -1,0 +1,281 @@
+"""Runtime invariant sanitizer for the discrete-event simulation.
+
+:class:`SimSanitizer` is the dynamic half of ``repro.lint``: where the
+AST rules catch nondeterminism *patterns*, the sanitizer catches live
+invariant breakage while a simulation runs.  It hooks into
+:class:`~repro.sim.engine.EventLoop` (see
+:meth:`~repro.sim.engine.EventLoop.attach_sanitizer`) and is called
+around every executed event; when disabled (the default — no sanitizer
+attached) the engine pays a single ``is None`` test per event.
+
+Invariants checked after every event
+------------------------------------
+* **monotonic-time** — executed event times never decrease, and the loop
+  clock equals the last executed event's time.
+* **worker-exclusivity** — every busy worker serves exactly one request,
+  that request points back at the worker, no request is on two workers,
+  and no completed request is still occupying a core.
+* **queue-depth** — ``Scheduler.pending_count()`` is never negative and
+  drop counters never decrease.
+* **request-conservation** (running form) — completions + drops never
+  exceed arrivals.
+* **darc-reservation** — with a :class:`~repro.core.darc.DarcScheduler`
+  attached: reserved worker ids are in range, distinct reserved cores
+  never exceed the machine, and every request *begins* service on a
+  worker its type may use under the reservation in force at begin time
+  (typed queues only drain to eligible workers).
+
+Invariants checked when the heap drains
+---------------------------------------
+* **request-conservation** (drain form) — arrivals == completions +
+  drops, with zero requests in flight or still queued.  This is the
+  lost-request detector: a scheduler that strands a request in a queue
+  no worker may serve fails here rather than silently shifting the tail.
+
+Violations raise :class:`~repro.errors.SanitizerViolation` with the
+invariant id, the simulation time, and structured context.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..errors import SanitizerViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..server.server import Server
+    from ..sim.engine import EventLoop
+    from ..sim.events import Event
+
+
+class SimSanitizer:
+    """Opt-in runtime checker; attach one per :class:`EventLoop`.
+
+    Example
+    -------
+    >>> from repro.sim.engine import EventLoop
+    >>> loop = EventLoop()
+    >>> sanitizer = SimSanitizer()
+    >>> sanitizer.attach(loop)
+    >>> _ = loop.call_at(1.0, lambda: None)
+    >>> _ = loop.run()
+    >>> sanitizer.events_checked
+    1
+    """
+
+    def __init__(self, server: Optional["Server"] = None):
+        self.server = server
+        self.loop: Optional["EventLoop"] = None
+        #: Number of events the sanitizer has inspected.
+        self.events_checked = 0
+        #: Total individual invariant checks evaluated (for tests/reports).
+        self.checks_run = 0
+        self._last_event_time = float("-inf")
+        self._last_drops = 0
+        # (worker_id -> (rid, reservation identity)) pairs already
+        # validated for DARC eligibility; re-validated only when a new
+        # request lands on the worker.
+        self._validated: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, loop: "EventLoop", server: Optional["Server"] = None) -> "SimSanitizer":
+        """Hook into ``loop`` (and optionally observe ``server``)."""
+        if server is not None:
+            self.server = server
+        self.loop = loop
+        loop.attach_sanitizer(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # engine callbacks
+    # ------------------------------------------------------------------
+    def before_event(self, loop: "EventLoop", event: "Event") -> None:
+        """Called by the engine just before an event executes."""
+        self.checks_run += 1
+        if event.time < self._last_event_time:
+            self._violate(
+                "monotonic-time",
+                "event popped earlier than an already-executed event",
+                loop,
+                {"event_time": event.time, "last_time": self._last_event_time},
+            )
+        if event.time < loop.now:
+            self._violate(
+                "monotonic-time",
+                "event scheduled in the past slipped into the heap",
+                loop,
+                {"event_time": event.time, "now": loop.now},
+            )
+        self._last_event_time = event.time
+
+    def after_event(self, loop: "EventLoop", event: "Event") -> None:
+        """Called by the engine just after an event executes."""
+        self.events_checked += 1
+        if self.server is not None:
+            self._check_workers(loop)
+            self._check_queues(loop)
+            self._check_conservation(loop, at_drain=False)
+            self._check_darc(loop)
+
+    def on_drain(self, loop: "EventLoop") -> None:
+        """Called by the engine when the heap empties at the end of run()."""
+        if self.server is not None:
+            self._check_conservation(loop, at_drain=True)
+
+    # ------------------------------------------------------------------
+    # the invariants
+    # ------------------------------------------------------------------
+    def _violate(self, invariant: str, message: str, loop: "EventLoop", context: dict) -> None:
+        raise SanitizerViolation(invariant, message, time=loop.now, context=context)
+
+    def _check_workers(self, loop: "EventLoop") -> None:
+        self.checks_run += 1
+        seen_rids: Dict[int, int] = {}
+        for worker in self.server.workers:
+            request = worker.current
+            if request is None:
+                continue
+            if request.worker_id != worker.worker_id:
+                self._violate(
+                    "worker-exclusivity",
+                    "in-flight request does not point back at its worker",
+                    loop,
+                    {"worker": worker.worker_id, "rid": request.rid,
+                     "request_worker": request.worker_id},
+                )
+            if request.rid in seen_rids:
+                self._violate(
+                    "worker-exclusivity",
+                    "one request is in flight on two workers",
+                    loop,
+                    {"rid": request.rid, "workers": (seen_rids[request.rid], worker.worker_id)},
+                )
+            seen_rids[request.rid] = worker.worker_id
+            if request.finish_time is not None:
+                self._violate(
+                    "worker-exclusivity",
+                    "completed request still occupies a worker",
+                    loop,
+                    {"rid": request.rid, "worker": worker.worker_id,
+                     "finish_time": request.finish_time},
+                )
+
+    def _check_queues(self, loop: "EventLoop") -> None:
+        self.checks_run += 1
+        pending = self.server.scheduler.pending_count()
+        if pending < 0:
+            self._violate(
+                "queue-depth",
+                "scheduler reports a negative queue depth",
+                loop,
+                {"pending": pending},
+            )
+        drops = self.server.recorder.dropped
+        if drops < self._last_drops:
+            self._violate(
+                "queue-depth",
+                "drop counter decreased",
+                loop,
+                {"drops": drops, "previous": self._last_drops},
+            )
+        self._last_drops = drops
+
+    def _check_conservation(self, loop: "EventLoop", at_drain: bool) -> None:
+        self.checks_run += 1
+        server = self.server
+        received = server.received
+        completed = server.recorder.completed
+        dropped = server.recorder.dropped
+        if completed + dropped > received:
+            self._violate(
+                "request-conservation",
+                "more requests completed+dropped than ever arrived",
+                loop,
+                {"received": received, "completed": completed, "dropped": dropped},
+            )
+        if at_drain:
+            in_flight = server.in_flight
+            pending = server.pending
+            if completed + dropped + in_flight + pending != received:
+                self._violate(
+                    "request-conservation",
+                    "requests lost at drain: arrivals != completions + drops",
+                    loop,
+                    {"received": received, "completed": completed,
+                     "dropped": dropped, "in_flight": in_flight, "pending": pending},
+                )
+            if in_flight or pending:
+                self._violate(
+                    "request-conservation",
+                    "event heap drained with work still in the system",
+                    loop,
+                    {"in_flight": in_flight, "pending": pending},
+                )
+
+    def _check_darc(self, loop: "EventLoop") -> None:
+        scheduler = self.server.scheduler
+        if not hasattr(scheduler, "worker_may_serve"):
+            return
+        reservation = getattr(scheduler, "reservation", None)
+        if reservation is None:
+            # c-FCFS startup window: any worker may serve any type.
+            # Record placements so a later reservation install does not
+            # retroactively judge requests begun before it existed.
+            for worker in self.server.workers:
+                if worker.current is None:
+                    self._validated.pop(worker.worker_id, None)
+                else:
+                    self._validated[worker.worker_id] = (worker.current.rid, 0)
+            return
+        self.checks_run += 1
+        n_workers = len(self.server.workers)
+        reserved_ids = set()
+        for alloc in reservation.allocations:
+            for widx in alloc.reserved:
+                if not 0 <= widx < n_workers:
+                    self._violate(
+                        "darc-reservation",
+                        "reservation names a worker outside the machine",
+                        loop,
+                        {"worker": widx, "n_workers": n_workers},
+                    )
+                reserved_ids.add(widx)
+        if len(reserved_ids) > n_workers:
+            self._violate(
+                "darc-reservation",
+                "distinct reserved cores exceed total cores",
+                loop,
+                {"reserved": len(reserved_ids), "n_workers": n_workers},
+            )
+        reservation_key = id(reservation)
+        for worker in self.server.workers:
+            request = worker.current
+            if request is None:
+                self._validated.pop(worker.worker_id, None)
+                continue
+            mark = (request.rid, reservation_key)
+            if self._validated.get(worker.worker_id) == mark:
+                continue
+            previous = self._validated.get(worker.worker_id)
+            if previous is not None and previous[0] == request.rid:
+                # Same request, reservation replaced mid-service: its
+                # placement was legal when it began; do not re-judge.
+                self._validated[worker.worker_id] = mark
+                continue
+            type_id = request.effective_type()
+            if not scheduler.worker_may_serve(worker.worker_id, type_id):
+                self._violate(
+                    "darc-reservation",
+                    "typed queue drained to a worker its type may not use",
+                    loop,
+                    {"worker": worker.worker_id, "rid": request.rid, "type": type_id},
+                )
+            self._validated[worker.worker_id] = mark
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimSanitizer(events_checked={self.events_checked}, "
+            f"checks_run={self.checks_run})"
+        )

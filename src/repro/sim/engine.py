@@ -17,6 +17,10 @@ Design notes
 * The loop never moves time backwards; scheduling in the past raises
   :class:`~repro.errors.SimulationError` instead of silently reordering
   history.
+* An optional :class:`~repro.lint.sanitizer.SimSanitizer` may be attached
+  via :meth:`EventLoop.attach_sanitizer`; the loop then reports every
+  executed event (and heap drain) to it.  With no sanitizer attached the
+  cost is a single ``is None`` test per event.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ class EventLoop:
         self._events_processed = 0
         self._running = False
         self._stopped = False
+        self._sanitizer = None
 
     @property
     def now(self) -> float:
@@ -92,6 +97,21 @@ class EventLoop:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
+    @property
+    def sanitizer(self):
+        """The attached :class:`SimSanitizer`, or None (the default)."""
+        return self._sanitizer
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Install an invariant checker notified around every event.
+
+        Pass ``None`` to detach.  Only one sanitizer may be attached at a
+        time; attaching over an existing one raises.
+        """
+        if sanitizer is not None and self._sanitizer is not None and sanitizer is not self._sanitizer:
+            raise SimulationError("a sanitizer is already attached to this loop")
+        self._sanitizer = sanitizer
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is drained."""
         heap = self._heap
@@ -114,6 +134,7 @@ class EventLoop:
         self._running = True
         self._stopped = False
         heap = self._heap
+        sanitizer = self._sanitizer
         executed = 0
         try:
             while heap:
@@ -126,12 +147,18 @@ class EventLoop:
                 if max_events is not None and executed >= max_events:
                     break
                 heapq.heappop(heap)
+                if sanitizer is not None:
+                    sanitizer.before_event(self, event)
                 self._now = event.time
                 event.fn(*event.args)
                 self._events_processed += 1
                 executed += 1
+                if sanitizer is not None:
+                    sanitizer.after_event(self, event)
                 if self._stopped:
                     break
+            if sanitizer is not None and not any(not e.cancelled for e in heap):
+                sanitizer.on_drain(self)
         finally:
             self._running = False
         if until is not None and not self._stopped and self._now < until:

@@ -1,0 +1,433 @@
+"""Positive + negative fixtures for every AST lint rule, plus the
+suppression machinery."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+from repro.lint.runner import has_errors, lint_source
+
+#: Path prefixes that put a fixture inside / outside the sim-critical scope.
+CRITICAL = "src/repro/sim/fixture.py"
+CRITICAL_CORE = "src/repro/core/fixture.py"
+DRIVER = "src/repro/experiments/fixture.py"
+
+
+def lint(source: str, path: str = CRITICAL, select=None):
+    return lint_source(textwrap.dedent(source), path=path, select=select)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestDirectRandom:
+    def test_stdlib_random_flagged(self):
+        findings = lint(
+            """
+            import random
+            def pick():
+                return random.random()
+            """
+        )
+        assert rule_ids(findings) == ["R001"]
+
+    def test_numpy_global_rng_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            def pick():
+                return np.random.default_rng().integers(0, 4)
+            """
+        )
+        assert "R001" in rule_ids(findings)
+
+    def test_from_import_alias_flagged(self):
+        findings = lint(
+            """
+            from random import randint
+            def pick():
+                return randint(0, 3)
+            """
+        )
+        assert rule_ids(findings) == ["R001"]
+
+    def test_registry_stream_ok(self):
+        findings = lint(
+            """
+            def pick(rngs):
+                return rngs.stream("victims").integers(0, 4)
+            """
+        )
+        assert findings == []
+
+    def test_randomness_module_exempt(self):
+        findings = lint(
+            """
+            import numpy as np
+            def make(seed):
+                return np.random.default_rng(seed)
+            """,
+            path="src/repro/sim/randomness.py",
+        )
+        assert findings == []
+
+    def test_generator_annotation_not_flagged(self):
+        findings = lint(
+            """
+            import numpy as np
+            def draw(rng: np.random.Generator) -> float:
+                return rng.random()
+            """
+        )
+        assert findings == []
+
+
+class TestWallClock:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.monotonic()", "time.perf_counter()", "time.sleep(1)"],
+    )
+    def test_time_module_flagged_in_sim(self, call):
+        findings = lint(f"import time\nnow = lambda: {call}\n")
+        assert rule_ids(findings) == ["R002"]
+
+    def test_datetime_now_flagged(self):
+        findings = lint(
+            """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """
+        )
+        assert rule_ids(findings) == ["R002"]
+
+    def test_driver_code_exempt(self):
+        findings = lint("import time\nstart = time.time()\n", path=DRIVER)
+        assert findings == []
+
+    def test_sim_time_ok(self):
+        findings = lint(
+            """
+            def stamp(loop):
+                return loop.now
+            """
+        )
+        assert findings == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        findings = lint("def f(acc=[]):\n    return acc\n")
+        assert rule_ids(findings) == ["R003"]
+
+    def test_dict_set_call_defaults_flagged(self):
+        findings = lint(
+            """
+            def f(a={}, b=set(), c=dict()):
+                return a, b, c
+            """
+        )
+        assert rule_ids(findings) == ["R003", "R003", "R003"]
+
+    def test_kwonly_default_flagged(self):
+        findings = lint("def f(*, acc=[]):\n    return acc\n")
+        assert rule_ids(findings) == ["R003"]
+
+    def test_flagged_outside_critical_scope_too(self):
+        findings = lint("def f(acc=[]):\n    return acc\n", path=DRIVER)
+        assert rule_ids(findings) == ["R003"]
+
+    def test_none_default_ok(self):
+        findings = lint(
+            """
+            def f(acc=None, n=3, name="x"):
+                return acc or []
+            """
+        )
+        assert findings == []
+
+
+class TestUnorderedIteration:
+    def test_set_literal_iteration_flagged(self):
+        findings = lint(
+            """
+            def dispatch():
+                for tid in {3, 1, 2}:
+                    yield tid
+            """,
+            path=CRITICAL_CORE,
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_set_call_iteration_flagged(self):
+        findings = lint(
+            """
+            def dispatch(ids):
+                for tid in set(ids):
+                    yield tid
+            """,
+            path=CRITICAL_CORE,
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_set_typed_attribute_iteration_flagged(self):
+        findings = lint(
+            """
+            class Sched:
+                def __init__(self):
+                    self.orphans = set()
+                def drain(self):
+                    for tid in self.orphans:
+                        yield tid
+            """,
+            path=CRITICAL_CORE,
+        )
+        assert rule_ids(findings) == ["R004"]
+
+    def test_sorted_set_ok(self):
+        findings = lint(
+            """
+            def dispatch(pending):
+                for tid in sorted({3, 1, 2} | pending):
+                    yield tid
+            """,
+            path=CRITICAL_CORE,
+        )
+        assert findings == []
+
+    def test_list_iteration_ok(self):
+        findings = lint(
+            """
+            def dispatch(order):
+                for tid in order:
+                    yield tid
+            """,
+            path=CRITICAL_CORE,
+        )
+        assert findings == []
+
+
+class TestRawUnitLiteral:
+    def test_mult_by_1e6_flagged(self):
+        findings = lint("def conv(s):\n    return s * 1e6\n")
+        assert rule_ids(findings) == ["R005"]
+
+    def test_div_by_billion_flagged(self):
+        findings = lint("def conv(ns):\n    return ns / 1_000_000_000\n")
+        assert rule_ids(findings) == ["R005"]
+
+    def test_units_module_exempt(self):
+        findings = lint(
+            "US_PER_SECOND = 1_000_000.0\ndef seconds(s):\n    return s * 1_000_000.0\n",
+            path="src/repro/sim/units.py",
+        )
+        assert findings == []
+
+    def test_named_constant_ok(self):
+        findings = lint(
+            """
+            from repro.sim.units import seconds
+            def conv(s):
+                return seconds(s)
+            """
+        )
+        assert findings == []
+
+    def test_non_magic_literal_ok(self):
+        findings = lint("def double(x):\n    return x * 2\n")
+        assert findings == []
+
+
+class TestHandlerGlobalMutation:
+    def test_global_statement_flagged(self):
+        findings = lint(
+            """
+            COUNT = 0
+            def bump():
+                global COUNT
+                COUNT += 1
+            """
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_handler_subscript_mutation_flagged(self):
+        findings = lint(
+            """
+            CACHE = {}
+            def on_request(self, request):
+                CACHE[request.rid] = request
+            """
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_handler_method_mutation_flagged(self):
+        findings = lint(
+            """
+            PENDING = []
+            def on_request(self, request):
+                PENDING.append(request)
+            """
+        )
+        assert rule_ids(findings) == ["R006"]
+
+    def test_instance_state_ok(self):
+        findings = lint(
+            """
+            class Sched:
+                def on_request(self, request):
+                    self.pending.append(request)
+            """
+        )
+        assert findings == []
+
+    def test_local_mutation_ok(self):
+        findings = lint(
+            """
+            def on_request(self, request):
+                batch = []
+                batch.append(request)
+                return batch
+            """
+        )
+        assert findings == []
+
+
+class TestNondeterministicSource:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import uuid\nrid = lambda: uuid.uuid4()\n",
+            "import os\ntoken = lambda: os.urandom(8)\n",
+            "import secrets\npick = lambda: secrets.randbelow(10)\n",
+        ],
+    )
+    def test_entropy_sources_flagged(self, snippet):
+        assert rule_ids(lint(snippet)) == ["R007"]
+
+    def test_counter_ok(self):
+        findings = lint(
+            """
+            def next_rid(counter):
+                return counter + 1
+            """
+        )
+        assert findings == []
+
+
+class TestBuiltinHashOrder:
+    def test_hash_flagged_as_warning(self):
+        findings = lint(
+            """
+            def steer(key, n):
+                return hash(key) % n
+            """
+        )
+        assert rule_ids(findings) == ["R008"]
+        assert findings[0].severity == "warning"
+
+    def test_warning_does_not_fail_unless_strict(self):
+        findings = lint("def steer(k, n):\n    return hash(k) % n\n")
+        assert not has_errors(findings)
+        assert has_errors(findings, strict=True)
+
+    def test_crc_ok(self):
+        findings = lint(
+            """
+            import zlib
+            def steer(key, n):
+                return zlib.crc32(key) % n
+            """
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        findings = lint(
+            """
+            import random
+            def pick():
+                return random.random()  # repro-lint: disable=R001
+            """
+        )
+        assert findings == []
+
+    def test_line_suppression_multiple_ids(self):
+        findings = lint(
+            """
+            import time
+            def f(acc=[]):
+                return time.time(), acc  # repro-lint: disable=R002,R003
+            """
+        )
+        # R003 fires on the default's line (the def line), so it survives.
+        assert rule_ids(findings) == ["R003"]
+
+    def test_file_suppression(self):
+        findings = lint(
+            """
+            # repro-lint: disable-file=R001
+            import random
+            def pick():
+                return random.random()
+            """
+        )
+        assert findings == []
+
+    def test_disable_all(self):
+        findings = lint(
+            """
+            # repro-lint: disable-file=all
+            import random, time
+            def f(acc=[]):
+                return random.random() + time.time()
+            """
+        )
+        assert findings == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError, match="unknown rule id"):
+            lint("x = 1  # repro-lint: disable=R999\n")
+
+    def test_late_file_pragma_raises(self):
+        source = "\n" * 30 + "# repro-lint: disable-file=R001\n"
+        with pytest.raises(LintError, match="first 10 lines"):
+            lint(source)
+
+    def test_pragma_inside_docstring_ignored(self):
+        findings = lint(
+            '''
+            def doc():
+                """Example: # repro-lint: disable-file=R001"""
+                return 1
+            '''
+        )
+        assert findings == []
+
+
+class TestRegistry:
+    def test_at_least_six_rules(self):
+        assert len(ALL_RULES) >= 6
+
+    def test_ids_unique_and_documented(self):
+        assert len(RULES_BY_ID) == len(ALL_RULES)
+        for rule in ALL_RULES:
+            assert rule.id.startswith("R")
+            assert rule.severity in ("error", "warning")
+            assert rule.describe(), f"{rule.id} has no docstring"
+
+    def test_select_subset(self):
+        source = "import random\ndef f(acc=[]):\n    return random.random()\n"
+        only_defaults = lint(source, select=["R003"])
+        assert rule_ids(only_defaults) == ["R003"]
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(LintError, match="unknown rule id"):
+            lint("x = 1\n", select=["R999"])
+
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="cannot parse"):
+            lint("def broken(:\n")
