@@ -1,0 +1,44 @@
+"""Extension: chaos episode — crash/recover under load, three systems.
+
+A quarter into the run two of eight cores die; at the halfway point they
+return.  This benchmark times the full three-system episode and records
+each system's recovery profile (time-to-recover, SLO-violation time,
+goodput, orphan-request ledger) as JSON-friendly extra_info, so CI can
+archive it (``--benchmark-json=BENCH_chaos.json``) and trend it.
+"""
+
+from conftest import run_single
+
+from repro.experiments import chaos
+
+
+def test_chaos_episode(benchmark, bench_n_requests):
+    result = run_single(
+        benchmark, chaos.run, n_requests=bench_n_requests, seed=1
+    )
+    print()
+    print(chaos.render(result))
+
+    benchmark.extra_info["crash_at_us"] = result.crash_at
+    benchmark.extra_info["recover_at_us"] = result.recover_at
+    for name, res in result.results.items():
+        benchmark.extra_info[name] = res.report_dict()
+
+    for name, res in result.results.items():
+        recorder = res.recorder
+        # Drained run with recovered cores: the attempt ledger balances.
+        assert res.server.in_flight == 0
+        assert res.server.pending == 0
+        assert res.server.received == (
+            recorder.completed + recorder.late_completions + recorder.dropped
+        )
+        assert recorder.completed > 0
+        # The episode leaves a visible scar in every system's timeline.
+        assert res.injector.crashes == 2
+        assert res.injector.recoveries == 2
+        # ... and every system eventually recovers once capacity returns.
+        assert res.time_to_recover(sustain=2) is not None
+
+    # DARC re-ran its reservation when capacity changed.
+    persephone = result.results["Persephone"]
+    assert getattr(persephone.scheduler, "reservation_updates", 0) >= 3

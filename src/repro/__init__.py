@@ -15,6 +15,8 @@ reimplements the system and its evaluation as a simulation:
 * :mod:`repro.apps` — KV store, RocksDB-like store, TPC-C engine;
 * :mod:`repro.metrics`, :mod:`repro.analysis` — percentiles, slowdown,
   queueing theory;
+* :mod:`repro.faults` — deterministic fault injection (crash/recover,
+  stragglers, packet loss) and chaos episodes (docs/faults.md);
 * :mod:`repro.experiments` — one driver per paper figure/table.
 
 Quickstart::
@@ -28,6 +30,7 @@ from .core.classifier import OracleClassifier, RandomClassifier
 from .core.darc import DarcScheduler
 from .errors import SanitizerViolation
 from .experiments.common import RunResult, run_once, run_sweep
+from .faults import ChaosResult, FaultInjector, FaultPlan, run_chaos
 from .lint.sanitizer import SimSanitizer
 from .metrics.summary import RunSummary
 from .policies.fcfs import CentralizedFCFS, DecentralizedFCFS, WorkStealingFCFS
@@ -43,6 +46,7 @@ from .systems.persephone import (
 from .systems.shenango import ShenangoSystem
 from .systems.shinjuku import ShinjukuSystem
 from .workload.presets import by_name as workload_by_name
+from .workload.resilience import ResilientClient, RetryPolicy
 from .workload.spec import WorkloadSpec
 
 __version__ = "1.0.0"
@@ -72,6 +76,12 @@ __all__ = [
     "ShinjukuSystem",
     "WorkloadSpec",
     "workload_by_name",
+    "FaultPlan",
+    "FaultInjector",
+    "ChaosResult",
+    "run_chaos",
+    "RetryPolicy",
+    "ResilientClient",
 ]
 
 _POLICY_SYSTEMS = {

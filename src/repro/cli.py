@@ -19,6 +19,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .experiments import (
+    chaos,
     figure1,
     figure3,
     figure4,
@@ -36,18 +37,49 @@ from .experiments.results import FigureResult
 #: Load-sweep request counts for --quick runs.
 QUICK_N = 8_000
 
-#: name -> (run(n, seed) -> result, render(result) -> str)
+#: name -> (run(n, seed, sanitize) -> result, render(result) -> str)
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
-    "figure1": (lambda n, seed: figure1.run(n_requests=n, seed=seed), figure1.render),
-    "figure3": (lambda n, seed: figure3.run(n_requests=n, seed=seed), figure3.render),
-    "figure4": (lambda n, seed: figure4.run(n_requests=n, seed=seed), lambda r: r.render()),
-    "figure5": (lambda n, seed: figure5.run(n_requests=n, seed=seed), figure5.render),
-    "figure6": (lambda n, seed: figure6.run(n_requests=n, seed=seed), figure6.render),
-    "figure7": (lambda n, seed: figure7.run(seed=seed), lambda r: r.render()),
-    "figure8": (lambda n, seed: figure8.run(n_requests=n, seed=seed), figure8.render),
-    "figure9": (lambda n, seed: figure9.run(n_requests=n, seed=seed), figure9.render),
-    "figure10": (lambda n, seed: figure10.run(n_requests=n, seed=seed), figure10.render),
-    "tables": (lambda n, seed: None, lambda r: tables.render_all()),
+    "chaos": (
+        lambda n, seed, sanitize: chaos.run(n_requests=n, seed=seed, sanitize=sanitize),
+        chaos.render,
+    ),
+    "figure1": (
+        lambda n, seed, sanitize: figure1.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure1.render,
+    ),
+    "figure3": (
+        lambda n, seed, sanitize: figure3.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure3.render,
+    ),
+    "figure4": (
+        lambda n, seed, sanitize: figure4.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda r: r.render(),
+    ),
+    "figure5": (
+        lambda n, seed, sanitize: figure5.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure5.render,
+    ),
+    "figure6": (
+        lambda n, seed, sanitize: figure6.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure6.render,
+    ),
+    "figure7": (
+        lambda n, seed, sanitize: figure7.run(seed=seed, sanitize=sanitize),
+        lambda r: r.render(),
+    ),
+    "figure8": (
+        lambda n, seed, sanitize: figure8.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure8.render,
+    ),
+    "figure9": (
+        lambda n, seed, sanitize: figure9.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure9.render,
+    ),
+    "figure10": (
+        lambda n, seed, sanitize: figure10.run(n_requests=n, seed=seed, sanitize=sanitize),
+        figure10.render,
+    ),
+    "tables": (lambda n, seed, sanitize: None, lambda r: tables.render_all()),
 }
 
 
@@ -78,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also write the sweep data and findings as CSV files into DIR",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime invariant sanitizer to every run "
+        "(slower; raises SanitizerViolation on the first broken invariant)",
     )
     return parser
 
@@ -113,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         run, render = EXPERIMENTS[name]
         start = time.time()
-        result = run(n, args.seed)
+        result = run(n, args.seed, args.sanitize)
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

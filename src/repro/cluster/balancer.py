@@ -15,6 +15,13 @@ Balancer policies:
 * :class:`TypeAwareBalancer`    — partition replicas by request type, a
   cluster-level analogue of DARC's core reservation (shorts get
   dedicated replicas).
+
+Every policy routes around *dead* replicas (all cores crashed,
+:attr:`~repro.server.server.Server.alive` False): the candidate set
+shrinks to the live replicas, and only when the whole cluster is down
+does routing fall back to the full set (the request then queues at a
+dead replica rather than vanishing, keeping request conservation
+intact for when cores recover).
 """
 
 from __future__ import annotations
@@ -42,6 +49,11 @@ class Balancer(ABC):
     def pick(self, request: Request) -> int:
         """Index of the replica that should serve ``request``."""
 
+    def live_indices(self, candidates: Sequence[int]) -> List[int]:
+        """``candidates`` minus dead replicas; all of them if none live."""
+        live = [i for i in candidates if self.servers[i].alive]
+        return live if live else list(candidates)
+
     def ingress(self, request: Request) -> None:
         """The cluster's single entry point (the generator's sink)."""
         self.routed += 1
@@ -56,7 +68,8 @@ class RandomBalancer(Balancer):
         self.rng = rng
 
     def pick(self, request: Request) -> int:
-        return int(self.rng.integers(0, len(self.servers)))
+        pool = self.live_indices(range(len(self.servers)))
+        return pool[int(self.rng.integers(0, len(pool)))]
 
 
 class RoundRobinBalancer(Balancer):
@@ -67,8 +80,15 @@ class RoundRobinBalancer(Balancer):
         self._next = 0
 
     def pick(self, request: Request) -> int:
+        n = len(self.servers)
         idx = self._next
-        self._next = (self._next + 1) % len(self.servers)
+        self._next = (self._next + 1) % n
+        if self.servers[idx].alive:
+            return idx
+        for offset in range(1, n):
+            j = (idx + offset) % n
+            if self.servers[j].alive:
+                return j
         return idx
 
 
@@ -86,10 +106,13 @@ class JoinShortestQueue(Balancer):
 
     def pick(self, request: Request) -> int:
         n = len(self.servers)
+        any_live = any(server.alive for server in self.servers)
         best_idx = self._start
         best_load = None
         for offset in range(n):
             i = (self._start + offset) % n
+            if any_live and not self.servers[i].alive:
+                continue
             load = self.servers[i].pending + self.servers[i].in_flight
             if best_load is None or load < best_load:
                 best_load = load
@@ -125,7 +148,7 @@ class TypeAwareBalancer(Balancer):
             raise ConfigurationError("default replica set cannot be empty")
 
     def pick(self, request: Request) -> int:
-        replicas = self.assignment.get(request.type_id, self.default)
+        replicas = self.live_indices(self.assignment.get(request.type_id, self.default))
         best_idx = replicas[0]
         best_load = None
         for idx in replicas:

@@ -151,6 +151,10 @@ class DarcScheduler(Scheduler):
         self.reclaim = reclaim
 
         self.reservation: Optional[Reservation] = None
+        #: Entries that produced the current reservation — re-used when
+        #: capacity changes (crash/recover) to re-run Algorithm 2 over
+        #: the surviving cores without waiting for a profiling window.
+        self._last_entries: Optional[List] = None
         #: Typed queues, created lazily as types appear.
         self.queues: Dict[int, Deque[Request]] = {}
         #: Dispatch priority: type ids ascending by profiled service time.
@@ -481,13 +485,26 @@ class DarcScheduler(Scheduler):
 
     def _install_reservation(self, entries) -> None:
         """Compute and adopt a new reservation; O(~1000 cycles) in the
-        prototype, one Algorithm-2 run here."""
+        prototype, one Algorithm-2 run here.
+
+        The reservation is computed over the *surviving* cores only: a
+        crashed worker must never be named by an allocation, otherwise
+        its typed queues would strand (no other worker may drain them).
+        """
+        alive = [i for i, w in enumerate(self.workers) if not w.failed]
+        if not alive:
+            # Total outage: keep the stale reservation; every dispatch
+            # path checks worker.is_free, so requests queue until a
+            # recovery re-installs over the returning cores.
+            return
+        self._last_entries = list(entries)
         self.reservation = compute_reservation(
             entries,
-            n_workers=len(self.workers),
+            n_workers=len(alive),
             delta=self.delta,
             rounding=self.rounding,
             use_spillway=self.use_spillway,
+            worker_ids=alive if len(alive) != len(self.workers) else None,
         )
         covered: Set[int] = set()
         self._allowed = [set() for _ in self.workers]
@@ -521,6 +538,25 @@ class DarcScheduler(Scheduler):
         # Newly-permitted idle workers should pick up pending work now.
         for tid in self._order:
             self._dispatch_type(tid)
+
+    def on_capacity_change(self) -> None:
+        """A worker crashed or recovered: re-run Algorithm 2 over the
+        surviving cores.
+
+        Re-uses the profile entries behind the current reservation rather
+        than the live profiling window (which may be empty right after a
+        ``reset_window``), so the re-reservation reflects the established
+        demand over the new capacity.  During the c-FCFS startup window
+        there is nothing to recompute — any free worker serves any type.
+        """
+        if self.reservation is None or self._last_entries is None:
+            return
+        if all(w.failed for w in self.workers):
+            # Total outage: nothing to reserve over.  The stale
+            # reservation stays; dispatch halts because no worker is
+            # free, and the first recovery re-enters here.
+            return
+        self._install_reservation(self._last_entries)
 
     # ------------------------------------------------------------------
     # introspection

@@ -157,11 +157,17 @@ def compute_reservation(
     delta: float = 2.0,
     rounding: str = "round",
     use_spillway: bool = True,
+    worker_ids: Optional[Sequence[int]] = None,
 ) -> Reservation:
     """Run Algorithm 2 over ``(type_id, mean_service, ratio)`` entries.
 
     Returns a :class:`Reservation`.  Worker ids are 0-based indices into
     the server's worker list; the spillway is the last worker.
+
+    ``worker_ids`` restricts the allocation to an explicit id set (in
+    allocation order) — fault injection passes the surviving cores here
+    so a reservation never names a crashed worker.  When given, it must
+    have exactly ``n_workers`` entries; the spillway is its last id.
     """
     if n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
@@ -169,14 +175,19 @@ def compute_reservation(
         raise ConfigurationError(f"rounding must be one of {ROUNDING_MODES}")
     if not entries:
         raise ConfigurationError("cannot reserve for an empty profile")
+    if worker_ids is not None and len(worker_ids) != n_workers:
+        raise ConfigurationError(
+            f"worker_ids has {len(worker_ids)} entries for n_workers={n_workers}"
+        )
 
     groups = group_types(entries, delta)
     total_demand = sum(g.demand_contribution() for g in groups)
     if total_demand <= 0:
         raise ConfigurationError("total CPU demand is zero")
 
-    pool = list(range(n_workers))
-    spillway = n_workers - 1 if use_spillway else None
+    pool = list(worker_ids) if worker_ids is not None else list(range(n_workers))
+    spillway = pool[-1] if use_spillway else None
+    first_worker = pool[0]
     allocations: List[GroupAllocation] = []
 
     for group in groups:
@@ -199,7 +210,7 @@ def compute_reservation(
         if not reserved:
             # No pool, no spillway: the group shares the last reserved
             # worker of the previous group rather than being denied.
-            reserved = [allocations[-1].reserved[-1]] if allocations else [0]
+            reserved = [allocations[-1].reserved[-1]] if allocations else [first_worker]
         # Stealable workers are those not yet reserved at this point in
         # the iteration — they will belong to longer groups (Algorithm 2).
         stealable = list(pool)

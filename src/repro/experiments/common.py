@@ -187,6 +187,7 @@ def run_sweep(
     seed: int = 1,
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
+    sanitize: bool = False,
 ) -> List[RunResult]:
     """One :func:`run_once` per load point, same seed (common random
     numbers across systems compared at the same points)."""
@@ -199,6 +200,7 @@ def run_sweep(
             seed=seed,
             warmup_frac=warmup_frac,
             pct=pct,
+            sanitize=sanitize,
         )
         for rho in utilizations
     ]

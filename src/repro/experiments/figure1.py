@@ -58,6 +58,7 @@ def run(
     n_requests: int = 60_000,
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> FigureResult:
     """Run the Fig. 1 sweep and derive its headline capacities."""
     spec = figure1_workload()
@@ -65,7 +66,7 @@ def run(
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize),
         )
     caps = result.capacities(SLO_SLOWDOWN, max_typed_slowdown_metric)
     peak_mrps = spec.peak_load(N_WORKERS)

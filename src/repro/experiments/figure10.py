@@ -63,13 +63,14 @@ def run(
     n_requests: int = 60_000,
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> FigureResult:
     spec = figure1_workload()
     result = FigureResult("Figure 10 [preemption overheads]", utilizations)
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize),
         )
     caps = result.capacities(SLO_SLOWDOWN, max_typed_slowdown_metric)
     for name, cap in caps.items():

@@ -77,6 +77,7 @@ def run(
     n_requests: int = 60_000,
     seed: int = 1,
     workloads: Optional[Dict[str, WorkloadSpec]] = None,
+    sanitize: bool = False,
 ) -> Figure4Result:
     if workloads is None:
         workloads = {
@@ -87,14 +88,18 @@ def run(
     cfcfs = PersephoneCfcfsSystem(n_workers=N_WORKERS, name="c-FCFS")
     for name, spec in workloads.items():
         result.references[name] = run_once(
-            cfcfs, spec, utilization, n_requests=n_requests, seed=seed
+            cfcfs, spec, utilization, n_requests=n_requests, seed=seed,
+            sanitize=sanitize,
         )
         runs: Dict[int, RunResult] = {}
         for k in reserved_counts:
             if k >= N_WORKERS:
                 continue  # must leave at least one worker for long requests
             system = PersephoneStaticSystem(n_reserved=k, n_workers=N_WORKERS)
-            runs[k] = run_once(system, spec, utilization, n_requests=n_requests, seed=seed)
+            runs[k] = run_once(
+                system, spec, utilization, n_requests=n_requests, seed=seed,
+                sanitize=sanitize,
+            )
         result.sweeps[name] = runs
         best = result.best_reserved(name)
         ref = overall_slowdown_metric(result.references[name])

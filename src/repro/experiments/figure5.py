@@ -47,6 +47,7 @@ def run_one_workload(
     n_requests: int = 60_000,
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> FigureResult:
     spec = high_bimodal() if workload_name == "high_bimodal" else extreme_bimodal()
     slo = SLO_HIGH if workload_name == "high_bimodal" else SLO_EXTREME
@@ -54,7 +55,10 @@ def run_one_workload(
     for system in systems if systems is not None else systems_for(workload_name):
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+            run_sweep(
+                system, spec, utilizations, n_requests=n_requests, seed=seed,
+                sanitize=sanitize,
+            ),
         )
     caps = result.capacities(slo, overall_slowdown_metric)
     for name, cap in caps.items():
@@ -72,14 +76,17 @@ def run(
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
     n_requests: int = 60_000,
     seed: int = 1,
+    sanitize: bool = False,
 ) -> Dict[str, FigureResult]:
     """Both sub-figures."""
     return {
         "high_bimodal": run_one_workload(
-            "high_bimodal", utilizations, n_requests=n_requests, seed=seed
+            "high_bimodal", utilizations, n_requests=n_requests, seed=seed,
+            sanitize=sanitize,
         ),
         "extreme_bimodal": run_one_workload(
-            "extreme_bimodal", utilizations, n_requests=n_requests, seed=seed
+            "extreme_bimodal", utilizations, n_requests=n_requests, seed=seed,
+            sanitize=sanitize,
         ),
     }
 

@@ -44,13 +44,14 @@ def run(
     n_requests: int = 60_000,
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> FigureResult:
     spec = tpcc()
     result = FigureResult("Figure 6 [TPC-C]", utilizations)
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize),
         )
 
     caps = result.capacities(SLO_SLOWDOWN, overall_slowdown_metric)

@@ -106,12 +106,17 @@ def _run_system(
     phases: List[Phase],
     seed: int,
     window_us: float,
+    sanitize: bool = False,
 ) -> Tuple[Recorder, object, float]:
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
     scheduler = system.make_scheduler(phases[0].spec, rngs)
     recorder = Recorder()
     server = Server(loop, scheduler, config=system.make_config(), recorder=recorder)
+    if sanitize:
+        from ..lint.sanitizer import SimSanitizer
+
+        SimSanitizer().attach(loop, server)
     rate = UTILIZATION * phases[0].spec.peak_load(N_WORKERS)
     generator = OpenLoopGenerator(
         loop,
@@ -137,6 +142,7 @@ def run(
     seed: int = 1,
     window_us: float = 10_000.0,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> Figure7Result:
     if phases is None:
         phases = default_phases()
@@ -155,7 +161,9 @@ def run(
     result = Figure7Result(window_us, boundaries)
     stats = WindowedStats(window_us)
     for system in systems:
-        recorder, scheduler, duration = _run_system(system, phases, seed, window_us)
+        recorder, scheduler, duration = _run_system(
+            system, phases, seed, window_us, sanitize=sanitize
+        )
         cols = recorder.columns()
         result.latency_series[system.name] = {
             tid: stats.series(cols, type_id=tid) for tid in (TYPE_A, TYPE_B)

@@ -40,6 +40,7 @@ def run(
     n_requests: int = 60_000,
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
+    sanitize: bool = False,
 ) -> FigureResult:
     store = RocksDbLike()
     spec = store.workload_spec()
@@ -47,7 +48,7 @@ def run(
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize),
         )
     caps = result.capacities(SLO_SLOWDOWN, overall_slowdown_metric)
     for name, cap in caps.items():

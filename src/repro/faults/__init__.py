@@ -1,0 +1,33 @@
+"""repro.faults — deterministic fault injection & resilience (chaos for DARC).
+
+Build a :class:`FaultPlan` of typed events, arm it with a
+:class:`FaultInjector`, and run a full episode with :func:`run_chaos`.
+Same seed + same plan → identical runs; an empty plan is bit-identical
+to no instrumentation at all.
+"""
+
+from .injector import DUP_RID_BASE, FaultInjector
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    PacketDrop,
+    PacketDup,
+    WorkerCrash,
+    WorkerRecover,
+    WorkerSlowdown,
+)
+from .runner import ChaosResult, run_chaos
+
+__all__ = [
+    "ChaosResult",
+    "DUP_RID_BASE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "PacketDrop",
+    "PacketDup",
+    "WorkerCrash",
+    "WorkerRecover",
+    "WorkerSlowdown",
+    "run_chaos",
+]

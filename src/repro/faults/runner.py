@@ -1,0 +1,213 @@
+"""Chaos run assembly: one (system, workload, plan) episode end to end.
+
+:func:`run_chaos` mirrors :func:`repro.experiments.common.run_once` but
+threads the full resilience stack into the request path::
+
+    generator -> [ResilientClient.send] -> FaultInjector.ingress -> Server
+    Server completions/drops -> [ResilientClient] -> Recorder
+
+With an empty plan and no retry policy the chain degenerates to exactly
+the ``run_once`` wiring (the injector is a passthrough that draws no
+randomness), so results are bit-identical to an un-instrumented run —
+fault instrumentation costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..metrics.degradation import DegradationReport
+from ..metrics.recorder import Recorder
+from ..metrics.summary import RunSummary
+from ..server.server import Server
+from ..sim.engine import EventLoop
+from ..sim.randomness import RngRegistry
+from ..systems.base import SystemModel
+from ..workload.arrivals import PoissonArrivals
+from ..workload.generator import OpenLoopGenerator
+from ..workload.resilience import ResilientClient, RetryPolicy
+from ..workload.spec import WorkloadSpec
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+#: Default SLO multiple: a request meets its SLO within this many times
+#: the workload's longest mean service time.
+DEFAULT_SLO_MULTIPLE = 10.0
+
+
+class ChaosResult:
+    """Everything one chaos episode produced."""
+
+    def __init__(
+        self,
+        system_name: str,
+        spec: WorkloadSpec,
+        utilization: float,
+        offered_rate: float,
+        plan: FaultPlan,
+        summary: RunSummary,
+        degradation: DegradationReport,
+        recorder: Recorder,
+        injector: FaultInjector,
+        client: Optional[ResilientClient],
+        scheduler,
+        server: Server,
+        duration_us: float,
+    ):
+        self.system_name = system_name
+        self.spec = spec
+        self.utilization = utilization
+        self.offered_rate = offered_rate
+        self.plan = plan
+        self.summary = summary
+        self.degradation = degradation
+        self.recorder = recorder
+        self.injector = injector
+        self.client = client
+        self.scheduler = scheduler
+        self.server = server
+        self.duration_us = duration_us
+
+    def time_to_recover(self, sustain: int = 3) -> Optional[float]:
+        """TTR from the plan's first fault; None for an empty plan or a
+        run that never recovered."""
+        fault_at = self.plan.first_fault_time()
+        if fault_at is None:
+            return None
+        return self.degradation.time_to_recover(fault_at, sustain=sustain)
+
+    def report_dict(self) -> dict:
+        """JSON-friendly digest (benchmarks, CI artifacts)."""
+        out = {
+            "system": self.system_name,
+            "utilization": self.utilization,
+            "plan": self.plan.describe(),
+            "duration_us": self.duration_us,
+            "received": self.server.received,
+            "injected": self.injector.counters(),
+        }
+        out.update(self.degradation.summary_dict(self.plan.first_fault_time()))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ttr = self.time_to_recover()
+        return (
+            f"ChaosResult({self.system_name!r}, rho={self.utilization:.2f}, "
+            f"ttr={'never' if ttr is None else f'{ttr:.0f}us'})"
+        )
+
+
+def run_chaos(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float,
+    plan: FaultPlan,
+    n_requests: int = 20_000,
+    seed: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    window_us: float = 500.0,
+    slo_latency_us: Optional[float] = None,
+    pct: float = 99.0,
+    warmup_frac: float = 0.0,
+    sanitize: bool = False,
+    max_sim_time_us: Optional[float] = None,
+) -> ChaosResult:
+    """Run one chaos episode and summarize its degradation.
+
+    ``slo_latency_us`` defaults to ``DEFAULT_SLO_MULTIPLE`` times the
+    longest mean service time in the workload — generous enough that a
+    healthy run stays under it and a crash episode shows as violation.
+    ``warmup_frac`` defaults to 0 because the pre-fault windows *are* the
+    baseline a chaos analysis compares against.
+    """
+    if utilization <= 0:
+        raise ConfigurationError(f"utilization must be > 0, got {utilization}")
+    if n_requests < 1:
+        raise ConfigurationError(f"n_requests must be >= 1, got {n_requests}")
+    if slo_latency_us is None:
+        slo_latency_us = DEFAULT_SLO_MULTIPLE * max(
+            ts.mean_service_time for ts in spec.type_specs()
+        )
+
+    rngs = RngRegistry(seed=seed)
+    loop = EventLoop()
+    scheduler = system.make_scheduler(spec, rngs)
+    config = system.make_config()
+    recorder = Recorder()
+
+    client: Optional[ResilientClient] = None
+    if retry is not None:
+        client = ResilientClient(
+            loop,
+            retry,
+            recorder,
+            rng=rngs.stream("faults.retry") if retry.jitter_frac > 0 else None,
+        )
+    server = Server(
+        loop,
+        scheduler,
+        config=config,
+        recorder=recorder,
+        completion_sink=client.on_complete if client is not None else None,
+        drop_sink=client.on_drop if client is not None else None,
+    )
+    if sanitize:
+        from ..lint.sanitizer import SimSanitizer
+
+        SimSanitizer().attach(loop, server)
+
+    injector = FaultInjector(
+        plan, rng=rngs.stream("faults.net") if plan.needs_rng else None
+    )
+    injector.arm(loop, server)
+
+    if client is not None:
+        client.bind(injector.ingress)
+        sink = client.send
+    else:
+        sink = injector.ingress
+
+    rate = utilization * spec.peak_load(config.n_workers)
+    generator = OpenLoopGenerator(
+        loop,
+        spec,
+        PoissonArrivals(rate),
+        sink,
+        type_rng=rngs.stream("types"),
+        service_rng=rngs.stream("service"),
+        arrival_rng=rngs.stream("arrivals"),
+        limit=n_requests,
+    )
+    generator.start()
+    loop.run(until=max_sim_time_us)
+
+    summary = RunSummary(
+        recorder,
+        duration_us=loop.now,
+        type_specs=spec.type_specs(),
+        warmup_frac=warmup_frac,
+        pct=pct,
+    )
+    degradation = DegradationReport(
+        recorder.columns(),
+        window_us=window_us,
+        slo_latency_us=slo_latency_us,
+        pct=pct,
+        recorder=recorder,
+    )
+    return ChaosResult(
+        system.name,
+        spec,
+        utilization,
+        rate,
+        plan,
+        summary,
+        degradation,
+        recorder,
+        injector,
+        client,
+        scheduler,
+        server,
+        loop.now,
+    )

@@ -5,6 +5,7 @@ Usage::
     repro-lint src/repro                # static AST lint
     repro-lint --list-rules             # rule catalogue with docstrings
     repro-lint --determinism            # twice-run digest check (3 systems)
+    repro-lint --determinism --chaos    # also digest fault-injected runs
     repro-lint src/repro --determinism  # both; exit 1 on any failure
     repro-lint src/ --select R001,R003  # subset of rules
     repro-lint src/ --format json       # machine-readable findings
@@ -21,7 +22,7 @@ import sys
 from typing import List, Optional
 
 from ..errors import LintError
-from .determinism import check_all
+from .determinism import check_all, check_chaos_all
 from .rules import ALL_RULES
 from .runner import Finding, has_errors, lint_paths
 
@@ -64,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="also attach the runtime SimSanitizer during determinism runs",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="with --determinism: additionally twice-run each system "
+        "through a fault-injected episode (crash/recover, straggler, "
+        "packet loss/dup, retries) and compare digests",
     )
     return parser
 
@@ -122,6 +130,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         reports = check_all(
             n_requests=args.n_requests, seed=args.seed, sanitize=args.sanitize
         )
+        if args.chaos:
+            reports = reports + check_chaos_all(
+                n_requests=args.n_requests, seed=args.seed, sanitize=args.sanitize
+            )
         for report in reports:
             print(report.describe())
         mismatches = [r for r in reports if not r.identical]
@@ -130,6 +142,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
             "system(s) reproducible"
         )
         failed |= bool(mismatches)
+    elif args.chaos:
+        print("repro-lint: --chaos requires --determinism", file=sys.stderr)
+        return 2
 
     return 1 if failed else 0
 

@@ -171,3 +171,143 @@ def check_all(
             )
         )
     return reports
+
+
+# ----------------------------------------------------------------------
+# chaos determinism: same seed + same fault plan -> identical runs
+# ----------------------------------------------------------------------
+def default_chaos_plan():
+    """A plan exercising every fault class inside a short checker run:
+    crash/recover, a straggler, and probabilistic packet loss/dup."""
+    from ..faults.plan import (
+        FaultPlan,
+        PacketDrop,
+        PacketDup,
+        WorkerCrash,
+        WorkerRecover,
+        WorkerSlowdown,
+    )
+
+    return FaultPlan(
+        [
+            WorkerCrash(1500.0, 0),
+            WorkerCrash(1800.0, 1, requeue=False),
+            WorkerSlowdown(2000.0, 2, factor=3.0, until=5000.0),
+            PacketDrop(2500.0, 4000.0, 0.2),
+            PacketDup(3000.0, 4500.0, 0.1),
+            WorkerRecover(6000.0, 0),
+            WorkerRecover(6000.0, 1),
+        ]
+    )
+
+
+def digest_chaos_run(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilization: float = 0.7,
+    n_requests: int = 2000,
+    seed: int = 1,
+    sanitize: bool = False,
+    plan=None,
+) -> RunDigest:
+    """Simulate one fault-injected episode and hash its outcome.
+
+    The digest additionally covers the orphan-request ledger (timeouts /
+    retries / failures / late completions) and the injector's counters,
+    so a divergence anywhere in the fault path shows up."""
+    from ..faults.runner import run_chaos
+    from ..workload.resilience import RetryPolicy
+
+    if plan is None:
+        plan = default_chaos_plan()
+    retry = RetryPolicy(
+        timeout_us=1500.0,
+        max_retries=2,
+        backoff_base_us=50.0,
+        jitter_frac=0.25,
+    )
+    result = run_chaos(
+        system,
+        spec,
+        utilization,
+        plan,
+        n_requests=n_requests,
+        seed=seed,
+        retry=retry,
+        sanitize=sanitize,
+    )
+    recorder = result.recorder
+    columns = recorder.columns()
+    sha = hashlib.sha256()
+    for array in (
+        columns.type_ids,
+        columns.arrivals,
+        columns.services,
+        columns.finishes,
+        columns.waits,
+        columns.preemptions,
+        columns.overheads,
+    ):
+        sha.update(np.ascontiguousarray(array).tobytes())
+    loop = result.server.loop
+    sha.update(
+        struct.pack(
+            "<qqqqqqqd",
+            recorder.completed,
+            recorder.dropped,
+            recorder.timeouts,
+            recorder.retries,
+            recorder.failures,
+            recorder.late_completions,
+            loop.events_processed,
+            loop.now,
+        )
+    )
+    for key, value in sorted(result.injector.counters().items()):
+        sha.update(key.encode())
+        sha.update(struct.pack("<q", value))
+    return RunDigest(
+        system=result.system_name,
+        seed=seed,
+        digest=sha.hexdigest(),
+        completed=recorder.completed,
+        dropped=recorder.dropped,
+        events_processed=loop.events_processed,
+        final_time=loop.now,
+    )
+
+
+def check_chaos_all(
+    systems: Optional[Sequence[SystemModel]] = None,
+    spec_factory: Optional[Callable[[], WorkloadSpec]] = None,
+    utilization: float = 0.7,
+    n_requests: int = 2000,
+    seed: int = 1,
+    sanitize: bool = False,
+) -> List[DeterminismReport]:
+    """Twice-run every system through the default fault plan; fresh spec
+    *and* fresh plan per run so no state can leak between runs."""
+    if spec_factory is None:
+        from ..workload.presets import high_bimodal
+
+        spec_factory = high_bimodal
+    reports = []
+    for system in systems if systems is not None else default_systems():
+        first = digest_chaos_run(
+            system, spec_factory(), utilization, n_requests, seed, sanitize,
+            plan=default_chaos_plan(),
+        )
+        second = digest_chaos_run(
+            system, spec_factory(), utilization, n_requests, seed, sanitize,
+            plan=default_chaos_plan(),
+        )
+        reports.append(
+            DeterminismReport(
+                system=first.system,
+                seed=seed,
+                identical=first.digest == second.digest,
+                first=first,
+                second=second,
+            )
+        )
+    return reports

@@ -39,7 +39,18 @@ from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tu
 #: Packages whose code runs *inside* simulated time.  Scoped rules apply
 #: only here; wall clocks and host entropy are fine in driver code.
 SIM_CRITICAL_PACKAGES = frozenset(
-    {"sim", "core", "policies", "systems", "server", "workload", "net", "cluster", "apps"}
+    {
+        "sim",
+        "core",
+        "policies",
+        "systems",
+        "server",
+        "workload",
+        "net",
+        "cluster",
+        "apps",
+        "faults",
+    }
 )
 
 #: Packages under ``repro/`` that are *not* sim-critical (reporting,

@@ -1,0 +1,183 @@
+"""Degradation metrics for chaos runs: goodput, SLO-violation windows,
+and time-to-recover.
+
+A fault episode shows up in a run as a dip: tail latency spikes, goodput
+(completions meeting the SLO) craters, and — once capacity returns — the
+system claws its way back.  :class:`DegradationReport` bins a run's
+completions into fixed windows keyed by *sending* time (the Fig. 7
+convention: a request is attributed to the instant the client sent it)
+and derives:
+
+* per-window tail latency (p99 by default);
+* per-window goodput — completions whose end-to-end latency met the SLO,
+  per microsecond;
+* SLO-violation windows — windows whose tail exceeded the SLO, plus
+  *blackout* windows (traffic was sent but nothing ever completed);
+* time-to-recover — how long after a fault the tail stays back under the
+  SLO for ``sustain`` consecutive windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .percentiles import percentile
+from .recorder import CompletionColumns, Recorder
+
+
+class DegradationReport:
+    """Windowed health of one run, for before/during/after-fault analysis."""
+
+    def __init__(
+        self,
+        cols: CompletionColumns,
+        window_us: float,
+        slo_latency_us: float,
+        pct: float = 99.0,
+        recorder: Optional[Recorder] = None,
+    ):
+        if window_us <= 0:
+            raise ConfigurationError(f"window_us must be > 0, got {window_us}")
+        if slo_latency_us <= 0:
+            raise ConfigurationError(
+                f"slo_latency_us must be > 0, got {slo_latency_us}"
+            )
+        self.window_us = float(window_us)
+        self.slo_latency_us = float(slo_latency_us)
+        self.pct = pct
+        self.recorder = recorder
+
+        if len(cols) == 0:
+            self.times = np.array([])
+            self.tail_latency = np.array([])
+            self.completions = np.array([], dtype=np.int64)
+            self.good_completions = np.array([], dtype=np.int64)
+            return
+
+        arrivals = cols.arrivals
+        latencies = cols.latencies
+        n_windows = int(float(arrivals.max()) // self.window_us) + 1
+        idx = (arrivals // self.window_us).astype(np.int64)
+        self.times = self.window_us * np.arange(n_windows)
+        self.tail_latency = np.full(n_windows, np.nan)
+        self.completions = np.bincount(idx, minlength=n_windows)
+        good = latencies <= self.slo_latency_us
+        self.good_completions = np.bincount(
+            idx, weights=good.astype(np.float64), minlength=n_windows
+        ).astype(np.int64)
+        for w in range(n_windows):
+            mask = idx == w
+            if mask.any():
+                self.tail_latency[w] = percentile(latencies[mask], pct)
+
+    # ------------------------------------------------------------------
+    # series
+    # ------------------------------------------------------------------
+    @property
+    def goodput(self) -> np.ndarray:
+        """SLO-meeting completions per microsecond, per window."""
+        if len(self.times) == 0:
+            return np.array([])
+        return self.good_completions / self.window_us
+
+    @property
+    def throughput(self) -> np.ndarray:
+        """All completions per microsecond, per window."""
+        if len(self.times) == 0:
+            return np.array([])
+        return self.completions / self.window_us
+
+    def violations(self) -> np.ndarray:
+        """Boolean per window: the SLO was violated.
+
+        A window violates when its tail latency exceeded the SLO, or when
+        traffic was sent during a *blackout* — the window lies between
+        windows that produced completions but produced none itself (total
+        outage: requests sent there never finished)."""
+        n = len(self.times)
+        out = np.zeros(n, dtype=bool)
+        if n == 0:
+            return out
+        has = self.completions > 0
+        live = np.flatnonzero(has)
+        first, last = int(live[0]), int(live[-1])
+        for w in range(n):
+            if has[w]:
+                out[w] = bool(self.tail_latency[w] > self.slo_latency_us)
+            else:
+                out[w] = first < w < last  # blackout inside the run
+        return out
+
+    def violation_spans(self) -> List[Tuple[float, float]]:
+        """Contiguous [start, end) time spans of SLO violation."""
+        spans: List[Tuple[float, float]] = []
+        flags = self.violations()
+        start: Optional[float] = None
+        for w, bad in enumerate(flags):
+            if bad and start is None:
+                start = float(self.times[w])
+            elif not bad and start is not None:
+                spans.append((start, float(self.times[w])))
+                start = None
+        if start is not None:
+            spans.append((start, float(self.times[-1] + self.window_us)))
+        return spans
+
+    def violation_time_us(self) -> float:
+        """Total simulated time spent in violation."""
+        return float(self.violations().sum()) * self.window_us
+
+    def time_to_recover(self, fault_at: float, sustain: int = 3) -> Optional[float]:
+        """Time from ``fault_at`` until the tail is back under the SLO
+        for ``sustain`` consecutive windows (measured to the start of the
+        first such window).  None when the run never recovers."""
+        if sustain < 1:
+            raise ConfigurationError(f"sustain must be >= 1, got {sustain}")
+        flags = self.violations()
+        n = len(flags)
+        first_w = int(fault_at // self.window_us)
+        for w in range(first_w, n - sustain + 1):
+            if self.times[w] < fault_at:
+                continue
+            if not flags[w : w + sustain].any():
+                return float(self.times[w]) - fault_at
+        return None
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary_dict(self, fault_at: Optional[float] = None) -> dict:
+        """JSON-friendly digest for benchmarks and CI artifacts."""
+        out = {
+            "window_us": self.window_us,
+            "slo_latency_us": self.slo_latency_us,
+            "pct": self.pct,
+            "windows": int(len(self.times)),
+            "violation_windows": int(self.violations().sum()),
+            "violation_time_us": self.violation_time_us(),
+            "mean_goodput_rps_per_us": (
+                float(self.goodput.mean()) if len(self.times) else 0.0
+            ),
+        }
+        if fault_at is not None:
+            ttr = self.time_to_recover(fault_at)
+            out["time_to_recover_us"] = ttr
+        if self.recorder is not None:
+            out.update(
+                completed=self.recorder.completed,
+                dropped=self.recorder.dropped,
+                timeouts=self.recorder.timeouts,
+                retries=self.recorder.retries,
+                failures=self.recorder.failures,
+                late_completions=self.recorder.late_completions,
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DegradationReport(windows={len(self.times)}, "
+            f"violations={int(self.violations().sum()) if len(self.times) else 0})"
+        )

@@ -94,11 +94,27 @@ class Recorder:
         self._overheads: List[float] = []
         self.dropped: int = 0
         self.dropped_by_type: Dict[int, int] = {}
+        #: Orphan-request accounting (resilience layer / fault injection).
+        #: ``timeouts`` counts attempts the client gave up waiting for;
+        #: ``retries`` counts re-sent attempts; ``failures`` counts logical
+        #: requests abandoned after the retry budget; ``late_completions``
+        #: counts server completions of orphaned/duplicated attempts that
+        #: therefore produced no completion row.
+        self.timeouts: int = 0
+        self.retries: int = 0
+        self.failures: int = 0
+        self.late_completions: int = 0
 
     def on_complete(self, request: Request) -> None:
         assert request.finish_time is not None
         self._type_ids.append(request.type_id)
-        self._arrivals.append(request.arrival_time)
+        # End-to-end latency spans retries: key the row by the logical
+        # request's first attempt when the resilience layer set it.
+        self._arrivals.append(
+            request.first_attempt_time
+            if request.first_attempt_time is not None
+            else request.arrival_time
+        )
         self._services.append(request.service_time)
         self._finishes.append(request.finish_time)
         wait = (
@@ -114,6 +130,25 @@ class Recorder:
         self.dropped += 1
         tid = request.type_id
         self.dropped_by_type[tid] = self.dropped_by_type.get(tid, 0) + 1
+
+    # ------------------------------------------------------------------
+    # orphan-request accounting (fed by repro.workload.resilience)
+    # ------------------------------------------------------------------
+    def on_timeout(self, request: Request) -> None:
+        """The client stopped waiting for ``request`` (attempt orphaned)."""
+        self.timeouts += 1
+
+    def on_retry(self, request: Request) -> None:
+        """A fresh attempt was sent for a timed-out/dropped request."""
+        self.retries += 1
+
+    def on_failure(self, request: Request) -> None:
+        """The client abandoned the logical request (retry budget spent)."""
+        self.failures += 1
+
+    def on_late_completion(self, request: Request) -> None:
+        """The server finished an attempt nobody is waiting for."""
+        self.late_completions += 1
 
     @property
     def completed(self) -> int:

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import SchedulingError
 from ..server.worker import Worker
 from ..sim.engine import EventLoop
+from ..sim.events import Event
 from ..workload.request import Request
 
 CompletionCallback = Callable[[Request], None]
@@ -57,6 +58,10 @@ class Scheduler(ABC):
         self._on_complete: Optional[CompletionCallback] = None
         self._on_drop: Optional[DropCallback] = None
         self._bound = False
+        #: worker_id -> the pending service event (completion, quantum
+        #: boundary, ...) for the request currently on that core.  Fault
+        #: injection cancels this event when the core crashes mid-service.
+        self._service_events: Dict[int, Event] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -105,15 +110,32 @@ class Scheduler(ABC):
     # ------------------------------------------------------------------
     # service helpers for non-preemptive policies
     # ------------------------------------------------------------------
+    def schedule_service_event(
+        self, worker: Worker, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule a service-lifecycle event for ``worker`` and remember
+        it so a crash can cancel it.  All policies must book the events
+        that advance an in-flight request through this helper."""
+        assert self.loop is not None
+        event = self.loop.call_after(delay, fn, *args)
+        self._service_events[worker.worker_id] = event
+        return event
+
     def begin_service(self, worker: Worker, request: Request) -> None:
         """Run ``request`` to completion on ``worker`` (non-preemptive)."""
         assert self.loop is not None
         request.dispatch_time = self.loop.now
         worker.begin(request, self.loop.now)
-        self.loop.call_after(request.remaining_time, self._complete, worker, request)
+        occupancy = request.remaining_time * worker.speed_factor
+        if worker.speed_factor != 1.0:
+            # A straggling core holds the request longer than its nominal
+            # service time; the surplus is degradation, not useful work.
+            request.overhead_time += occupancy - request.remaining_time
+        self.schedule_service_event(worker, occupancy, self._complete, worker, request)
 
     def _complete(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        self._service_events.pop(worker.worker_id, None)
         worker.end(self.loop.now)
         worker.completed += 1
         request.remaining_time = 0.0
@@ -132,6 +154,57 @@ class Scheduler(ABC):
         request.dropped = True
         if self._on_drop is not None:
             self._on_drop(request)
+
+    # ------------------------------------------------------------------
+    # fault handling (repro.faults drives these)
+    # ------------------------------------------------------------------
+    def on_worker_crash(self, worker: Worker, requeue: bool = True) -> Optional[Request]:
+        """``worker`` died.  Abort its in-flight request (progress is
+        lost), then requeue the victim through the normal arrival path or
+        drop it, per policy.  Returns the victim, if any.
+
+        Subclasses with extra per-worker service state (e.g. overdue
+        timers) must clear it before delegating here.
+        """
+        assert self.loop is not None
+        victim: Optional[Request] = None
+        if worker.current is not None:
+            event = self._service_events.pop(worker.worker_id, None)
+            if event is not None:
+                event.cancel()
+            victim = worker.end(self.loop.now)
+            # The crashed attempt is wasted occupancy, not service.
+            victim.worker_id = None
+            victim.dispatch_time = None
+            victim.remaining_time = victim.service_time
+        worker.fail()
+        self.on_capacity_change()
+        if victim is not None:
+            if requeue:
+                self.on_request(victim)
+            else:
+                self.drop(victim)
+        return victim
+
+    def on_worker_recover(self, worker: Worker) -> None:
+        """A crashed core came back (clean restart, full speed)."""
+        if not worker.failed:
+            return
+        worker.recover()
+        self.on_capacity_change()
+        self.on_worker_free(worker)
+
+    def on_capacity_change(self) -> None:
+        """Hook: the set of usable workers changed (crash/recover).
+
+        The default policy reaction is nothing — dead cores are skipped
+        because they are never free.  Capacity-aware policies (DARC)
+        override this to re-partition the surviving cores.
+        """
+
+    def available_workers(self) -> List[Worker]:
+        """Workers that have not crashed (busy or idle)."""
+        return [w for w in self.workers if not w.failed]
 
     # ------------------------------------------------------------------
     # conveniences

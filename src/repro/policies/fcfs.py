@@ -218,8 +218,9 @@ class WorkStealingFCFS(DecentralizedFCFS):
             request.overhead_time += self.steal_cost_us
             worker.begin(request, self.loop.now)
             request.dispatch_time = self.loop.now
-            self.loop.call_after(
-                request.remaining_time + self.steal_cost_us,
+            self.schedule_service_event(
+                worker,
+                request.remaining_time * worker.speed_factor + self.steal_cost_us,
                 self._complete_stolen,
                 worker,
                 request,
@@ -229,6 +230,7 @@ class WorkStealingFCFS(DecentralizedFCFS):
 
     def _complete_stolen(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        self._service_events.pop(worker.worker_id, None)
         worker.end(self.loop.now, overhead=self.steal_cost_us)
         worker.completed += 1
         request.remaining_time = 0.0

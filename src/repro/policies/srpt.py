@@ -106,7 +106,7 @@ class ShortestRemainingProcessingTime(Scheduler):
         cost = self.preempt_cost_us
         if cost > 0:
             request.overhead_time += cost
-            self.loop.call_after(cost, self._preempt_done, worker, request, cost)
+            self.schedule_service_event(worker, cost, self._preempt_done, worker, request, cost)
         else:
             worker.end(self.loop.now)
             self._push(request)
@@ -121,10 +121,16 @@ class ShortestRemainingProcessingTime(Scheduler):
         if request.dispatch_time is None:
             request.dispatch_time = self.loop.now
         worker.begin(request, self.loop.now)
-        finish_event = self.loop.call_after(
-            request.remaining_time, self._finish, worker, request
+        finish_event = self.schedule_service_event(
+            worker, request.remaining_time, self._finish, worker, request
         )
         self._running[worker.worker_id] = (request, self.loop.now, finish_event)
+
+    def on_worker_crash(self, worker: Worker, requeue: bool = True):
+        """Crash: drop the running-bookkeeping entry; the base class
+        cancels the registered finish event and evicts the request."""
+        self._running.pop(worker.worker_id, None)
+        return super().on_worker_crash(worker, requeue=requeue)
 
     def _finish(self, worker: Worker, request: Request) -> None:
         self._running.pop(worker.worker_id, None)

@@ -186,14 +186,19 @@ class TimeSharing(Scheduler):
             request.dispatch_time = self.loop.now
         worker.begin(request, self.loop.now)
         slice_us = min(request.remaining_time, self.quantum_us)
+        # A straggling core executes the slice speed_factor times slower;
+        # slice_us stays nominal (it is what remaining_time is charged).
+        wall = slice_us * worker.speed_factor
         if slice_us >= request.remaining_time:
-            self.loop.call_after(slice_us, self._slice_finished, worker, request)
+            self.schedule_service_event(worker, wall, self._slice_finished, worker, request)
         elif self.trigger == "demand":
-            self.loop.call_after(slice_us, self._quantum_boundary, worker, request, slice_us)
+            self.schedule_service_event(
+                worker, wall, self._quantum_boundary, worker, request, slice_us
+            )
         else:
             cost = self.preempt_delay_us + self.preempt_overhead_us
-            self.loop.call_after(
-                slice_us + cost, self._slice_preempted, worker, request, slice_us, cost
+            self.schedule_service_event(
+                worker, wall + cost, self._slice_preempted, worker, request, slice_us, cost
             )
 
     # ------------------------------------------------------------------
@@ -204,20 +209,26 @@ class TimeSharing(Scheduler):
         assert self.loop is not None
         if self.pending_count() > 0:
             cost = self.preempt_delay_us + self.preempt_overhead_us
-            self.loop.call_after(
-                cost, self._slice_preempted, worker, request, slice_us, cost
+            self.schedule_service_event(
+                worker, cost, self._slice_preempted, worker, request, slice_us, cost
             )
             return
         # Nobody waits: run on, but stay preemptible the moment work
         # arrives.  Book the natural completion; a later preemption
         # cancels it.
-        completion = self.loop.call_after(
-            request.remaining_time - slice_us, self._overdue_finished, worker, request
+        factor = worker.speed_factor
+        completion = self.schedule_service_event(
+            worker,
+            (request.remaining_time - slice_us) * factor,
+            self._overdue_finished,
+            worker,
+            request,
         )
         self._overdue[worker.worker_id] = (
             request,
-            self.loop.now - slice_us,
+            self.loop.now - slice_us * factor,
             completion,
+            factor,
         )
 
     def _overdue_finished(self, worker: Worker, request: Request) -> None:
@@ -229,17 +240,25 @@ class TimeSharing(Scheduler):
         request (capped at one preemption per arrival)."""
         assert self.loop is not None
         worker_id = min(self._overdue, key=lambda wid: self._overdue[wid][1])
-        request, slice_start, completion = self._overdue.pop(worker_id)
+        request, slice_start, completion, factor = self._overdue.pop(worker_id)
         completion.cancel()
         worker = self.workers[worker_id]
-        consumed = self.loop.now - slice_start
+        consumed = (self.loop.now - slice_start) / factor
         cost = self.preempt_delay_us + self.preempt_overhead_us
-        self.loop.call_after(
-            cost, self._slice_preempted, worker, request, consumed, cost
+        self.schedule_service_event(
+            worker, cost, self._slice_preempted, worker, request, consumed, cost
         )
+
+    def on_worker_crash(self, worker: Worker, requeue: bool = True):
+        """Crash: clear demand-mode overdue state before the generic
+        eviction (its completion event is the registered service event,
+        so the base class cancels it)."""
+        self._overdue.pop(worker.worker_id, None)
+        return super().on_worker_crash(worker, requeue=requeue)
 
     def _slice_finished(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        self._service_events.pop(worker.worker_id, None)
         worker.end(self.loop.now)
         worker.completed += 1
         request.remaining_time = 0.0
@@ -253,6 +272,7 @@ class TimeSharing(Scheduler):
         self, worker: Worker, request: Request, slice_us: float, cost: float
     ) -> None:
         assert self.loop is not None
+        self._service_events.pop(worker.worker_id, None)
         worker.end(self.loop.now, overhead=cost)
         request.remaining_time -= slice_us
         request.preemption_count += 1

@@ -33,6 +33,8 @@ class Server:
         scheduler: "Scheduler",
         config: Optional[ServerConfig] = None,
         recorder: Optional[Recorder] = None,
+        completion_sink=None,
+        drop_sink=None,
     ):
         self.loop = loop
         self.scheduler = scheduler
@@ -46,7 +48,14 @@ class Server:
         #: are handed to the scheduler in arrival order, each occupying
         #: the dispatcher for ``dispatcher_service_us``.
         self._dispatcher_free_at = 0.0
-        scheduler.bind(loop, self.workers, self.recorder.on_complete, self.recorder.on_drop)
+        #: Completion/drop sinks default to the recorder; a resilience
+        #: layer (``repro.workload.resilience``) interposes here to see
+        #: completions before they are recorded.
+        self._completion_sink = (
+            completion_sink if completion_sink is not None else self.recorder.on_complete
+        )
+        self._drop_sink = drop_sink if drop_sink is not None else self.recorder.on_drop
+        scheduler.bind(loop, self.workers, self._completion_sink, self._drop_sink)
 
     def ingress(self, request: Request) -> None:
         """Entry point for arriving requests (the generator's sink)."""
@@ -61,7 +70,7 @@ class Server:
                 # The dispatcher cannot keep up; the NIC ring overflows.
                 self.dispatcher_drops += 1
                 request.dropped = True
-                self.recorder.on_drop(request)
+                self._drop_sink(request)
                 return
             self._dispatcher_free_at = max(now, self._dispatcher_free_at) + cost
             self.loop.call_at(
@@ -82,7 +91,17 @@ class Server:
     @property
     def in_flight(self) -> int:
         """Requests being served right now."""
-        return sum(1 for w in self.workers if not w.is_free)
+        return sum(1 for w in self.workers if w.is_busy)
+
+    @property
+    def alive(self) -> bool:
+        """True while at least one worker core has not crashed."""
+        return any(not w.failed for w in self.workers)
+
+    @property
+    def failed_workers(self) -> int:
+        """Number of currently crashed cores."""
+        return sum(1 for w in self.workers if w.failed)
 
     @property
     def pending(self) -> int:

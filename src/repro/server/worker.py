@@ -26,6 +26,9 @@ class Worker:
         "completed",
         "idle_since",
         "tags",
+        "failed",
+        "speed_factor",
+        "crash_count",
     )
 
     def __init__(self, worker_id: int):
@@ -39,10 +42,34 @@ class Worker:
         self.idle_since = 0.0
         #: Free-form labels (e.g. DARC group id) set by schedulers.
         self.tags: dict = {}
+        #: True while the core is crashed (fault injection); a failed
+        #: worker is never free, so no policy dispatches to it.
+        self.failed = False
+        #: Straggler degradation: service begun on this core runs
+        #: ``speed_factor`` times slower than its nominal service time.
+        self.speed_factor = 1.0
+        #: Times this core has been crashed by fault injection.
+        self.crash_count = 0
 
     @property
     def is_free(self) -> bool:
-        return self.current is None
+        return self.current is None and not self.failed
+
+    @property
+    def is_busy(self) -> bool:
+        """True while a request occupies the core (crashed or not)."""
+        return self.current is not None
+
+    def fail(self) -> None:
+        """Mark the core crashed.  The caller (the scheduler's crash
+        handler) is responsible for evicting any in-flight request first."""
+        self.failed = True
+        self.crash_count += 1
+
+    def recover(self) -> None:
+        """Bring a crashed core back; it restarts clean and at full speed."""
+        self.failed = False
+        self.speed_factor = 1.0
 
     def begin(self, request: Request, now: float) -> None:
         """Start (or resume) serving ``request``."""

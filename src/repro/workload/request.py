@@ -55,6 +55,9 @@ class Request:
         "overhead_time",
         "dropped",
         "payload",
+        "retry_of",
+        "attempt",
+        "first_attempt_time",
     )
 
     def __init__(
@@ -81,6 +84,13 @@ class Request:
         self.overhead_time = 0.0
         self.dropped = False
         self.payload = payload
+        #: rid of the original request this one retries (resilience layer).
+        self.retry_of: Optional[int] = None
+        #: 1-based attempt number for the logical request.
+        self.attempt = 1
+        #: Arrival time of attempt 1; end-to-end client latency spans
+        #: retries, so metrics prefer this over ``arrival_time`` when set.
+        self.first_attempt_time: Optional[float] = None
 
     @property
     def completed(self) -> bool:

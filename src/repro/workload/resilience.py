@@ -1,0 +1,270 @@
+"""Client-side resilience: per-request timeout, bounded retry with
+exponential backoff + jitter, and orphan-request accounting.
+
+The paper's open-loop client fires and forgets; real datacenter clients
+do not.  :class:`ResilientClient` sits between the generator and the
+network (the fault injector's ingress) and gives each *logical* request
+a timeout and a bounded retry budget:
+
+* an attempt that completes in time is recorded as one completion row
+  whose latency spans the logical request end-to-end (attempt 1's
+  arrival to the winning attempt's finish, via ``first_attempt_time``);
+* an attempt that times out is *orphaned* — the server may still be
+  holding it and will eventually complete it, which the client counts as
+  a late completion and discards;
+* a timed-out or server-dropped attempt is retried after an exponential
+  backoff (with optional seeded jitter) until the budget is spent, at
+  which point the logical request counts as a failure.
+
+All bookkeeping flows into :class:`~repro.metrics.recorder.Recorder`'s
+orphan counters (``timeouts`` / ``retries`` / ``failures`` /
+``late_completions``) so degradation metrics see one consistent ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..metrics.recorder import Recorder
+from ..sim.engine import EventLoop
+from .request import Request
+
+#: Retry attempts get rids in their own space so they never collide with
+#: generator rids or the injector's duplicate deliveries.
+RETRY_RID_BASE = 1 << 31
+
+Sink = Callable[[Request], None]
+
+
+class RetryPolicy:
+    """Timeout/retry knobs for :class:`ResilientClient`.
+
+    ``max_retries`` bounds *re-sends*: a logical request makes at most
+    ``1 + max_retries`` attempts.  Backoff before retry ``k`` (1-based)
+    is ``backoff_base_us * backoff_factor ** (k - 1)``, scaled by a
+    uniform jitter in ``[1 - jitter_frac, 1 + jitter_frac]``.
+    """
+
+    __slots__ = (
+        "timeout_us",
+        "max_retries",
+        "backoff_base_us",
+        "backoff_factor",
+        "jitter_frac",
+    )
+
+    def __init__(
+        self,
+        timeout_us: float,
+        max_retries: int = 2,
+        backoff_base_us: float = 0.0,
+        backoff_factor: float = 2.0,
+        jitter_frac: float = 0.0,
+    ):
+        if timeout_us <= 0:
+            raise ConfigurationError(f"timeout_us must be > 0, got {timeout_us}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_us < 0:
+            raise ConfigurationError(
+                f"backoff_base_us must be >= 0, got {backoff_base_us}"
+            )
+        if backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
+        if not 0.0 <= jitter_frac < 1.0:
+            raise ConfigurationError(
+                f"jitter_frac must be in [0, 1), got {jitter_frac}"
+            )
+        self.timeout_us = float(timeout_us)
+        self.max_retries = max_retries
+        self.backoff_base_us = float(backoff_base_us)
+        self.backoff_factor = float(backoff_factor)
+        self.jitter_frac = float(jitter_frac)
+
+    def backoff_us(self, retry_no: int, rng: Optional[np.random.Generator]) -> float:
+        """Delay before the ``retry_no``-th re-send (1-based)."""
+        delay = self.backoff_base_us * self.backoff_factor ** (retry_no - 1)
+        if self.jitter_frac > 0.0:
+            assert rng is not None
+            delay *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RetryPolicy(timeout={self.timeout_us}us, retries={self.max_retries}, "
+            f"backoff={self.backoff_base_us}us x{self.backoff_factor})"
+        )
+
+
+class _Outstanding:
+    """Client-side state for one in-flight attempt."""
+
+    __slots__ = (
+        "logical_rid",
+        "type_id",
+        "service_time",
+        "first_attempt_time",
+        "attempt",
+        "timeout_event",
+    )
+
+    def __init__(self, request: Request, timeout_event):
+        self.logical_rid = (
+            request.retry_of if request.retry_of is not None else request.rid
+        )
+        self.type_id = request.type_id
+        self.service_time = request.service_time
+        self.first_attempt_time = request.first_attempt_time
+        self.attempt = request.attempt
+        self.timeout_event = timeout_event
+
+
+class ResilientClient:
+    """Timeout + retry wrapper around the request path.
+
+    Wire it as::
+
+        client = ResilientClient(loop, policy, recorder, rng=...)
+        server = Server(..., completion_sink=client.on_complete,
+                        drop_sink=client.on_drop)
+        client.bind(injector.ingress)          # or server.ingress
+        generator = OpenLoopGenerator(..., sink=client.send, ...)
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        policy: RetryPolicy,
+        recorder: Recorder,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if policy.jitter_frac > 0.0 and rng is None:
+            raise ConfigurationError(
+                "jittered backoff needs an rng stream "
+                "(e.g. rngs.stream('faults.retry'))"
+            )
+        self.loop = loop
+        self.policy = policy
+        self.recorder = recorder
+        self.rng = rng
+        self._sink: Optional[Sink] = None
+        self._pending: Dict[int, _Outstanding] = {}
+        self._retry_seq = 0
+        #: Logical requests that completed within their attempt budget.
+        self.succeeded = 0
+
+    def bind(self, sink: Sink) -> None:
+        """Attach the network-facing send path."""
+        self._sink = sink
+
+    # ------------------------------------------------------------------
+    # generator-facing
+    # ------------------------------------------------------------------
+    def send(self, request: Request) -> None:
+        """First attempt of a new logical request (the generator sink)."""
+        if request.first_attempt_time is None:
+            request.first_attempt_time = request.arrival_time
+        self._transmit(request)
+
+    def _transmit(self, request: Request) -> None:
+        if self._sink is None:
+            raise ConfigurationError("ResilientClient.bind() was never called")
+        timeout_event = self.loop.call_after(
+            self.policy.timeout_us, self._on_timeout, request.rid, request
+        )
+        self._pending[request.rid] = _Outstanding(request, timeout_event)
+        self._sink(request)
+
+    # ------------------------------------------------------------------
+    # server-facing
+    # ------------------------------------------------------------------
+    def on_complete(self, request: Request) -> None:
+        """Server completion sink."""
+        entry = self._pending.pop(request.rid, None)
+        if entry is None:
+            # An orphan finished: a timed-out attempt, or a network
+            # duplicate the client never sent.  Nobody is waiting.
+            self.recorder.on_late_completion(request)
+            return
+        entry.timeout_event.cancel()
+        self.succeeded += 1
+        self.recorder.on_complete(request)
+
+    def on_drop(self, request: Request) -> None:
+        """Server drop sink (flow control or crash drop-policy)."""
+        entry = self._pending.pop(request.rid, None)
+        self.recorder.on_drop(request)
+        if entry is None:
+            return  # dropped an already-orphaned attempt
+        entry.timeout_event.cancel()
+        self._retry_or_fail(entry)
+
+    # ------------------------------------------------------------------
+    # timeout / retry machinery
+    # ------------------------------------------------------------------
+    def _on_timeout(self, rid: int, request: Request) -> None:
+        entry = self._pending.pop(rid, None)
+        if entry is None:
+            return  # completed just before the (lazily cancelled) timer
+        self.recorder.on_timeout(request)
+        self._retry_or_fail(entry)
+
+    def _retry_or_fail(self, entry: _Outstanding) -> None:
+        if entry.attempt > self.policy.max_retries:
+            # Budget spent: 1 original + max_retries re-sends all failed.
+            self.recorder.on_failure(self._describe(entry))
+            return
+        retry_no = entry.attempt  # 1-based index of the upcoming re-send
+        delay = self.policy.backoff_us(retry_no, self.rng)
+        if delay > 0:
+            self.loop.call_after(delay, self._send_retry, entry)
+        else:
+            self._send_retry(entry)
+
+    def _send_retry(self, entry: _Outstanding) -> None:
+        retry = Request(
+            rid=RETRY_RID_BASE + self._retry_seq,
+            type_id=entry.type_id,
+            arrival_time=self.loop.now,
+            service_time=entry.service_time,
+        )
+        self._retry_seq += 1
+        retry.retry_of = entry.logical_rid
+        retry.attempt = entry.attempt + 1
+        retry.first_attempt_time = entry.first_attempt_time
+        self.recorder.on_retry(retry)
+        self._transmit(retry)
+
+    def _describe(self, entry: _Outstanding) -> Request:
+        """A tombstone request for the failure callback."""
+        tombstone = Request(
+            rid=entry.logical_rid,
+            type_id=entry.type_id,
+            arrival_time=(
+                entry.first_attempt_time
+                if entry.first_attempt_time is not None
+                else self.loop.now
+            ),
+            service_time=entry.service_time,
+        )
+        tombstone.attempt = entry.attempt
+        return tombstone
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Attempts the client is still waiting on."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResilientClient({self.policy!r}, outstanding={self.outstanding}, "
+            f"succeeded={self.succeeded})"
+        )

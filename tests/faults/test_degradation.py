@@ -1,0 +1,116 @@
+"""DegradationReport: windowing, goodput, blackouts, time-to-recover."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.degradation import DegradationReport
+from repro.metrics.recorder import Recorder
+from repro.workload.request import Request
+
+
+def completion(recorder, at, latency):
+    request = Request(0, 0, at, 1.0)
+    request.finish_time = at + latency
+    recorder.on_complete(request)
+
+
+def report(recorder, window_us=10.0, slo=5.0, **kwargs):
+    return DegradationReport(
+        recorder.columns(), window_us=window_us, slo_latency_us=slo, **kwargs
+    )
+
+
+class TestWindowing:
+    def test_validation(self):
+        recorder = Recorder()
+        with pytest.raises(ConfigurationError):
+            report(recorder, window_us=0.0)
+        with pytest.raises(ConfigurationError):
+            report(recorder, slo=0.0)
+
+    def test_empty_run(self):
+        deg = report(Recorder())
+        assert len(deg.times) == 0
+        assert deg.violation_time_us() == 0.0
+        assert deg.time_to_recover(0.0) is None
+        assert len(deg.goodput) == 0
+
+    def test_completions_binned_by_sending_time(self):
+        recorder = Recorder()
+        for at in (1.0, 2.0, 11.0):
+            completion(recorder, at, latency=1.0)
+        deg = report(recorder)
+        assert list(deg.completions) == [2, 1]
+        assert list(deg.times) == [0.0, 10.0]
+
+    def test_goodput_counts_only_slo_meeting(self):
+        recorder = Recorder()
+        completion(recorder, 1.0, latency=1.0)   # good
+        completion(recorder, 2.0, latency=50.0)  # SLO miss
+        deg = report(recorder)
+        assert deg.completions[0] == 2
+        assert deg.good_completions[0] == 1
+        assert deg.goodput[0] == pytest.approx(0.1)
+        assert deg.throughput[0] == pytest.approx(0.2)
+
+
+class TestViolations:
+    def test_tail_over_slo_violates(self):
+        recorder = Recorder()
+        completion(recorder, 1.0, latency=1.0)
+        completion(recorder, 11.0, latency=100.0)
+        deg = report(recorder)
+        assert list(deg.violations()) == [False, True]
+        assert deg.violation_time_us() == pytest.approx(10.0)
+        assert deg.violation_spans() == [(10.0, 20.0)]
+
+    def test_blackout_window_violates(self):
+        recorder = Recorder()
+        completion(recorder, 1.0, latency=1.0)
+        completion(recorder, 31.0, latency=1.0)
+        deg = report(recorder)
+        # Windows 1 and 2 saw no completions between live windows 0, 3.
+        assert list(deg.violations()) == [False, True, True, False]
+
+    def test_time_to_recover(self):
+        recorder = Recorder()
+        for at in (1.0, 2.0):
+            completion(recorder, at, latency=1.0)
+        for at in (11.0, 12.0):
+            completion(recorder, at, latency=100.0)  # fault window
+        for at in (21.0, 31.0, 41.0):
+            completion(recorder, at, latency=1.0)    # recovered
+        deg = report(recorder)
+        assert deg.time_to_recover(10.0, sustain=2) == pytest.approx(10.0)
+        assert deg.time_to_recover(10.0, sustain=3) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            deg.time_to_recover(10.0, sustain=0)
+
+    def test_never_recovers(self):
+        recorder = Recorder()
+        completion(recorder, 1.0, latency=1.0)
+        completion(recorder, 11.0, latency=100.0)
+        deg = report(recorder)
+        assert deg.time_to_recover(10.0, sustain=1) is None
+
+
+class TestSummary:
+    def test_summary_dict_includes_orphan_ledger(self):
+        recorder = Recorder()
+        completion(recorder, 1.0, latency=1.0)
+        recorder.timeouts = 3
+        recorder.retries = 2
+        recorder.failures = 1
+        recorder.late_completions = 4
+        deg = DegradationReport(
+            recorder.columns(), window_us=10.0, slo_latency_us=5.0,
+            recorder=recorder,
+        )
+        out = deg.summary_dict(fault_at=0.0)
+        assert out["windows"] == 1
+        assert out["timeouts"] == 3
+        assert out["retries"] == 2
+        assert out["failures"] == 1
+        assert out["late_completions"] == 4
+        assert "time_to_recover_us" in out

@@ -1,0 +1,230 @@
+"""FaultInjector against a live server: crashes (requeue vs drop),
+recovery, stragglers, and packet-level drop/duplicate windows."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import DUP_RID_BASE, FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    PacketDrop,
+    PacketDup,
+    WorkerCrash,
+    WorkerRecover,
+    WorkerSlowdown,
+)
+from repro.metrics.recorder import Recorder
+from repro.policies.fcfs import CentralizedFCFS
+from repro.server.config import ServerConfig
+from repro.server.server import Server
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+
+
+def make_server(loop, n_workers=1):
+    recorder = Recorder()
+    server = Server(
+        loop,
+        CentralizedFCFS(),
+        config=ServerConfig(n_workers=n_workers),
+        recorder=recorder,
+    )
+    return server, recorder
+
+
+def armed(loop, server, plan, rng=None):
+    injector = FaultInjector(plan, rng=rng)
+    injector.arm(loop, server)
+    return injector
+
+
+def req(rid, service, type_id=0, at=0.0):
+    return Request(rid, type_id, at, service)
+
+
+class TestCrash:
+    def test_crash_requeues_victim_and_loses_progress(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan(
+            [WorkerCrash(5.0, 0, requeue=True), WorkerRecover(8.0, 0)]
+        )
+        injector = armed(loop, server, plan)
+        loop.call_at(0.0, injector.ingress, req(0, service=10.0))
+        loop.run()
+        # 5us of progress lost: service restarts at recovery (t=8), so
+        # the single completion lands at 8 + 10 = 18.
+        assert recorder.completed == 1
+        assert recorder.columns().finishes[0] == pytest.approx(18.0)
+        assert injector.crashes == 1
+        assert injector.recoveries == 1
+        assert injector.requeued == 1
+        assert injector.dropped_in_flight == 0
+
+    def test_crash_drop_policy_discards_victim(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan([WorkerCrash(5.0, 0, requeue=False)])
+        injector = armed(loop, server, plan)
+        loop.call_at(0.0, injector.ingress, req(0, service=10.0))
+        loop.run()
+        assert recorder.completed == 0
+        assert recorder.dropped == 1
+        assert injector.dropped_in_flight == 1
+        assert injector.requeued == 0
+
+    def test_crash_on_idle_worker_drops_nothing(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=2)
+        plan = FaultPlan([WorkerCrash(5.0, 1)])  # worker 1 is idle
+        injector = armed(loop, server, plan)
+        loop.call_at(0.0, injector.ingress, req(0, service=2.0))
+        loop.run()
+        assert recorder.completed == 1
+        assert injector.crashes == 1
+        assert injector.requeued == 0
+        assert injector.dropped_in_flight == 0
+
+    def test_double_crash_is_idempotent(self):
+        loop = EventLoop()
+        server, _ = make_server(loop, n_workers=1)
+        plan = FaultPlan([WorkerCrash(1.0, 0), WorkerCrash(2.0, 0)])
+        injector = armed(loop, server, plan)
+        loop.run()
+        assert injector.crashes == 1
+        assert server.workers[0].failed
+
+    def test_recover_on_alive_worker_is_noop(self):
+        loop = EventLoop()
+        server, _ = make_server(loop, n_workers=1)
+        injector = armed(loop, server, FaultPlan([WorkerRecover(1.0, 0)]))
+        loop.run()
+        assert injector.recoveries == 0
+        assert not server.workers[0].failed
+
+    def test_crashed_worker_stops_accepting_work(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        injector = armed(loop, server, FaultPlan([WorkerCrash(1.0, 0)]))
+        loop.call_at(2.0, injector.ingress, req(0, service=1.0))
+        loop.run()
+        # Arrived after the crash with no recovery: queued forever.
+        assert recorder.completed == 0
+        assert server.pending == 1
+
+
+class TestStraggler:
+    def test_slowdown_stretches_service_begun_in_window(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan([WorkerSlowdown(0.0, 0, factor=2.0, until=100.0)])
+        injector = armed(loop, server, plan)
+        loop.call_at(1.0, injector.ingress, req(0, service=4.0))
+        loop.run()
+        cols = recorder.columns()
+        # 4us of work occupies the core 8us; the surplus is overhead.
+        assert cols.finishes[0] == pytest.approx(9.0)
+        assert cols.overheads[0] == pytest.approx(4.0)
+        assert injector.slowdowns == 1
+
+    def test_slowdown_window_ends(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan([WorkerSlowdown(0.0, 0, factor=3.0, until=50.0)])
+        injector = armed(loop, server, plan)
+        loop.call_at(200.0, injector.ingress, req(0, service=4.0))
+        loop.run()
+        cols = recorder.columns()
+        assert cols.finishes[0] == pytest.approx(204.0)
+        assert cols.overheads[0] == pytest.approx(0.0)
+
+
+class TestPacketFaults:
+    def test_drop_window_loses_every_packet_at_p1(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan([PacketDrop(0.0, 10.0, 1.0)])
+        injector = armed(loop, server, plan, rng=np.random.default_rng(0))
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            loop.call_at(t, injector.ingress, req(i, service=1.0, at=t))
+        loop.run()
+        assert server.received == 0
+        assert injector.packets_dropped == 3
+        assert recorder.completed == 0
+
+    def test_drop_window_inactive_outside_span(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        plan = FaultPlan([PacketDrop(0.0, 10.0, 1.0)])
+        injector = armed(loop, server, plan, rng=np.random.default_rng(0))
+        loop.call_at(11.0, injector.ingress, req(0, service=1.0, at=11.0))
+        loop.run()
+        assert server.received == 1
+        assert injector.packets_dropped == 0
+
+    def test_dup_window_delivers_twice_with_fresh_rid(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=2)
+        plan = FaultPlan([PacketDup(0.0, 10.0, 1.0)])
+        injector = armed(loop, server, plan, rng=np.random.default_rng(0))
+        loop.call_at(1.0, injector.ingress, req(7, service=1.0, at=1.0))
+        loop.run()
+        assert server.received == 2
+        assert injector.packets_duplicated == 1
+        assert recorder.completed == 2
+        dup_entries = [e for e in injector.log if e[1] == "packet-dup"]
+        assert dup_entries == [(1.0, "packet-dup", 7)]
+
+    def test_probabilistic_drop_is_seed_reproducible(self):
+        def run(seed):
+            loop = EventLoop()
+            server, _ = make_server(loop, n_workers=4)
+            plan = FaultPlan([PacketDrop(0.0, 100.0, 0.5)])
+            injector = armed(
+                loop, server, plan, rng=np.random.default_rng(seed)
+            )
+            for i in range(50):
+                t = float(i)
+                loop.call_at(t, injector.ingress, req(i, service=0.5, at=t))
+            loop.run()
+            return injector.packets_dropped, server.received
+
+        assert run(3) == run(3)
+        dropped, received = run(3)
+        assert dropped + received == 50
+        assert 0 < dropped < 50
+
+    def test_rng_required_for_packet_plans(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultPlan([PacketDrop(0.0, 1.0, 0.5)]))
+
+
+class TestArming:
+    def test_plan_validated_against_server(self):
+        loop = EventLoop()
+        server, _ = make_server(loop, n_workers=2)
+        injector = FaultInjector(FaultPlan([WorkerCrash(1.0, 5)]))
+        with pytest.raises(ConfigurationError):
+            injector.arm(loop, server)
+
+    def test_double_arm_rejected(self):
+        loop = EventLoop()
+        server, _ = make_server(loop, n_workers=1)
+        injector = FaultInjector(FaultPlan())
+        injector.arm(loop, server)
+        with pytest.raises(ConfigurationError):
+            injector.arm(loop, server)
+
+    def test_empty_plan_is_pure_passthrough(self):
+        loop = EventLoop()
+        server, recorder = make_server(loop, n_workers=1)
+        injector = armed(loop, server, FaultPlan())
+        loop.call_at(0.0, injector.ingress, req(0, service=2.0))
+        loop.run()
+        assert recorder.completed == 1
+        assert all(v == 0 for v in injector.counters().values())
+        assert injector.log == []
+
+    def test_dup_rid_space_disjoint_from_generator_rids(self):
+        assert DUP_RID_BASE > 10**6

@@ -1,0 +1,191 @@
+"""ResilientClient: per-request timeout, bounded retry with backoff,
+and the orphan-request ledger."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.recorder import Recorder
+from repro.sim.engine import EventLoop
+from repro.workload.request import Request
+from repro.workload.resilience import RETRY_RID_BASE, ResilientClient, RetryPolicy
+
+
+def req(rid, service=3.0, at=0.0):
+    return Request(rid, 0, at, service)
+
+
+def make_client(loop, recorder, rng=None, **policy_kwargs):
+    kwargs = dict(timeout_us=10.0, max_retries=2, backoff_base_us=0.0)
+    kwargs.update(policy_kwargs)
+    client = ResilientClient(loop, RetryPolicy(**kwargs), recorder, rng=rng)
+    sent = []
+
+    def sink(request):
+        sent.append((loop.now, request))
+
+    client.bind(sink)
+    return client, sent
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_us=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_us=1.0, max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_us=1.0, backoff_base_us=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_us=1.0, backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_us=1.0, jitter_frac=1.0)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(
+            timeout_us=10.0, backoff_base_us=100.0, backoff_factor=3.0
+        )
+        assert policy.backoff_us(1, None) == pytest.approx(100.0)
+        assert policy.backoff_us(2, None) == pytest.approx(300.0)
+        assert policy.backoff_us(3, None) == pytest.approx(900.0)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            timeout_us=10.0, backoff_base_us=100.0, jitter_frac=0.2
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_us(1, rng) for _ in range(200)]
+        assert min(delays) >= 80.0
+        assert max(delays) <= 120.0
+        assert max(delays) - min(delays) > 1.0  # jitter actually applied
+
+    def test_jittered_client_requires_rng(self):
+        loop = EventLoop()
+        with pytest.raises(ConfigurationError):
+            ResilientClient(
+                loop,
+                RetryPolicy(timeout_us=10.0, jitter_frac=0.5),
+                Recorder(),
+            )
+
+
+class TestTimeoutRetry:
+    def test_completion_in_time_cancels_timeout(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(loop, recorder)
+        request = req(0)
+        client.send(request)
+
+        def complete():
+            request.finish_time = loop.now
+            client.on_complete(request)
+
+        loop.call_at(5.0, complete)
+        loop.run()
+        assert recorder.completed == 1
+        assert recorder.timeouts == 0
+        assert recorder.retries == 0
+        assert client.succeeded == 1
+        assert client.outstanding == 0
+        assert len(sent) == 1
+
+    def test_timeout_retries_then_fails_after_budget(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(
+            loop, recorder, max_retries=1, backoff_base_us=5.0
+        )
+        client.send(req(0))
+        loop.run()
+        # attempt 1 times out at 10, retry sent at 15, times out at 25.
+        assert [t for t, _ in sent] == pytest.approx([0.0, 15.0])
+        assert recorder.timeouts == 2
+        assert recorder.retries == 1
+        assert recorder.failures == 1
+        assert client.succeeded == 0
+        assert loop.now == pytest.approx(25.0)
+
+    def test_retry_attempt_metadata(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(loop, recorder, max_retries=2)
+        original = req(42, service=7.0, at=3.0)
+        original.arrival_time = 3.0
+        client.send(original)
+        loop.run()
+        retries = [r for _, r in sent[1:]]
+        assert len(retries) == 2
+        for i, retry in enumerate(retries):
+            assert retry.rid >= RETRY_RID_BASE
+            assert retry.retry_of == 42
+            assert retry.attempt == i + 2
+            assert retry.service_time == 7.0
+            assert retry.first_attempt_time == 3.0
+
+    def test_late_completion_of_orphaned_attempt(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(loop, recorder, max_retries=0)
+        request = req(0)
+        client.send(request)
+
+        def late():
+            request.finish_time = loop.now
+            client.on_complete(request)
+
+        loop.call_at(30.0, late)  # after the 10us timeout orphaned it
+        loop.run()
+        assert recorder.timeouts == 1
+        assert recorder.failures == 1
+        assert recorder.late_completions == 1
+        assert recorder.completed == 0  # no completion row for orphans
+
+    def test_completion_latency_spans_retries(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(loop, recorder, max_retries=1)
+        client.send(req(0, at=0.0))
+        fired = []
+
+        def complete_retry():
+            # Complete the retry attempt (sent at t=10) at t=12.
+            _, retry = sent[-1]
+            retry.finish_time = loop.now
+            client.on_complete(retry)
+            fired.append(loop.now)
+
+        loop.call_at(12.0, complete_retry)
+        loop.run()
+        assert fired == [12.0]
+        cols = recorder.columns()
+        assert recorder.completed == 1
+        # Row keyed by attempt 1's send time: end-to-end latency 12us.
+        assert cols.arrivals[0] == pytest.approx(0.0)
+        assert cols.latencies[0] == pytest.approx(12.0)
+
+    def test_server_drop_triggers_retry(self):
+        loop = EventLoop()
+        recorder = Recorder()
+        client, sent = make_client(loop, recorder, max_retries=2)
+        request = req(0)
+        client.send(request)
+        loop.call_at(2.0, client.on_drop, request)
+
+        def complete_retry():
+            _, retry = sent[-1]
+            retry.finish_time = loop.now
+            client.on_complete(retry)
+
+        loop.call_at(4.0, complete_retry)
+        loop.run()
+        assert recorder.dropped == 1
+        assert recorder.retries == 1
+        assert recorder.timeouts == 0  # drop cancelled the pending timer
+        assert client.succeeded == 1
+
+    def test_send_without_bind_rejected(self):
+        loop = EventLoop()
+        client = ResilientClient(loop, RetryPolicy(timeout_us=10.0), Recorder())
+        with pytest.raises(ConfigurationError):
+            client.send(req(0))
