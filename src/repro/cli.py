@@ -37,49 +37,69 @@ from .experiments.results import FigureResult
 #: Load-sweep request counts for --quick runs.
 QUICK_N = 8_000
 
-#: name -> (run(n, seed, sanitize) -> result, render(result) -> str)
+#: name -> (run(n, seed, sanitize, trace_dir) -> result, render(result) -> str)
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "chaos": (
-        lambda n, seed, sanitize: chaos.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: chaos.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         chaos.render,
     ),
     "figure1": (
-        lambda n, seed, sanitize: figure1.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure1.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure1.render,
     ),
     "figure3": (
-        lambda n, seed, sanitize: figure3.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure3.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure3.render,
     ),
     "figure4": (
-        lambda n, seed, sanitize: figure4.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure4.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         lambda r: r.render(),
     ),
     "figure5": (
-        lambda n, seed, sanitize: figure5.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure5.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure5.render,
     ),
     "figure6": (
-        lambda n, seed, sanitize: figure6.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure6.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure6.render,
     ),
     "figure7": (
-        lambda n, seed, sanitize: figure7.run(seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure7.run(
+            seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         lambda r: r.render(),
     ),
     "figure8": (
-        lambda n, seed, sanitize: figure8.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure8.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure8.render,
     ),
     "figure9": (
-        lambda n, seed, sanitize: figure9.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure9.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure9.render,
     ),
     "figure10": (
-        lambda n, seed, sanitize: figure10.run(n_requests=n, seed=seed, sanitize=sanitize),
+        lambda n, seed, sanitize, trace_dir: figure10.run(
+            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        ),
         figure10.render,
     ),
-    "tables": (lambda n, seed, sanitize: None, lambda r: tables.render_all()),
+    "tables": (lambda n, seed, sanitize, trace_dir: None, lambda r: tables.render_all()),
 }
 
 
@@ -117,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime invariant sanitizer to every run "
         "(slower; raises SanitizerViolation on the first broken invariant)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="record a per-request span trace of every run into DIR "
+        "(Perfetto-loadable JSON; inspect with repro-trace)",
+    )
     return parser
 
 
@@ -151,7 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         run, render = EXPERIMENTS[name]
         start = time.time()
-        result = run(n, args.seed, args.sanitize)
+        result = run(n, args.seed, args.sanitize, args.trace)
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

@@ -33,6 +33,9 @@ class RequestClassifier(ABC):
         self.cost_us = cost_us
         self.classified = 0
         self.unknown = 0
+        #: Optional :class:`~repro.trace.tracer.Tracer` (set by DARC's
+        #: ``attach_tracer``); None when tracing is off.
+        self.tracer = None
 
     @abstractmethod
     def _classify(self, request: Request) -> int:
@@ -45,6 +48,8 @@ class RequestClassifier(ABC):
         self.classified += 1
         if type_id == UNKNOWN_TYPE:
             self.unknown += 1
+        if self.tracer is not None:
+            self.tracer.on_classified(request, type_id)
         return type_id
 
 

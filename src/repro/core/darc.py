@@ -182,6 +182,12 @@ class DarcScheduler(Scheduler):
     # ------------------------------------------------------------------
     # binding / oracle setup
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Forward the tracer to the classifier so the decision log sees
+        every classification on the dispatch path."""
+        super().attach_tracer(tracer)
+        self.classifier.tracer = tracer
+
     def on_bound(self) -> None:
         self._waste_last_t = self.loop.now
         if not self.profile_enabled:
@@ -531,10 +537,18 @@ class DarcScheduler(Scheduler):
             self.queues.setdefault(tid, deque())
         self.reservation_updates += 1
         if self.loop is not None:
-            self.reservation_log.append(
-                (self.loop.now, {tid: len(self.reservation.group_for_type(tid).reserved)
-                                 for tid in covered})
-            )
+            reserved_counts = {
+                tid: len(self.reservation.group_for_type(tid).reserved)
+                for tid in covered
+            }
+            self.reservation_log.append((self.loop.now, reserved_counts))
+            if self.tracer is not None:
+                self.tracer.on_reservation(
+                    self._last_entries,
+                    reserved_counts,
+                    self.reservation.spillway_worker,
+                    len(alive),
+                )
         # Newly-permitted idle workers should pick up pending work now.
         for tid in self._order:
             self._dispatch_type(tid)

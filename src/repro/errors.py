@@ -31,6 +31,15 @@ class ClassifierError(ReproError):
     """Raised when a request classifier misbehaves in a detectable way."""
 
 
+class TraceError(ReproError):
+    """Raised when the ``repro.trace`` subsystem reaches an inconsistent
+    state: a span receives a second terminal transition, a slice closes
+    with none open, or a trace file fails to parse.  Tracing is
+    observational, so a TraceError always means either an instrumentation
+    bug or a genuine conservation violation in the pipeline — never a
+    scheduling decision gone wrong."""
+
+
 class LintError(ReproError):
     """Raised for fatal problems inside the ``repro.lint`` analyzer itself
     (unparseable source, unknown rule ids, bad suppression syntax) — *not*

@@ -32,6 +32,7 @@ from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import high_bimodal
 from ..workload.resilience import RetryPolicy
+from .common import trace_target
 
 N_WORKERS = 8
 UTILIZATION = 0.70
@@ -137,6 +138,7 @@ def run(
     systems: Optional[List[SystemModel]] = None,
     retry: Optional[RetryPolicy] = None,
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> ChaosExperimentResult:
     """Run the crash/recover episode for every system."""
     if systems is None:
@@ -168,6 +170,7 @@ def run(
             window_us=window_us,
             slo_latency_us=SLO_LATENCY_US,
             sanitize=sanitize,
+            trace_path=trace_target(trace_dir, "chaos", system.name),
         )
         result.results[system.name] = res
         ttr = res.time_to_recover()

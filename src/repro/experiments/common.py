@@ -11,7 +11,9 @@ rate ``W / E[S]`` — which is how the paper's x-axes are scaled.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+import re
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..metrics.recorder import Recorder
@@ -46,6 +48,8 @@ class RunResult:
         util_report: UtilizationReport,
         scheduler,
         server: Server,
+        tracer=None,
+        trace_path: Optional[str] = None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -57,6 +61,10 @@ class RunResult:
         self.util_report = util_report
         self.scheduler = scheduler
         self.server = server
+        #: The run's :class:`~repro.trace.tracer.Tracer`, when traced.
+        self.tracer = tracer
+        #: Where the trace document was written, when requested.
+        self.trace_path = trace_path
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -75,6 +83,9 @@ def run_once(
     pct: float = 99.9,
     max_sim_time_us: Optional[float] = None,
     sanitize: bool = False,
+    tracer=None,
+    trace_path: Optional[str] = None,
+    trace_meta: Optional[Dict[str, Any]] = None,
 ) -> RunResult:
     """Simulate one load point and summarize it.
 
@@ -88,11 +99,22 @@ def run_once(
     invariants (time monotonicity, request conservation, worker
     exclusivity, DARC reservation rules) after every event, raising
     :class:`~repro.errors.SanitizerViolation` on the first breakage.
+
+    ``trace_path`` (or an explicit ``tracer``) turns on per-request span
+    tracing (:mod:`repro.trace`).  The tracer observes the run without
+    scheduling events or drawing randomness, so a traced run's measured
+    results are bit-identical to an untraced one; with ``trace_path``
+    the full trace document (Perfetto-loadable JSON) is written there,
+    with ``trace_meta`` merged into its metadata.
     """
     if utilization <= 0:
         raise ConfigurationError(f"utilization must be > 0, got {utilization}")
     if n_requests < 1:
         raise ConfigurationError(f"n_requests must be >= 1, got {n_requests}")
+    if trace_path is not None and tracer is None:
+        from ..trace import Tracer
+
+        tracer = Tracer()
 
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
@@ -104,6 +126,8 @@ def run_once(
         from ..lint.sanitizer import SimSanitizer
 
         SimSanitizer().attach(loop, server)
+    if tracer is not None:
+        tracer.install(loop, server)
 
     rate = utilization * spec.peak_load(config.n_workers)
     generator = OpenLoopGenerator(
@@ -127,8 +151,30 @@ def run_once(
         pct=pct,
     )
     util_report = server.utilization()
+    if tracer is not None and trace_path is not None:
+        from ..trace.export import write_trace
+
+        meta: Dict[str, Any] = {
+            "system": system.name,
+            "workload": spec.name,
+            "utilization": utilization,
+            "n_requests": n_requests,
+            "seed": seed,
+        }
+        if trace_meta:
+            meta.update(trace_meta)
+        write_trace(trace_path, tracer, recorder=recorder, meta=meta)
     return RunResult(
-        system.name, spec, utilization, rate, summary, util_report, scheduler, server
+        system.name,
+        spec,
+        utilization,
+        rate,
+        summary,
+        util_report,
+        scheduler,
+        server,
+        tracer=tracer,
+        trace_path=trace_path,
     )
 
 
@@ -179,6 +225,21 @@ def run_trace(
     )
 
 
+def _slug(text: str) -> str:
+    """A filesystem-safe token for trace filenames."""
+    return re.sub(r"[^A-Za-z0-9.-]+", "-", text).strip("-")
+
+
+def trace_target(trace_dir: Optional[str], *parts: Any) -> Optional[str]:
+    """Deterministic trace path inside ``trace_dir`` (created on demand)
+    built from the given name parts, or None when tracing is off."""
+    if trace_dir is None:
+        return None
+    os.makedirs(trace_dir, exist_ok=True)
+    slug = "_".join(s for s in (_slug(str(p)) for p in parts) if s)
+    return os.path.join(trace_dir, f"{slug}.trace.json")
+
+
 def run_sweep(
     system: SystemModel,
     spec: WorkloadSpec,
@@ -188,9 +249,14 @@ def run_sweep(
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """One :func:`run_once` per load point, same seed (common random
-    numbers across systems compared at the same points)."""
+    numbers across systems compared at the same points).
+
+    ``trace_dir`` traces every load point, writing one
+    ``<system>_<workload>_rho<load>.trace.json`` per point.
+    """
     return [
         run_once(
             system,
@@ -201,6 +267,9 @@ def run_sweep(
             warmup_frac=warmup_frac,
             pct=pct,
             sanitize=sanitize,
+            trace_path=trace_target(
+                trace_dir, system.name, spec.name, f"rho{round(rho * 100):03d}"
+            ),
         )
         for rho in utilizations
     ]

@@ -59,6 +59,7 @@ def run(
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> FigureResult:
     """Run the Fig. 1 sweep and derive its headline capacities."""
     spec = figure1_workload()
@@ -66,7 +67,7 @@ def run(
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir),
         )
     caps = result.capacities(SLO_SLOWDOWN, max_typed_slowdown_metric)
     peak_mrps = spec.peak_load(N_WORKERS)

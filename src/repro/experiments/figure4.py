@@ -20,7 +20,7 @@ from ..analysis.tables import render_table
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneStaticSystem
 from ..workload.presets import extreme_bimodal, high_bimodal
 from ..workload.spec import WorkloadSpec
-from .common import RunResult, run_once
+from .common import RunResult, run_once, trace_target
 
 N_WORKERS = 14
 UTILIZATION = 0.95
@@ -78,6 +78,7 @@ def run(
     seed: int = 1,
     workloads: Optional[Dict[str, WorkloadSpec]] = None,
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> Figure4Result:
     if workloads is None:
         workloads = {
@@ -90,6 +91,7 @@ def run(
         result.references[name] = run_once(
             cfcfs, spec, utilization, n_requests=n_requests, seed=seed,
             sanitize=sanitize,
+            trace_path=trace_target(trace_dir, "figure4", name, "c-FCFS"),
         )
         runs: Dict[int, RunResult] = {}
         for k in reserved_counts:
@@ -99,6 +101,7 @@ def run(
             runs[k] = run_once(
                 system, spec, utilization, n_requests=n_requests, seed=seed,
                 sanitize=sanitize,
+                trace_path=trace_target(trace_dir, "figure4", name, f"reserved{k}"),
             )
         result.sweeps[name] = runs
         best = result.best_reserved(name)

@@ -39,6 +39,7 @@ from ..workload.generator import OpenLoopGenerator
 from ..workload.phases import Phase, PhaseSchedule
 from ..workload.spec import TypedClass, WorkloadSpec
 from ..workload.distributions import Fixed
+from .common import trace_target
 
 N_WORKERS = 14
 UTILIZATION = 0.80
@@ -107,6 +108,7 @@ def _run_system(
     seed: int,
     window_us: float,
     sanitize: bool = False,
+    trace_path: Optional[str] = None,
 ) -> Tuple[Recorder, object, float]:
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
@@ -117,6 +119,12 @@ def _run_system(
         from ..lint.sanitizer import SimSanitizer
 
         SimSanitizer().attach(loop, server)
+    tracer = None
+    if trace_path is not None:
+        from ..trace import Tracer
+
+        tracer = Tracer()
+        tracer.install(loop, server)
     rate = UTILIZATION * phases[0].spec.peak_load(N_WORKERS)
     generator = OpenLoopGenerator(
         loop,
@@ -134,6 +142,15 @@ def _run_system(
     schedule.start()
     loop.call_at(total, generator.stop)
     loop.run()
+    if tracer is not None and trace_path is not None:
+        from ..trace.export import write_trace
+
+        write_trace(
+            trace_path,
+            tracer,
+            recorder=recorder,
+            meta={"experiment": "figure7", "system": system.name, "seed": seed},
+        )
     return recorder, scheduler, loop.now
 
 
@@ -143,6 +160,7 @@ def run(
     window_us: float = 10_000.0,
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> Figure7Result:
     if phases is None:
         phases = default_phases()
@@ -162,7 +180,8 @@ def run(
     stats = WindowedStats(window_us)
     for system in systems:
         recorder, scheduler, duration = _run_system(
-            system, phases, seed, window_us, sanitize=sanitize
+            system, phases, seed, window_us, sanitize=sanitize,
+            trace_path=trace_target(trace_dir, "figure7", system.name),
         )
         cols = recorder.columns()
         result.latency_series[system.name] = {

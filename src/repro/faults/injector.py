@@ -60,6 +60,8 @@ class FaultInjector:
         self._sink = None
         self._armed = False
         self._dup_seq = 0
+        #: Optional :class:`~repro.trace.tracer.Tracer` fed fault events.
+        self._tracer = None
 
         #: Chronological record of injected faults: (time, kind, detail).
         self.log: List[Tuple[float, str, int]] = []
@@ -96,6 +98,10 @@ class FaultInjector:
                     loop.call_at(event.until, self._slowdown_end, event)
             # Packet windows are consulted per-arrival in ingress().
 
+    def attach_tracer(self, tracer) -> None:
+        """Feed fault events into a tracer's scheduler decision log."""
+        self._tracer = tracer
+
     # ------------------------------------------------------------------
     # worker faults
     # ------------------------------------------------------------------
@@ -112,6 +118,13 @@ class FaultInjector:
             else:
                 self.dropped_in_flight += 1
         self.log.append((self._loop.now, "crash", event.worker_id))
+        if self._tracer is not None:
+            self._tracer.on_fault(
+                "crash",
+                worker=event.worker_id,
+                victim_rid=None if victim is None else victim.rid,
+                requeue=event.requeue,
+            )
 
     def _recover(self, event: WorkerRecover) -> None:
         assert self._server is not None and self._loop is not None
@@ -121,6 +134,8 @@ class FaultInjector:
         self._server.scheduler.on_worker_recover(worker)
         self.recoveries += 1
         self.log.append((self._loop.now, "recover", event.worker_id))
+        if self._tracer is not None:
+            self._tracer.on_fault("recover", worker=event.worker_id)
 
     def _slowdown_start(self, event: WorkerSlowdown) -> None:
         assert self._server is not None and self._loop is not None
@@ -128,6 +143,10 @@ class FaultInjector:
         worker.speed_factor = event.factor
         self.slowdowns += 1
         self.log.append((self._loop.now, "slowdown", event.worker_id))
+        if self._tracer is not None:
+            self._tracer.on_fault(
+                "slowdown", worker=event.worker_id, factor=event.factor
+            )
 
     def _slowdown_end(self, event: WorkerSlowdown) -> None:
         assert self._server is not None and self._loop is not None
@@ -136,6 +155,8 @@ class FaultInjector:
         # restoring to full speed twice is harmless.
         worker.speed_factor = 1.0
         self.log.append((self._loop.now, "slowdown-end", event.worker_id))
+        if self._tracer is not None:
+            self._tracer.on_fault("slowdown-end", worker=event.worker_id)
 
     # ------------------------------------------------------------------
     # packet faults (the ingress interposition point)
@@ -149,6 +170,8 @@ class FaultInjector:
             if window.active(now) and self.rng.random() < window.probability:
                 self.packets_dropped += 1
                 self.log.append((now, "packet-drop", request.rid))
+                if self._tracer is not None:
+                    self._tracer.on_fault("packet-drop", rid=request.rid)
                 return  # lost on the wire; only a client timeout rescues it
         self._sink(request)
         for window in self._dup_windows:
@@ -163,6 +186,10 @@ class FaultInjector:
                 self._dup_seq += 1
                 self.packets_duplicated += 1
                 self.log.append((now, "packet-dup", request.rid))
+                if self._tracer is not None:
+                    self._tracer.on_fault(
+                        "packet-dup", rid=request.rid, dup_rid=dup.rid
+                    )
                 self._sink(dup)
 
     # ------------------------------------------------------------------

@@ -14,7 +14,7 @@ fault instrumentation costs nothing when disabled.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from ..errors import ConfigurationError
 from ..metrics.degradation import DegradationReport
@@ -54,6 +54,8 @@ class ChaosResult:
         scheduler,
         server: Server,
         duration_us: float,
+        tracer=None,
+        trace_path: Optional[str] = None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -68,6 +70,9 @@ class ChaosResult:
         self.scheduler = scheduler
         self.server = server
         self.duration_us = duration_us
+        #: The episode's :class:`~repro.trace.tracer.Tracer`, when traced.
+        self.tracer = tracer
+        self.trace_path = trace_path
 
     def time_to_recover(self, sustain: int = 3) -> Optional[float]:
         """TTR from the plan's first fault; None for an empty plan or a
@@ -86,6 +91,7 @@ class ChaosResult:
             "duration_us": self.duration_us,
             "received": self.server.received,
             "injected": self.injector.counters(),
+            "orphans": self.recorder.orphan_counters(),
         }
         out.update(self.degradation.summary_dict(self.plan.first_fault_time()))
         return out
@@ -112,6 +118,9 @@ def run_chaos(
     warmup_frac: float = 0.0,
     sanitize: bool = False,
     max_sim_time_us: Optional[float] = None,
+    tracer=None,
+    trace_path: Optional[str] = None,
+    trace_meta: Optional[Dict[str, Any]] = None,
 ) -> ChaosResult:
     """Run one chaos episode and summarize its degradation.
 
@@ -120,11 +129,20 @@ def run_chaos(
     healthy run stays under it and a crash episode shows as violation.
     ``warmup_frac`` defaults to 0 because the pre-fault windows *are* the
     baseline a chaos analysis compares against.
+
+    ``trace_path`` (or an explicit ``tracer``) traces the episode: spans
+    for every delivered request (injector-level packet drops never reach
+    the server, so they produce no span), fault events in the decision
+    log, and the usual queue/worker samples.
     """
     if utilization <= 0:
         raise ConfigurationError(f"utilization must be > 0, got {utilization}")
     if n_requests < 1:
         raise ConfigurationError(f"n_requests must be >= 1, got {n_requests}")
+    if trace_path is not None and tracer is None:
+        from ..trace import Tracer
+
+        tracer = Tracer()
     if slo_latency_us is None:
         slo_latency_us = DEFAULT_SLO_MULTIPLE * max(
             ts.mean_service_time for ts in spec.type_specs()
@@ -161,6 +179,8 @@ def run_chaos(
         plan, rng=rngs.stream("faults.net") if plan.needs_rng else None
     )
     injector.arm(loop, server)
+    if tracer is not None:
+        tracer.install(loop, server, injector=injector)
 
     if client is not None:
         client.bind(injector.ingress)
@@ -196,6 +216,20 @@ def run_chaos(
         pct=pct,
         recorder=recorder,
     )
+    if tracer is not None and trace_path is not None:
+        from ..trace.export import write_trace
+
+        meta: Dict[str, Any] = {
+            "system": system.name,
+            "workload": spec.name,
+            "utilization": utilization,
+            "n_requests": n_requests,
+            "seed": seed,
+            "plan": plan.describe(),
+        }
+        if trace_meta:
+            meta.update(trace_meta)
+        write_trace(trace_path, tracer, recorder=recorder, meta=meta)
     return ChaosResult(
         system.name,
         spec,
@@ -210,4 +244,6 @@ def run_chaos(
         scheduler,
         server,
         loop.now,
+        tracer=tracer,
+        trace_path=trace_path,
     )

@@ -67,8 +67,14 @@ def digest_run(
     n_requests: int = 2000,
     seed: int = 1,
     sanitize: bool = False,
+    tracer=None,
 ) -> RunDigest:
-    """Simulate one load point and hash its observable outcome."""
+    """Simulate one load point and hash its observable outcome.
+
+    ``tracer`` optionally attaches a :class:`repro.trace.Tracer`; the
+    digest must come out identical with or without one (the tracer's
+    zero-interference contract, asserted by ``tests/trace``).
+    """
     result = run_once(
         system,
         spec,
@@ -76,6 +82,7 @@ def digest_run(
         n_requests=n_requests,
         seed=seed,
         sanitize=sanitize,
+        tracer=tracer,
     )
     recorder = result.server.recorder
     columns = recorder.columns()

@@ -511,6 +511,55 @@ class BuiltinHashOrderRule(Rule):
                     )
 
 
+class TracePurityRule(Rule):
+    """The tracer promises that attaching it cannot change a run: spans
+    and samples are a pure function of simulated events.  Any wall-clock
+    read, direct RNG draw, or host-entropy source inside
+    ``repro/trace/`` would break that promise (trace files would differ
+    between identical runs, and ``--trace`` could no longer claim
+    bit-identical results).  Timestamps must come from ``EventLoop.now``
+    and identifiers from request ids or deterministic counters."""
+
+    id = "R009"
+    name = "trace-purity"
+    severity = "error"
+    scoped = False
+
+    _WALL_CLOCK = WallClockRule._FORBIDDEN
+    _ENTROPY = NondeterministicSourceRule._FORBIDDEN
+    _ENTROPY_PREFIXES = NondeterministicSourceRule._FORBIDDEN_PREFIXES
+    _RNG_PREFIXES = ("random.", "numpy.random.")
+
+    @staticmethod
+    def _in_trace_package(ctx: ModuleContext) -> bool:
+        return ctx.package == "trace" or "/trace/" in ctx.path.replace("\\", "/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        if not self._in_trace_package(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in self._WALL_CLOCK:
+                kind = "wall-clock read"
+            elif dotted in self._ENTROPY or dotted.startswith(self._ENTROPY_PREFIXES):
+                kind = "host-entropy source"
+            elif dotted.startswith(self._RNG_PREFIXES):
+                kind = "direct RNG draw"
+            else:
+                continue
+            yield RawFinding(
+                node.lineno,
+                node.col_offset,
+                f"{kind} {dotted}() inside repro/trace/; the tracer must be "
+                "a pure observer of simulated time (use EventLoop.now and "
+                "deterministic counters)",
+            )
+
+
 #: Every implemented rule, in id order.  The runner instantiates these.
 ALL_RULES: Tuple[type, ...] = (
     DirectRandomRule,
@@ -521,6 +570,7 @@ ALL_RULES: Tuple[type, ...] = (
     HandlerGlobalMutationRule,
     NondeterministicSourceRule,
     BuiltinHashOrderRule,
+    TracePurityRule,
 )
 
 RULES_BY_ID: Dict[str, type] = {rule.id: rule for rule in ALL_RULES}

@@ -150,6 +150,19 @@ class Recorder:
         """The server finished an attempt nobody is waiting for."""
         self.late_completions += 1
 
+    def orphan_counters(self) -> Dict[str, int]:
+        """The orphan-request ledger as a plain dict.
+
+        Used by chaos reports and trace exports so a traced run can
+        reconcile span terminals against client-side give-ups.
+        """
+        return {
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "failures": self.failures,
+            "late_completions": self.late_completions,
+        }
+
     @property
     def completed(self) -> int:
         return len(self._type_ids)

@@ -91,6 +91,8 @@ class RunSummary:
             self.total_overhead_us = 0
         #: Achieved goodput over the run, in requests/us (== Mrps).
         self.throughput = recorder.completed / duration_us if duration_us > 0 else 0.0
+        #: Orphan-request ledger (all zeros outside chaos/resilience runs).
+        self.orphans = recorder.orphan_counters()
 
         names: Dict[int, str] = {}
         if type_specs:
@@ -139,6 +141,11 @@ class RunSummary:
             lines.append(
                 f"  {ts.name:<12} n={ts.count:>8}  p{self.pct} "
                 f"lat={ts.tail_latency:>10.1f}us  slow={ts.tail_slowdown:>8.1f}x{cred}"
+            )
+        if any(self.orphans.values()):
+            lines.append(
+                "  orphans: "
+                + ", ".join(f"{k}={v}" for k, v in self.orphans.items())
             )
         return "\n".join(lines)
 

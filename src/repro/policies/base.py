@@ -58,6 +58,9 @@ class Scheduler(ABC):
         self._on_complete: Optional[CompletionCallback] = None
         self._on_drop: Optional[DropCallback] = None
         self._bound = False
+        #: Optional :class:`~repro.trace.tracer.Tracer`; None when off,
+        #: making every hook site a single ``is None`` test.
+        self.tracer = None
         #: worker_id -> the pending service event (completion, quantum
         #: boundary, ...) for the request currently on that core.  Fault
         #: injection cancels this event when the core crashes mid-service.
@@ -87,6 +90,14 @@ class Scheduler(ABC):
 
     def on_bound(self) -> None:
         """Hook for subclasses to build per-worker state after binding."""
+
+    def attach_tracer(self, tracer) -> None:
+        """Install (or detach, with ``None``) a request tracer.
+
+        Subclasses with additional observable components (DARC's
+        classifier) override this to forward the tracer to them.
+        """
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # the policy surface
@@ -126,6 +137,8 @@ class Scheduler(ABC):
         assert self.loop is not None
         request.dispatch_time = self.loop.now
         worker.begin(request, self.loop.now)
+        if self.tracer is not None:
+            self.tracer.on_dispatch(request, worker)
         occupancy = request.remaining_time * worker.speed_factor
         if worker.speed_factor != 1.0:
             # A straggling core holds the request longer than its nominal
@@ -140,6 +153,8 @@ class Scheduler(ABC):
         worker.completed += 1
         request.remaining_time = 0.0
         request.finish_time = self.loop.now
+        if self.tracer is not None:
+            self.tracer.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)
@@ -152,6 +167,8 @@ class Scheduler(ABC):
     def drop(self, request: Request) -> None:
         """Flow control: reject ``request`` (bounded queue overflow)."""
         request.dropped = True
+        if self.tracer is not None:
+            self.tracer.on_drop(request)
         if self._on_drop is not None:
             self._on_drop(request)
 
@@ -173,6 +190,8 @@ class Scheduler(ABC):
             if event is not None:
                 event.cancel()
             victim = worker.end(self.loop.now)
+            if self.tracer is not None:
+                self.tracer.on_evict(victim, worker, requeue)
             # The crashed attempt is wasted occupancy, not service.
             victim.worker_id = None
             victim.dispatch_time = None

@@ -213,11 +213,21 @@ class WorkStealingFCFS(DecentralizedFCFS):
             return
         request = self.queues[victim].popleft()
         self.steals += 1
+        if self.tracer is not None:
+            self.tracer.on_decision(
+                "steal",
+                rid=request.rid,
+                thief=worker.worker_id,
+                victim=self.workers[victim].worker_id,
+                cost_us=self.steal_cost_us,
+            )
         if self.steal_cost_us > 0:
             # The steal costs coordination time before service starts.
             request.overhead_time += self.steal_cost_us
             worker.begin(request, self.loop.now)
             request.dispatch_time = self.loop.now
+            if self.tracer is not None:
+                self.tracer.on_dispatch(request, worker)
             self.schedule_service_event(
                 worker,
                 request.remaining_time * worker.speed_factor + self.steal_cost_us,
@@ -235,6 +245,8 @@ class WorkStealingFCFS(DecentralizedFCFS):
         worker.completed += 1
         request.remaining_time = 0.0
         request.finish_time = self.loop.now
+        if self.tracer is not None:
+            self.tracer.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)

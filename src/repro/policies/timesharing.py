@@ -185,6 +185,8 @@ class TimeSharing(Scheduler):
         if request.dispatch_time is None:
             request.dispatch_time = self.loop.now
         worker.begin(request, self.loop.now)
+        if self.tracer is not None:
+            self.tracer.on_dispatch(request, worker)
         slice_us = min(request.remaining_time, self.quantum_us)
         # A straggling core executes the slice speed_factor times slower;
         # slice_us stays nominal (it is what remaining_time is charged).
@@ -263,6 +265,8 @@ class TimeSharing(Scheduler):
         worker.completed += 1
         request.remaining_time = 0.0
         request.finish_time = self.loop.now
+        if self.tracer is not None:
+            self.tracer.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)
@@ -274,6 +278,8 @@ class TimeSharing(Scheduler):
         assert self.loop is not None
         self._service_events.pop(worker.worker_id, None)
         worker.end(self.loop.now, overhead=cost)
+        if self.tracer is not None:
+            self.tracer.on_preempt(request, worker, cost)
         request.remaining_time -= slice_us
         request.preemption_count += 1
         request.overhead_time += cost

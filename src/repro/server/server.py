@@ -55,11 +55,20 @@ class Server:
             completion_sink if completion_sink is not None else self.recorder.on_complete
         )
         self._drop_sink = drop_sink if drop_sink is not None else self.recorder.on_drop
+        #: Optional per-request observer (``repro.trace``); None when off.
+        self._tracer = None
         scheduler.bind(loop, self.workers, self._completion_sink, self._drop_sink)
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.trace.tracer.Tracer` on the ingress
+        path and forward it to the scheduler's own hook sites."""
+        self._tracer = tracer
+        self.scheduler.attach_tracer(tracer)
 
     def ingress(self, request: Request) -> None:
         """Entry point for arriving requests (the generator's sink)."""
         self.received += 1
+        tracer = self._tracer
         delay = self.config.ingress_delay_us
         cost = self.config.dispatcher_service_us
         if cost > 0:
@@ -70,15 +79,23 @@ class Server:
                 # The dispatcher cannot keep up; the NIC ring overflows.
                 self.dispatcher_drops += 1
                 request.dropped = True
+                if tracer is not None:
+                    tracer.on_ingress(request, now)
+                    tracer.on_dispatcher_drop(request)
                 self._drop_sink(request)
                 return
             self._dispatcher_free_at = max(now, self._dispatcher_free_at) + cost
-            self.loop.call_at(
-                self._dispatcher_free_at + delay, self.scheduler.on_request, request
-            )
+            sched_at = self._dispatcher_free_at + delay
+            if tracer is not None:
+                tracer.on_ingress(request, sched_at)
+            self.loop.call_at(sched_at, self.scheduler.on_request, request)
         elif delay > 0:
+            if tracer is not None:
+                tracer.on_ingress(request, self.loop.now + delay)
             self.loop.call_after(delay, self.scheduler.on_request, request)
         else:
+            if tracer is not None:
+                tracer.on_ingress(request, self.loop.now)
             self.scheduler.on_request(request)
 
     def utilization(self) -> UtilizationReport:

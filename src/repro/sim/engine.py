@@ -21,6 +21,13 @@ Design notes
   via :meth:`EventLoop.attach_sanitizer`; the loop then reports every
   executed event (and heap drain) to it.  With no sanitizer attached the
   cost is a single ``is None`` test per event.
+* An optional :class:`~repro.trace.tracer.Tracer` may be attached via
+  :meth:`EventLoop.attach_tracer`; the loop notifies it after every
+  executed event, which is how the tracer takes its periodic
+  queue-depth/worker-state samples *without scheduling events of its
+  own* — the heap contents, and therefore the simulated outcome, are
+  identical with tracing on or off.  When detached the cost is again a
+  single ``is None`` test per event.
 """
 
 from __future__ import annotations
@@ -56,6 +63,7 @@ class EventLoop:
         self._running = False
         self._stopped = False
         self._sanitizer = None
+        self._tracer = None
 
     @property
     def now(self) -> float:
@@ -112,6 +120,23 @@ class EventLoop:
             raise SimulationError("a sanitizer is already attached to this loop")
         self._sanitizer = sanitizer
 
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.trace.tracer.Tracer`, or None."""
+        return self._tracer
+
+    def attach_tracer(self, tracer) -> None:
+        """Install an observer notified after every executed event.
+
+        The tracer is strictly read-only: it samples queue depths and
+        worker states but never schedules events or mutates state, so
+        attaching one cannot change the simulated outcome.  Pass ``None``
+        to detach; attaching over a different tracer raises.
+        """
+        if tracer is not None and self._tracer is not None and tracer is not self._tracer:
+            raise SimulationError("a tracer is already attached to this loop")
+        self._tracer = tracer
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is drained."""
         heap = self._heap
@@ -135,6 +160,7 @@ class EventLoop:
         self._stopped = False
         heap = self._heap
         sanitizer = self._sanitizer
+        tracer = self._tracer
         executed = 0
         try:
             while heap:
@@ -155,6 +181,8 @@ class EventLoop:
                 executed += 1
                 if sanitizer is not None:
                     sanitizer.after_event(self, event)
+                if tracer is not None:
+                    tracer.on_loop_event(self)
                 if self._stopped:
                     break
             if sanitizer is not None and not any(not e.cancelled for e in heap):

@@ -1,0 +1,192 @@
+"""``repro-trace`` — summarize, convert and validate trace files.
+
+Usage::
+
+    repro-trace summary run.trace.json            # span/decision digest
+    repro-trace breakdown run.trace.json --pct 99.9
+    repro-trace validate run.trace.json           # Perfetto schema check
+    repro-trace convert run.trace.json spans.csv  # flat CSV
+    repro-trace smoke --out smoke.trace.json      # run a small traced
+                                                  # figure4-style experiment
+
+Exit codes: 0 ok, 1 validation/reconciliation failure, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import TraceError
+from .breakdown import LatencyBreakdown
+from .export import load_trace, spans_to_csv, validate_chrome_trace
+from .span import COMPLETE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Per-request span traces for the Persephone reproduction: "
+        "summarize, decompose, validate and convert trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="print a span/decision/sample digest")
+    p.add_argument("path", help="trace file written with --trace / write_trace")
+
+    p = sub.add_parser("breakdown", help="per-type latency-stage decomposition")
+    p.add_argument("path")
+    p.add_argument("--pct", type=float, default=99.9, help="tail percentile")
+    p.add_argument(
+        "--warmup-frac", type=float, default=0.0,
+        help="drop the earliest-arriving fraction of spans first",
+    )
+
+    p = sub.add_parser("validate", help="check the Perfetto/Chrome event layer")
+    p.add_argument("path")
+
+    p = sub.add_parser("convert", help="write the spans as a CSV table")
+    p.add_argument("path")
+    p.add_argument("out", help="output CSV path")
+
+    p = sub.add_parser(
+        "smoke",
+        help="run one small traced figure4-style experiment and write its trace",
+    )
+    p.add_argument("--out", default="smoke.trace.json", help="trace output path")
+    p.add_argument("--n-requests", type=int, default=6000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--utilization", type=float, default=0.95)
+    return parser
+
+
+def _fmt_counters(counters: dict) -> str:
+    return ", ".join(f"{key}={value}" for key, value in counters.items())
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    doc = load_trace(args.path)
+    terminal = {"complete": 0, "drop": 0, "dispatcher_drop": 0, "open": 0}
+    for span in doc.spans:
+        terminal[span.terminal or "open"] += 1
+    lines = [f"trace: {args.path}"]
+    if doc.meta:
+        lines.append("meta: " + _fmt_counters(doc.meta))
+    lines.append(
+        f"spans: {len(doc.spans)} "
+        f"(complete={terminal['complete']}, drop={terminal['drop']}, "
+        f"dispatcher_drop={terminal['dispatcher_drop']}, open={terminal['open']})"
+    )
+    lines.append(f"decisions: {len(doc.decisions)}")
+    kinds: dict = {}
+    for entry in doc.decisions:
+        kinds[entry[1]] = kinds.get(entry[1], 0) + 1
+    for kind in sorted(kinds):
+        lines.append(f"  {kind}: {kinds[kind]}")
+    lines.append(f"samples: {len(doc.samples)}")
+    if doc.tail_monitor:
+        lines.append("streaming tail estimates (P2):")
+        for key in sorted(doc.tail_monitor):
+            est = doc.tail_monitor[key]
+            lines.append(
+                f"  {key}: p{est['pct']} ~= {est['estimate']:.1f}us "
+                f"(n={est['count']})"
+            )
+    status = 0
+    if doc.recorder is not None:
+        lines.append("recorder: " + _fmt_counters(doc.recorder))
+    if doc.reconciliation is not None:
+        verdict = "OK" if doc.reconciliation.get("ok") else "MISMATCH"
+        lines.append(f"span/recorder reconciliation: {verdict}")
+        if not doc.reconciliation.get("ok"):
+            lines.append("  " + _fmt_counters(doc.reconciliation))
+            status = 1
+    print("\n".join(lines))
+    return status
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    doc = load_trace(args.path)
+    completed = [s for s in doc.spans if s.terminal == COMPLETE]
+    if not completed:
+        print("no completed spans in trace")
+        return 1
+    breakdown = LatencyBreakdown(
+        completed, pct=args.pct, warmup_frac=args.warmup_frac
+    )
+    breakdown.verify()
+    print(breakdown.render())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    doc = load_trace(args.path)
+    problems = validate_chrome_trace(doc.raw)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"INVALID: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(doc.trace_events)} trace events validate")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    doc = load_trace(args.path)
+    with open(args.out, "w", newline="") as fp:
+        rows = spans_to_csv(doc.spans, fp)
+    print(f"wrote {rows} spans to {args.out}")
+    return 0
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    # Imported lazily: experiments.common itself imports repro.trace.
+    from ..experiments.common import run_once
+    from ..systems.persephone import PersephoneStaticSystem
+    from ..workload.presets import high_bimodal
+
+    system = PersephoneStaticSystem(n_reserved=1, n_workers=14, name="DARC-static(1)")
+    result = run_once(
+        system,
+        high_bimodal(),
+        args.utilization,
+        n_requests=args.n_requests,
+        seed=args.seed,
+        trace_path=args.out,
+        trace_meta={"experiment": "figure4-style smoke"},
+    )
+    assert result.tracer is not None
+    recon = result.tracer.reconcile(result.server.recorder)
+    print(
+        f"wrote {args.out}: {len(result.tracer.spans)} spans, "
+        f"{len(result.tracer.decisions)} decisions, "
+        f"{len(result.tracer.samples)} samples"
+    )
+    if not recon["ok"] or recon["spans_open"]:
+        print("span/recorder reconciliation FAILED: " + _fmt_counters(recon))
+        return 1
+    print("span/recorder reconciliation OK")
+    return 0
+
+
+_COMMANDS = {
+    "summary": cmd_summary,
+    "breakdown": cmd_breakdown,
+    "validate": cmd_validate,
+    "convert": cmd_convert,
+    "smoke": cmd_smoke,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Streaming tail monitoring for long (chaos) runs.
+
+:class:`TailMonitor` keeps one :class:`~repro.metrics.percentiles.P2Quantile`
+estimator per request type plus one overall, so a multi-hour chaos run
+can expose a live p99.9 without storing every latency sample.  The P²
+markers are O(1) memory and O(1) per update; accuracy against the exact
+array percentile is covered by ``tests/trace/test_monitor.py`` on
+heavy-tailed (bimodal / lognormal) samples.
+
+The monitor is fed by :meth:`Tracer.on_complete`, but is equally usable
+standalone as a completion sink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import TraceError
+from ..metrics.percentiles import P2Quantile
+
+#: Pseudo type id for the across-all-types estimator.
+OVERALL = -2
+
+
+class TailMonitor:
+    """Per-type streaming quantile estimates of completed-request latency."""
+
+    def __init__(self, pct: float = 99.9):
+        if not 0.0 < pct < 100.0:
+            raise TraceError(f"pct must be in (0,100), got {pct}")
+        self.pct = pct
+        self._q = pct / 100.0
+        self._estimators: Dict[int, P2Quantile] = {OVERALL: P2Quantile(self._q)}
+
+    def observe(self, type_id: int, latency_us: float) -> None:
+        """Feed one completed request's latency."""
+        est = self._estimators.get(type_id)
+        if est is None:
+            est = P2Quantile(self._q)
+            self._estimators[type_id] = est
+        est.update(latency_us)
+        self._estimators[OVERALL].update(latency_us)
+
+    def estimate(self, type_id: Optional[int] = None) -> float:
+        """Current tail estimate for ``type_id`` (None = across all
+        types); NaN before any samples of that type."""
+        est = self._estimators.get(OVERALL if type_id is None else type_id)
+        return float("nan") if est is None else est.value()
+
+    def count(self, type_id: Optional[int] = None) -> int:
+        est = self._estimators.get(OVERALL if type_id is None else type_id)
+        return 0 if est is None else est.count
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly {type: {pct, estimate, count}} digest."""
+        out: Dict[str, Dict[str, float]] = {}
+        for tid in sorted(self._estimators):
+            est = self._estimators[tid]
+            key = "overall" if tid == OVERALL else str(tid)
+            out[key] = {
+                "pct": self.pct,
+                "estimate": est.value(),
+                "count": est.count,
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TailMonitor(p{self.pct}, types={len(self._estimators) - 1}, "
+            f"n={self.count()})"
+        )

@@ -1,0 +1,287 @@
+"""The span model: one request's journey through the pipeline.
+
+A :class:`Span` is the traced lifetime of a single request *attempt*
+(keyed by ``rid``): NIC ingress, the dispatcher/classifier pipeline, the
+typed-queue wait, one or more on-core slices (preemptive policies and
+crash-evicted requests produce several), and exactly one terminal state.
+
+The stage decomposition (:meth:`Span.stages`) is exact by construction —
+the four stage durations partition the request's sojourn time::
+
+    latency = dispatch_pipeline + queue_wait + preempt_wait + service
+
+which is what lets :class:`~repro.trace.breakdown.LatencyBreakdown`
+attribute a p99.9 latency to the pipeline stage that produced it and the
+tests reconcile traced spans against the Recorder's measured latencies.
+
+All timestamps are monotonic *simulated* microseconds read from the
+event loop; the tracing subsystem never consults a wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import TraceError
+
+# ----------------------------------------------------------------------
+# terminal states
+# ----------------------------------------------------------------------
+#: The request finished application processing on a worker.
+COMPLETE = "complete"
+#: A scheduling policy's flow control rejected the request.
+DROP = "drop"
+#: The serial dispatcher's inbound queue overflowed (NIC ring drop).
+DISPATCHER_DROP = "dispatcher_drop"
+
+TERMINAL_STATES = (COMPLETE, DROP, DISPATCHER_DROP)
+
+# ----------------------------------------------------------------------
+# slice-closing kinds
+# ----------------------------------------------------------------------
+#: The slice ran to request completion.
+SLICE_COMPLETE = "complete"
+#: A preemptive policy sliced the request off the core (it re-queues).
+SLICE_PREEMPT = "preempt"
+#: The core crashed under the request (progress lost; requeue or drop).
+SLICE_EVICT = "evict"
+
+# ----------------------------------------------------------------------
+# stage keys (the latency partition)
+# ----------------------------------------------------------------------
+STAGE_DISPATCH_PIPELINE = "dispatch_pipeline"
+STAGE_QUEUE_WAIT = "queue_wait"
+STAGE_PREEMPT_WAIT = "preempt_wait"
+STAGE_SERVICE = "service"
+
+STAGE_KEYS = (
+    STAGE_DISPATCH_PIPELINE,
+    STAGE_QUEUE_WAIT,
+    STAGE_PREEMPT_WAIT,
+    STAGE_SERVICE,
+)
+
+
+class Slice:
+    """One contiguous occupancy of a worker core by a request."""
+
+    __slots__ = ("worker_id", "begin", "end", "kind")
+
+    def __init__(self, worker_id: int, begin: float):
+        self.worker_id = worker_id
+        self.begin = begin
+        self.end: Optional[float] = None
+        #: How the slice closed: SLICE_COMPLETE / SLICE_PREEMPT /
+        #: SLICE_EVICT; None while the request is still on the core.
+        self.kind: Optional[str] = None
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise TraceError(
+                f"slice on worker {self.worker_id} beginning at "
+                f"{self.begin:.3f}us is still open"
+            )
+        return self.end - self.begin
+
+    def to_list(self) -> list:
+        """Compact JSON form: [worker_id, begin, end, kind]."""
+        return [self.worker_id, self.begin, self.end, self.kind]
+
+    @classmethod
+    def from_list(cls, data: list) -> "Slice":
+        s = cls(int(data[0]), float(data[1]))
+        s.end = None if data[2] is None else float(data[2])
+        s.kind = data[3]
+        return s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = "open" if self.end is None else f"{self.end:.3f}"
+        return f"Slice(w{self.worker_id}, {self.begin:.3f}->{end}, {self.kind})"
+
+
+class Span:
+    """The traced lifetime of one request attempt."""
+
+    __slots__ = (
+        "rid",
+        "type_id",
+        "classified_type",
+        "arrival",
+        "sched_at",
+        "slices",
+        "terminal",
+        "terminal_time",
+        "service_time",
+        "overhead_us",
+        "requeues",
+        "attempt",
+        "retry_of",
+    )
+
+    def __init__(self, rid: int, type_id: int, arrival: float, sched_at: float):
+        self.rid = rid
+        #: Ground-truth workload type.
+        self.type_id = type_id
+        #: Type the classifier assigned (may differ: misclassification).
+        self.classified_type: Optional[int] = None
+        #: Simulated time the request reached ``Server.ingress``.
+        self.arrival = arrival
+        #: Time the scheduler first saw it (after dispatcher + ingress
+        #: pipeline); equals ``arrival`` when those costs are zero.
+        self.sched_at = sched_at
+        #: On-core occupancies, in chronological order.
+        self.slices: List[Slice] = []
+        #: Exactly one of TERMINAL_STATES once the attempt resolves.
+        self.terminal: Optional[str] = None
+        self.terminal_time: Optional[float] = None
+        #: Pure application service time (slowdown denominator).
+        self.service_time: float = 0.0
+        #: Occupancy that was scheduling overhead, not service
+        #: (preemption costs, steal costs, straggler surplus).
+        self.overhead_us: float = 0.0
+        #: Times the attempt re-entered the queues after a crash evict.
+        self.requeues: int = 0
+        #: 1-based attempt number (resilience layer retries).
+        self.attempt: int = 1
+        #: rid of the original attempt this one retries, if any.
+        self.retry_of: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # recording (driven by the Tracer)
+    # ------------------------------------------------------------------
+    def open_slice(self, worker_id: int, now: float) -> None:
+        if self.slices and self.slices[-1].open:
+            raise TraceError(
+                f"span rid={self.rid}: opening a slice on worker {worker_id} "
+                f"while one is open on worker {self.slices[-1].worker_id}"
+            )
+        if self.terminal is not None:
+            raise TraceError(
+                f"span rid={self.rid}: dispatch after terminal state "
+                f"{self.terminal!r}"
+            )
+        self.slices.append(Slice(worker_id, now))
+
+    def close_slice(self, now: float, kind: str) -> None:
+        if not self.slices or not self.slices[-1].open:
+            raise TraceError(f"span rid={self.rid}: closing with no open slice")
+        current = self.slices[-1]
+        current.end = now
+        current.kind = kind
+
+    def set_terminal(self, state: str, now: float) -> None:
+        """Record the attempt's single terminal transition.
+
+        A second terminal transition is a conservation bug in the
+        instrumented pipeline, so it raises rather than overwriting.
+        """
+        if state not in TERMINAL_STATES:
+            raise TraceError(f"unknown terminal state {state!r}")
+        if self.terminal is not None:
+            raise TraceError(
+                f"span rid={self.rid}: second terminal {state!r} at "
+                f"{now:.3f}us (already {self.terminal!r} at "
+                f"{self.terminal_time})"
+            )
+        self.terminal = state
+        self.terminal_time = now
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.terminal == COMPLETE
+
+    @property
+    def latency(self) -> float:
+        """Sojourn time; raises unless the attempt completed."""
+        if self.terminal != COMPLETE or self.terminal_time is None:
+            raise TraceError(f"span rid={self.rid} did not complete")
+        return self.terminal_time - self.arrival
+
+    def stages(self) -> Dict[str, float]:
+        """Exact per-stage decomposition of a completed span's latency.
+
+        ``service`` is total on-core occupancy (including overheads —
+        the core was held either way); ``overhead_us`` on the span says
+        how much of it was waste.  The four values sum to
+        :attr:`latency` exactly.
+        """
+        if self.terminal != COMPLETE:
+            raise TraceError(
+                f"span rid={self.rid}: stage decomposition needs a "
+                f"completed span, not {self.terminal!r}"
+            )
+        if not self.slices:
+            raise TraceError(f"span rid={self.rid} completed without a slice")
+        first_begin = self.slices[0].begin
+        oncore = 0.0
+        between = 0.0
+        prev_end: Optional[float] = None
+        for s in self.slices:
+            oncore += s.duration
+            if prev_end is not None:
+                between += s.begin - prev_end
+            prev_end = s.end
+        return {
+            STAGE_DISPATCH_PIPELINE: self.sched_at - self.arrival,
+            STAGE_QUEUE_WAIT: first_begin - self.sched_at,
+            STAGE_PREEMPT_WAIT: between,
+            STAGE_SERVICE: oncore,
+        }
+
+    def preemptions(self) -> int:
+        return sum(1 for s in self.slices if s.kind == SLICE_PREEMPT)
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "rid": self.rid,
+            "type_id": self.type_id,
+            "classified_type": self.classified_type,
+            "arrival": self.arrival,
+            "sched_at": self.sched_at,
+            "slices": [s.to_list() for s in self.slices],
+            "terminal": self.terminal,
+            "terminal_time": self.terminal_time,
+            "service_time": self.service_time,
+            "overhead_us": self.overhead_us,
+            "requeues": self.requeues,
+            "attempt": self.attempt,
+            "retry_of": self.retry_of,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            int(data["rid"]),
+            int(data["type_id"]),
+            float(data["arrival"]),
+            float(data["sched_at"]),
+        )
+        span.classified_type = data.get("classified_type")
+        span.slices = [Slice.from_list(s) for s in data.get("slices", [])]
+        span.terminal = data.get("terminal")
+        tt = data.get("terminal_time")
+        span.terminal_time = None if tt is None else float(tt)
+        span.service_time = float(data.get("service_time", 0.0))
+        span.overhead_us = float(data.get("overhead_us", 0.0))
+        span.requeues = int(data.get("requeues", 0))
+        span.attempt = int(data.get("attempt", 1))
+        span.retry_of = data.get("retry_of")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = self.terminal or "open"
+        return (
+            f"Span(rid={self.rid}, type={self.type_id}, t={self.arrival:.3f}, "
+            f"slices={len(self.slices)}, {state})"
+        )

@@ -60,3 +60,22 @@ class TestMain:
         assert main(["figure5", "--quick", "--csv", str(tmp_path)]) == 0
         assert (tmp_path / "figure5_high_bimodal.csv").exists()
         assert (tmp_path / "figure5_extreme_bimodal.csv").exists()
+
+
+class TestTraceFlag:
+    def test_trace_flag_parsed(self):
+        args = build_parser().parse_args(["figure3", "--trace", "traces/"])
+        assert args.trace == "traces/"
+        assert build_parser().parse_args(["figure3"]).trace is None
+
+    def test_figure_run_writes_traces(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        assert main(["figure3", "--quick", "--trace", str(tmp_path)]) == 0
+        traces = sorted(tmp_path.glob("*.trace.json"))
+        assert traces, "expected one trace file per (system, load) point"
+        import json
+
+        doc = json.loads(traces[0].read_text())
+        assert "traceEvents" in doc and "repro" in doc

@@ -431,3 +431,75 @@ class TestRegistry:
     def test_syntax_error_raises_lint_error(self):
         with pytest.raises(LintError, match="cannot parse"):
             lint("def broken(:\n")
+
+
+class TestTracePurity:
+    TRACE = "src/repro/trace/tracer.py"
+
+    def test_wall_clock_in_trace_flagged(self):
+        findings = lint(
+            """
+            import time
+            def on_loop_event(loop):
+                return time.monotonic()
+            """,
+            path=self.TRACE,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "wall-clock read" in findings[0].message
+
+    def test_direct_rng_in_trace_flagged(self):
+        findings = lint(
+            """
+            import random
+            def sample_id():
+                return random.random()
+            """,
+            path=self.TRACE,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "direct RNG draw" in findings[0].message
+
+    def test_host_entropy_in_trace_flagged(self):
+        findings = lint(
+            """
+            import uuid
+            def trace_id():
+                return uuid.uuid4()
+            """,
+            path=self.TRACE,
+            select=["R009"],
+        )
+        assert rule_ids(findings) == ["R009"]
+        assert "host-entropy source" in findings[0].message
+
+    def test_sim_time_reads_ok(self):
+        findings = lint(
+            """
+            def on_loop_event(self, loop):
+                now = loop.now
+                self.samples.append(now)
+            """,
+            path=self.TRACE,
+            select=["R009"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_trace_package_only(self):
+        source = "import time\ndef elapsed():\n    return time.perf_counter()\n"
+        outside = lint(source, path=DRIVER, select=["R009"])
+        assert outside == []
+        inside = lint(source, path="src/repro/trace/export.py", select=["R009"])
+        assert rule_ids(inside) == ["R009"]
+
+    def test_trace_package_also_gets_scoped_rules(self):
+        # 'trace' is not in the non-critical allowlist, so the generic
+        # sim-purity rules apply there too; R009 is belt *and* braces.
+        source = "import time\ndef stamp():\n    return time.time()\n"
+        findings = lint(source, path=self.TRACE)
+        assert set(rule_ids(findings)) == {"R002", "R009"}
+
+    def test_error_severity(self):
+        assert RULES_BY_ID["R009"].severity == "error"

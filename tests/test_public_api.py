@@ -54,12 +54,14 @@ class TestSurface:
         import repro.server
         import repro.sim
         import repro.systems
+        import repro.trace
         import repro.workload
 
         for module in (
             repro.analysis, repro.apps, repro.cluster, repro.core,
             repro.experiments, repro.metrics, repro.net, repro.policies,
-            repro.server, repro.sim, repro.systems, repro.workload,
+            repro.server, repro.sim, repro.systems, repro.trace,
+            repro.workload,
         ):
             assert module.__doc__, f"{module.__name__} lacks a docstring"
             for name in getattr(module, "__all__", []):

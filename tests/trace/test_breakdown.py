@@ -1,0 +1,110 @@
+"""Latency-breakdown reconciliation — the subsystem's acceptance test:
+the per-type p99.9 derived from traced spans must equal the Recorder's
+measured percentile, and every stage decomposition must sum exactly."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.experiments.common import run_once
+from repro.metrics.percentiles import P999, percentile, tail_credible
+from repro.systems.persephone import PersephoneStaticSystem
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.trace import LatencyBreakdown, Tracer
+from repro.trace.span import COMPLETE, STAGE_KEYS, Span
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="module")
+def figure4_style_run():
+    """One traced DARC-static load point at high load (Figure 4's shape)."""
+    tracer = Tracer()
+    result = run_once(
+        PersephoneStaticSystem(n_reserved=1, n_workers=14, name="DARC-static(1)"),
+        high_bimodal(),
+        0.95,
+        n_requests=6000,
+        seed=1,
+        tracer=tracer,
+    )
+    return result, tracer
+
+
+class TestAcceptance:
+    def test_per_type_tail_matches_recorder(self, figure4_style_run):
+        result, tracer = figure4_style_run
+        warmup = 0.10
+        breakdown = LatencyBreakdown(
+            tracer.spans.values(), pct=P999, warmup_frac=warmup
+        )
+        breakdown.verify()
+        cols = result.server.recorder.columns().after_warmup(warmup)
+        for tid, stage_bd in breakdown.per_type.items():
+            expected = percentile(cols.for_type(tid).latencies, P999)
+            assert stage_bd.tail_latency == pytest.approx(expected, abs=1e-9)
+
+    def test_stage_sums_reconcile_to_float_tolerance(self, figure4_style_run):
+        _, tracer = figure4_style_run
+        for span in tracer.finished_spans():
+            assert sum(span.stages().values()) == pytest.approx(
+                span.latency, abs=1e-6
+            )
+
+    def test_queue_wait_dominates_long_type_tail(self, figure4_style_run):
+        # The paper's point: at 95% load the tail lives in the queue.
+        _, tracer = figure4_style_run
+        breakdown = LatencyBreakdown(tracer.spans.values(), pct=99.0)
+        long_bd = breakdown.per_type[1]
+        assert long_bd.dominant_stage() == "queue_wait"
+
+    def test_tail_credible_gating_mirrors_metrics_layer(self, figure4_style_run):
+        _, tracer = figure4_style_run
+        breakdown = LatencyBreakdown(tracer.spans.values(), pct=P999)
+        for stage_bd in breakdown.per_type.values():
+            assert stage_bd.tail_credible == tail_credible(stage_bd.count, P999)
+
+
+class TestBreakdownMechanics:
+    def test_preemptive_spans_attribute_resume_waits(self):
+        tracer = Tracer()
+        run_once(
+            ShinjukuSystem(n_workers=8, quantum_us=5.0, name="Shinjuku"),
+            high_bimodal(),
+            0.8,
+            n_requests=3000,
+            seed=1,
+            tracer=tracer,
+        )
+        breakdown = LatencyBreakdown(tracer.spans.values(), pct=99.0)
+        breakdown.verify()
+        long_bd = breakdown.per_type[1]
+        assert long_bd.tail_stages["preempt_wait"] >= 0.0
+        assert any(
+            s.stages()["preempt_wait"] > 0.0 for s in tracer.finished_spans()
+        )
+
+    def test_verify_raises_on_corrupt_span(self):
+        span = Span(1, 0, 0.0, 0.0)
+        span.open_slice(0, 1.0)
+        span.close_slice(2.0, "complete")
+        span.set_terminal(COMPLETE, 2.0)
+        span.terminal_time = 5.0  # corrupt: latency no longer matches stages
+        breakdown = LatencyBreakdown([span], pct=50.0)
+        with pytest.raises(TraceError, match="stage sum"):
+            breakdown.verify()
+
+    def test_no_completed_spans_raises(self):
+        with pytest.raises(TraceError, match="no completed spans"):
+            from repro.trace.breakdown import StageBreakdown
+
+            StageBreakdown(0, [], 99.9)
+
+    def test_bad_warmup_frac_raises(self):
+        with pytest.raises(TraceError, match="warmup_frac"):
+            LatencyBreakdown([], warmup_frac=1.0)
+
+    def test_to_dict_round_trips_keys(self, figure4_style_run):
+        _, tracer = figure4_style_run
+        data = LatencyBreakdown(tracer.spans.values(), pct=99.0).to_dict()
+        assert set(data) == {"pct", "completed", "per_type", "overall"}
+        for entry in data["per_type"].values():
+            assert set(entry["tail_stages"]) == set(STAGE_KEYS)

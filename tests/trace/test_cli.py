@@ -1,0 +1,71 @@
+"""``repro-trace`` CLI: every subcommand end-to-end on a real smoke
+trace, plus failure-path exit codes."""
+
+import json
+
+import pytest
+
+from repro.trace.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "smoke.trace.json"
+    assert main(["smoke", "--out", str(path), "--n-requests", "3000"]) == 0
+    return path
+
+
+class TestSubcommands:
+    def test_smoke_writes_perfetto_loadable_json(self, smoke_trace):
+        doc = json.loads(smoke_trace.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["repro"]["version"] == 1
+
+    def test_validate_passes_on_smoke_trace(self, smoke_trace, capsys):
+        assert main(["validate", str(smoke_trace)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_summary_reports_reconciliation(self, smoke_trace, capsys):
+        assert main(["summary", str(smoke_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "span/recorder reconciliation: OK" in out
+        assert "streaming tail estimates" in out
+        assert "recorder:" in out and "late_completions=" in out
+
+    def test_breakdown_renders_stage_table(self, smoke_trace, capsys):
+        assert main(["breakdown", str(smoke_trace), "--pct", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency breakdown at p99" in out
+        assert "queue" in out
+
+    def test_convert_writes_csv(self, smoke_trace, tmp_path, capsys):
+        out_path = tmp_path / "spans.csv"
+        assert main(["convert", str(smoke_trace), str(out_path)]) == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header.startswith("rid,type_id,")
+        assert "queue_wait" in header
+
+
+class TestFailurePaths:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "nope.trace.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_flags_broken_layer(self, tmp_path, capsys):
+        path = tmp_path / "broken.trace.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [{"ph": "X", "pid": 0, "ts": -5.0}],
+                    "repro": {"version": 1},
+                }
+            )
+        )
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_breakdown_without_completed_spans_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "empty.trace.json"
+        path.write_text(json.dumps({"traceEvents": [], "repro": {"version": 1}}))
+        assert main(["breakdown", str(path)]) == 1
+        assert "no completed spans" in capsys.readouterr().out

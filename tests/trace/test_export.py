@@ -1,0 +1,150 @@
+"""Exporter round trips: Perfetto/Chrome layer validity, the lossless
+native layer, orphan-ledger carriage, and the CSV table."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneSystem
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.trace import Tracer, load_trace, spans_to_csv, validate_chrome_trace
+from repro.trace.export import NATIVE_VERSION, build_document, write_trace
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    tracer = Tracer()
+    result = run_once(
+        ShinjukuSystem(n_workers=8, quantum_us=5.0, name="Shinjuku"),
+        high_bimodal(),
+        0.8,
+        n_requests=2500,
+        seed=1,
+        tracer=tracer,
+    )
+    return result, tracer
+
+
+class TestChromeLayer:
+    def test_built_document_validates(self, traced_result):
+        result, tracer = traced_result
+        doc = build_document(tracer, recorder=result.server.recorder)
+        assert validate_chrome_trace(doc) == []
+
+    def test_service_slices_land_on_worker_lanes(self, traced_result):
+        _, tracer = traced_result
+        doc = build_document(tracer)
+        service = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "service"
+        ]
+        assert service
+        assert all(0 <= e["tid"] < 8 for e in service)
+        assert all(e["dur"] >= 0 for e in service)
+
+    def test_validator_rejects_malformed_events(self):
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "Z", "name": "x", "pid": 0, "ts": 0},
+                    {"ph": "X", "name": "", "pid": 0, "ts": -1, "dur": "no"},
+                    "not an object",
+                ]
+            }
+        )
+        assert len(problems) >= 3
+
+    def test_validator_requires_event_array(self):
+        assert validate_chrome_trace({"repro": {}}) == [
+            "'traceEvents' is missing or not an array"
+        ]
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+
+
+class TestNativeLayer:
+    def test_write_load_round_trip(self, traced_result, tmp_path):
+        result, tracer = traced_result
+        path = str(tmp_path / "run.trace.json")
+        write_trace(
+            path, tracer, recorder=result.server.recorder, meta={"seed": 1}
+        )
+        doc = load_trace(path)
+        assert doc.meta == {"seed": 1}
+        assert len(doc.spans) == len(tracer.spans)
+        original = tracer.spans[doc.spans[0].rid]
+        assert doc.spans[0].to_dict() == original.to_dict()
+        assert doc.counters["completions"] == tracer.completions
+        assert doc.reconciliation["ok"]
+
+    def test_orphan_ledger_travels_with_the_trace(self, traced_result, tmp_path):
+        result, tracer = traced_result
+        path = str(tmp_path / "orphans.trace.json")
+        write_trace(path, tracer, recorder=result.server.recorder)
+        doc = load_trace(path)
+        assert {
+            "timeouts", "retries", "failures", "late_completions",
+            "completed", "dropped",
+        } <= set(doc.recorder)
+
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "future.trace.json"
+        path.write_text(
+            json.dumps({"traceEvents": [], "repro": {"version": NATIVE_VERSION + 1}})
+        )
+        with pytest.raises(TraceError, match="unsupported native trace version"):
+            load_trace(str(path))
+
+    def test_missing_native_section_raises(self, tmp_path):
+        path = tmp_path / "bare.trace.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(TraceError, match="no 'repro' native section"):
+            load_trace(str(path))
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.trace.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError, match="cannot read trace file"):
+            load_trace(str(path))
+
+
+class TestCsv:
+    def test_every_span_becomes_a_row(self, traced_result):
+        _, tracer = traced_result
+        buffer = io.StringIO()
+        rows = spans_to_csv(
+            (tracer.spans[rid] for rid in tracer._rid_order), buffer
+        )
+        assert rows == len(tracer.spans)
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(parsed) == rows
+        completed = [r for r in parsed if r["terminal"] == "complete"]
+        for row in completed[:50]:
+            stage_sum = sum(
+                float(row[k])
+                for k in ("dispatch_pipeline", "queue_wait", "preempt_wait", "service")
+            )
+            assert stage_sum == pytest.approx(float(row["latency"]), abs=1e-6)
+
+    def test_decision_log_exported_for_darc(self, tmp_path):
+        tracer = Tracer()
+        run_once(
+            PersephoneSystem(n_workers=8, oracle=False, min_samples=200),
+            high_bimodal(),
+            0.75,
+            n_requests=3000,
+            seed=1,
+            tracer=tracer,
+        )
+        doc = build_document(tracer)
+        kinds = {entry[1] for entry in doc["repro"]["decisions"]}
+        assert "reservation" in kinds
+        instants = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e.get("cat") == "decision"
+        ]
+        assert len(instants) == len(doc["repro"]["decisions"])

@@ -1,0 +1,94 @@
+"""TailMonitor / P² convergence: the streaming estimate must track the
+exact array percentile on the heavy-tailed latency shapes this repo
+actually simulates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.metrics.percentiles import percentile
+from repro.trace import TailMonitor
+
+
+def bimodal_samples(rng, n, short=1.0, long=100.0, long_frac=0.005):
+    longs = rng.random(n) < long_frac
+    return np.where(longs, long, short) * (1.0 + 0.05 * rng.random(n))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("pct", [90.0, 99.0])
+    def test_lognormal_tracks_exact_percentile(self, pct):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=2.0, sigma=1.2, size=60_000)
+        monitor = TailMonitor(pct=pct)
+        for value in samples:
+            monitor.observe(0, float(value))
+        exact = percentile(samples, pct)
+        estimate = monitor.estimate(0)
+        assert abs(estimate - exact) / exact < 0.06
+
+    def test_bimodal_p999_finds_the_long_mode(self):
+        rng = np.random.default_rng(11)
+        samples = bimodal_samples(rng, 80_000)
+        monitor = TailMonitor(pct=99.9)
+        for value in samples:
+            monitor.observe(0, float(value))
+        exact = percentile(samples, 99.9)
+        estimate = monitor.estimate(0)
+        # p99.9 of a 0.5%-long bimodal sits in the long mode; P² must
+        # land there too, not between the modes.
+        assert estimate > 50.0
+        assert abs(estimate - exact) / exact < 0.15
+
+    def test_estimate_improves_with_more_samples(self):
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=1.0, sigma=1.0, size=50_000)
+        exact = percentile(samples, 99.0)
+        errors = []
+        for n in (500, 50_000):
+            monitor = TailMonitor(pct=99.0)
+            for value in samples[:n]:
+                monitor.observe(0, float(value))
+            errors.append(abs(monitor.estimate(0) - exact) / exact)
+        assert errors[1] <= errors[0]
+
+
+class TestMonitorMechanics:
+    def test_per_type_and_overall_streams(self):
+        monitor = TailMonitor(pct=50.0)
+        for _ in range(100):
+            monitor.observe(0, 1.0)
+            monitor.observe(1, 100.0)
+        assert monitor.count(0) == 100
+        assert monitor.count(1) == 100
+        assert monitor.count() == 200
+        assert monitor.estimate(0) == pytest.approx(1.0, rel=0.05)
+        assert monitor.estimate(1) == pytest.approx(100.0, rel=0.05)
+        assert 1.0 < monitor.estimate() < 100.0
+
+    def test_nan_before_any_samples(self):
+        monitor = TailMonitor()
+        assert math.isnan(monitor.estimate(3))
+        assert monitor.count(3) == 0
+
+    def test_snapshot_shape(self):
+        monitor = TailMonitor(pct=99.9)
+        monitor.observe(2, 5.0)
+        snap = monitor.snapshot()
+        assert set(snap) == {"overall", "2"}
+        assert snap["2"]["count"] == 1
+        assert snap["2"]["pct"] == 99.9
+
+    def test_invalid_pct_raises(self):
+        with pytest.raises(TraceError, match="pct"):
+            TailMonitor(pct=100.0)
+
+    def test_exact_below_marker_count(self):
+        # P² needs 5 markers; below that the estimator reports exact order
+        # statistics, so tiny chaos runs still get a sane number.
+        monitor = TailMonitor(pct=50.0)
+        for value in (1.0, 2.0, 3.0):
+            monitor.observe(0, value)
+        assert monitor.estimate(0) == pytest.approx(2.0)

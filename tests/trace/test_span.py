@@ -1,0 +1,133 @@
+"""Span model unit tests: slice bookkeeping, terminal-state
+conservation, the exact stage partition, and (de)serialization."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.span import (
+    COMPLETE,
+    DISPATCHER_DROP,
+    DROP,
+    SLICE_COMPLETE,
+    SLICE_EVICT,
+    SLICE_PREEMPT,
+    STAGE_KEYS,
+    Slice,
+    Span,
+)
+
+
+def completed_span(arrival=0.0, sched_at=1.0, slices=((2.0, 5.0),), rid=7):
+    span = Span(rid, 0, arrival, sched_at)
+    last_end = None
+    for begin, end in slices:
+        span.open_slice(0, begin)
+        span.close_slice(end, SLICE_PREEMPT)
+        last_end = end
+    span.slices[-1].kind = SLICE_COMPLETE
+    span.set_terminal(COMPLETE, last_end)
+    return span
+
+
+class TestSliceBookkeeping:
+    def test_open_while_open_raises(self):
+        span = Span(1, 0, 0.0, 0.0)
+        span.open_slice(0, 1.0)
+        with pytest.raises(TraceError, match="while one is open"):
+            span.open_slice(1, 2.0)
+
+    def test_close_without_open_raises(self):
+        span = Span(1, 0, 0.0, 0.0)
+        with pytest.raises(TraceError, match="no open slice"):
+            span.close_slice(1.0, SLICE_COMPLETE)
+
+    def test_dispatch_after_terminal_raises(self):
+        span = completed_span()
+        with pytest.raises(TraceError, match="after terminal"):
+            span.open_slice(0, 9.0)
+
+    def test_open_slice_duration_raises(self):
+        s = Slice(0, 1.0)
+        assert s.open
+        with pytest.raises(TraceError, match="still open"):
+            _ = s.duration
+
+    def test_preemptions_counts_only_preempt_slices(self):
+        span = Span(1, 0, 0.0, 0.0)
+        for kind in (SLICE_PREEMPT, SLICE_EVICT, SLICE_PREEMPT, SLICE_COMPLETE):
+            span.open_slice(0, 0.0)
+            span.close_slice(1.0, kind)
+        assert span.preemptions() == 2
+
+
+class TestTerminals:
+    def test_double_terminal_raises(self):
+        span = completed_span()
+        with pytest.raises(TraceError, match="second terminal"):
+            span.set_terminal(DROP, 9.0)
+
+    def test_unknown_terminal_raises(self):
+        span = Span(1, 0, 0.0, 0.0)
+        with pytest.raises(TraceError, match="unknown terminal"):
+            span.set_terminal("exploded", 1.0)
+
+    def test_latency_requires_completion(self):
+        span = Span(1, 0, 0.0, 0.0)
+        span.set_terminal(DISPATCHER_DROP, 2.0)
+        with pytest.raises(TraceError, match="did not complete"):
+            _ = span.latency
+
+
+class TestStagePartition:
+    def test_single_slice_partition(self):
+        span = completed_span(arrival=0.0, sched_at=1.5, slices=((4.0, 9.0),))
+        stages = span.stages()
+        assert stages["dispatch_pipeline"] == pytest.approx(1.5)
+        assert stages["queue_wait"] == pytest.approx(2.5)
+        assert stages["preempt_wait"] == pytest.approx(0.0)
+        assert stages["service"] == pytest.approx(5.0)
+        assert sum(stages.values()) == pytest.approx(span.latency)
+
+    def test_multi_slice_partition_is_exact(self):
+        span = completed_span(
+            arrival=0.0, sched_at=0.5, slices=((1.0, 3.0), (7.0, 8.0), (10.0, 12.0))
+        )
+        stages = span.stages()
+        assert stages["preempt_wait"] == pytest.approx((7.0 - 3.0) + (10.0 - 8.0))
+        assert stages["service"] == pytest.approx(2.0 + 1.0 + 2.0)
+        assert sum(stages.values()) == pytest.approx(span.latency, abs=1e-12)
+        assert tuple(stages) == STAGE_KEYS
+
+    def test_stages_require_completion(self):
+        span = Span(1, 0, 0.0, 0.0)
+        span.set_terminal(DROP, 3.0)
+        with pytest.raises(TraceError, match="completed span"):
+            span.stages()
+
+    def test_completed_without_slice_raises(self):
+        span = Span(1, 0, 0.0, 0.0)
+        span.set_terminal(COMPLETE, 3.0)
+        with pytest.raises(TraceError, match="without a slice"):
+            span.stages()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        span = completed_span(slices=((1.0, 3.0), (5.0, 6.0)))
+        span.classified_type = 1
+        span.service_time = 3.0
+        span.overhead_us = 0.25
+        span.requeues = 1
+        span.attempt = 2
+        span.retry_of = 3
+        copy = Span.from_dict(span.to_dict())
+        assert copy.to_dict() == span.to_dict()
+        assert copy.stages() == span.stages()
+        assert [s.to_list() for s in copy.slices] == [s.to_list() for s in span.slices]
+
+    def test_open_span_round_trip(self):
+        span = Span(4, 1, 2.0, 3.0)
+        span.open_slice(5, 4.0)
+        copy = Span.from_dict(span.to_dict())
+        assert copy.terminal is None
+        assert copy.slices[0].open
