@@ -1,0 +1,44 @@
+"""Tooling: whole-program static analysis of the shipped tree.
+
+Times one full ``repro-analyze`` pass — parse every module under
+``src/repro``, build the symbol table / class hierarchy / call graph,
+then run all three analyses (event-flow races, RNG-stream escapes,
+contract checks).  The finding counts land in extra_info so CI can
+archive them (``--benchmark-json=BENCH_analyze.json``) and trend both
+the analyzer's wall-clock and the tree's finding profile.
+"""
+
+import os
+from collections import Counter
+
+from conftest import run_single
+
+from repro.analyze import analyze_program, build_program, diff_baseline, load_baseline
+from repro.lint.runner import iter_python_files
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+BASELINE = os.path.join(REPO_ROOT, "analyze-baseline.json")
+
+
+def full_scan():
+    program = build_program(iter_python_files([SRC_REPRO]))
+    return program, analyze_program(program)
+
+
+def test_whole_program_scan(benchmark):
+    program, findings = run_single(benchmark, full_scan)
+
+    by_rule = Counter(f.rule_id for f in findings)
+    benchmark.extra_info["modules"] = len(program.modules)
+    benchmark.extra_info["classes"] = len(program.classes)
+    benchmark.extra_info["functions"] = len(program.functions)
+    benchmark.extra_info["findings"] = dict(sorted(by_rule.items()))
+
+    assert len(program.modules) > 50
+    assert findings, "the baselined findings should still fire"
+    # Every finding is tolerated by the checked-in baseline: the tree is
+    # clean modulo the ratchet, in the benchmark as in CI.
+    with open(BASELINE, "r", encoding="utf-8") as fp:
+        diff = diff_baseline(findings, load_baseline(fp.read()))
+    assert diff.new == []

@@ -1,0 +1,57 @@
+"""Whole-program static analysis for the Persephone reproduction.
+
+Where :mod:`repro.lint` checks one module at a time, this package parses
+the entire tree into a symbol table and call graph
+(:mod:`repro.analyze.model`) and runs three interprocedural analyses
+over it:
+
+* :mod:`repro.analyze.eventflow` — simulated-time race detection
+  (A001/A002): same-timestamp event pairs whose handlers touch
+  overlapping state, i.e. outcomes decided only by heap insertion order.
+* :mod:`repro.analyze.rngflow` — RNG-stream ownership and escape
+  analysis (A101–A103): subsystem-scoped streams created or consumed
+  across subsystem boundaries.
+* :mod:`repro.analyze.contracts` — Policy/System/Balancer contract
+  verification (A201–A203): required overrides, mandatory ``super()``
+  chains, reserved engine-owned field writes.
+
+Findings share :mod:`repro.lint`'s severity and pragma model
+(``# repro-analyze: disable=A102``), serialize to text, JSON and SARIF
+2.1.0 (:mod:`repro.analyze.sarif`), and gate in CI against a checked-in
+baseline (:mod:`repro.analyze.baseline`).  The CLI is ``repro-analyze``
+(:mod:`repro.analyze.cli`).  The runtime twin of the eventflow analysis
+is the tie-break shadow check in :class:`repro.lint.sanitizer.SimSanitizer`.
+"""
+
+from .baseline import BaselineDiff, diff_baseline, load_baseline, write_baseline
+from .contracts import analyze_contracts
+from .eventflow import analyze_eventflow, collect_schedule_sites
+from .findings import ANALYSIS_RULES, AnalysisFinding, RuleMeta, fingerprint, make_finding
+from .model import Program, build_program
+from .rngflow import analyze_rngflow
+from .runner import analyze_paths, analyze_program, has_errors
+from .sarif import findings_from_sarif, sarif_text, to_sarif
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisFinding",
+    "BaselineDiff",
+    "Program",
+    "RuleMeta",
+    "analyze_contracts",
+    "analyze_eventflow",
+    "analyze_paths",
+    "analyze_program",
+    "analyze_rngflow",
+    "build_program",
+    "collect_schedule_sites",
+    "diff_baseline",
+    "findings_from_sarif",
+    "fingerprint",
+    "has_errors",
+    "load_baseline",
+    "make_finding",
+    "sarif_text",
+    "to_sarif",
+    "write_baseline",
+]

@@ -1,0 +1,107 @@
+"""Finding baseline: ratchet legacy findings without letting new ones in.
+
+A whole-program analyzer pointed at an existing tree fires on code that
+predates it.  Rather than demand a flag day (or worse, launch with the
+analyses disabled), CI compares the current scan against a checked-in
+baseline of *fingerprints*: pre-existing findings are tolerated, any
+finding not in the baseline fails the build, and baselined findings that
+no longer fire are reported so the file can be ratcheted down.
+
+Fingerprints (:data:`repro.analyze.findings.AnalysisFinding.fingerprint`)
+hash rule id, path, symbol and message — **not** the line number — so
+unrelated edits above a finding do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, NamedTuple, Sequence
+
+from ..errors import AnalysisError
+from .findings import ANALYSIS_RULES, AnalysisFinding
+
+BASELINE_VERSION = 1
+
+
+class BaselineDiff(NamedTuple):
+    """Scan-vs-baseline comparison.
+
+    ``new``
+        Findings whose fingerprint is absent from the baseline — these
+        fail the gate.
+    ``resolved``
+        Baseline entries whose fingerprint no longer fires — candidates
+        for removal (the ratchet direction).
+    ``known``
+        Findings matched by the baseline — tolerated.
+    """
+
+    new: List[AnalysisFinding]
+    resolved: List[Dict[str, str]]
+    known: List[AnalysisFinding]
+
+
+def baseline_entry(finding: AnalysisFinding) -> Dict[str, object]:
+    """The checked-in representation of one tolerated finding."""
+    return {
+        "fingerprint": finding.fingerprint,
+        "rule_id": finding.rule_id,
+        "path": finding.path.replace("\\", "/"),
+        "symbol": finding.symbol,
+        "message": finding.message,
+    }
+
+
+def write_baseline(findings: Sequence[AnalysisFinding]) -> str:
+    """Serialize ``findings`` as a baseline JSON document (stable order)."""
+    entries = sorted(
+        (baseline_entry(f) for f in findings),
+        key=lambda e: (e["rule_id"], e["path"], e["fingerprint"]),
+    )
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def load_baseline(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse a baseline document into fingerprint -> entry."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise AnalysisError("baseline must be an object with a 'findings' list")
+    version = doc.get("version")
+    if version != BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline version {version!r} is not supported "
+            f"(expected {BASELINE_VERSION})"
+        )
+    out: Dict[str, Dict[str, object]] = {}
+    for entry in doc["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise AnalysisError("baseline entry missing 'fingerprint'")
+        rule_id = entry.get("rule_id", "")
+        if rule_id and rule_id not in ANALYSIS_RULES:
+            raise AnalysisError(f"baseline names unknown rule id {rule_id!r}")
+        out[str(entry["fingerprint"])] = entry
+    return out
+
+
+def diff_baseline(
+    findings: Sequence[AnalysisFinding],
+    baseline: Dict[str, Dict[str, object]],
+) -> BaselineDiff:
+    """Split ``findings`` into new/known and find resolved entries."""
+    new: List[AnalysisFinding] = []
+    known: List[AnalysisFinding] = []
+    seen: set = set()
+    for finding in findings:
+        fp = finding.fingerprint
+        seen.add(fp)
+        (known if fp in baseline else new).append(finding)
+    resolved = [
+        {str(k): str(v) for k, v in entry.items()}
+        for fp, entry in sorted(baseline.items())
+        if fp not in seen
+    ]
+    return BaselineDiff(new=new, resolved=resolved, known=known)

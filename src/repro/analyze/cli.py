@@ -1,0 +1,265 @@
+"""``repro-analyze`` — the whole-program static analyzer CLI.
+
+Usage::
+
+    repro-analyze scan src/repro                      # full scan, text output
+    repro-analyze scan src/repro --format json        # machine-readable
+    repro-analyze scan src/repro --sarif out.sarif    # also write SARIF 2.1.0
+    repro-analyze scan src/repro --baseline analyze-baseline.json
+                                                      # gate: new findings fail
+    repro-analyze baseline src/repro -o analyze-baseline.json
+                                                      # (re)write the baseline
+    repro-analyze diff src/repro --baseline analyze-baseline.json
+                                                      # show new + resolved
+    repro-analyze sarif src/repro -o out.sarif        # SARIF only
+    repro-analyze selfcheck                           # scan this package's
+                                                      # own source tree
+    repro-analyze list-rules                          # finding catalogue
+
+Exit codes: 0 clean, 1 gate failure (unbaselined findings / severity
+errors / any finding with ``--strict``), 2 usage or internal errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from .baseline import diff_baseline, load_baseline, write_baseline
+from .findings import ANALYSIS_RULES, AnalysisFinding
+from .runner import analyze_paths, has_errors
+from .sarif import sarif_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Interprocedural static analyzer for the Persephone "
+        "reproduction: simulated-time races, RNG-stream escapes, and "
+        "Policy/System/Balancer contract violations.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def add_scan_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("paths", nargs="+", help="files or directories to analyze")
+        p.add_argument(
+            "--select",
+            metavar="IDS",
+            default=None,
+            help="comma-separated finding ids to run (default: all)",
+        )
+        p.add_argument(
+            "--root",
+            default=None,
+            help="root directory for module naming of non-repro trees",
+        )
+
+    scan = sub.add_parser("scan", help="analyze and report findings")
+    add_scan_args(scan)
+    scan.add_argument(
+        "--format", choices=("text", "json"), default="text", help="findings format"
+    )
+    scan.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON; findings in it are tolerated, new ones fail",
+    )
+    scan.add_argument("--sarif", default=None, help="also write SARIF 2.1.0 here")
+    scan.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+
+    base = sub.add_parser("baseline", help="write the current findings as baseline")
+    add_scan_args(base)
+    base.add_argument("-o", "--output", required=True, help="baseline file to write")
+
+    diff = sub.add_parser("diff", help="compare findings against a baseline")
+    add_scan_args(diff)
+    diff.add_argument("--baseline", required=True, help="baseline JSON to diff against")
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text", help="diff format"
+    )
+
+    sarif = sub.add_parser("sarif", help="analyze and write SARIF 2.1.0 only")
+    add_scan_args(sarif)
+    sarif.add_argument("-o", "--output", required=True, help="SARIF file to write")
+
+    self_p = sub.add_parser(
+        "selfcheck", help="scan the installed repro package's own source"
+    )
+    self_p.add_argument(
+        "--baseline", default=None, help="baseline JSON to gate against"
+    )
+    self_p.add_argument(
+        "--format", choices=("text", "json"), default="text", help="findings format"
+    )
+    self_p.add_argument("--sarif", default=None, help="also write SARIF 2.1.0 here")
+    self_p.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+
+    sub.add_parser("list-rules", help="print the finding catalogue and exit")
+    return parser
+
+
+def _split_select(select: Optional[str]) -> Optional[List[str]]:
+    if select is None:
+        return None
+    return [s.strip() for s in select.split(",") if s.strip()]
+
+
+def _package_root() -> str:
+    """Directory of the installed ``repro`` package (selfcheck target)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _emit(findings: Sequence[AnalysisFinding], fmt: str) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                [dict(f._asdict(), fingerprint=f.fingerprint) for f in findings],
+                indent=2,
+            )
+        )
+        return
+    for finding in findings:
+        print(finding.format())
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    print(f"repro-analyze: {errors} error(s), {warnings} warning(s)")
+
+
+def _print_rules() -> None:
+    for meta in ANALYSIS_RULES.values():
+        print(f"{meta.id} {meta.name} [{meta.severity}] (analysis: {meta.analysis})")
+        for line in meta.description.splitlines():
+            print(f"    {line.strip()}")
+        print()
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as fp:
+        return fp.read()
+
+
+def _write(path: str, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as fp:
+        fp.write(text)
+
+
+def _gate(
+    findings: List[AnalysisFinding],
+    baseline_path: Optional[str],
+    fmt: str,
+    sarif_path: Optional[str],
+    strict: bool,
+) -> int:
+    """Shared scan/selfcheck reporting + gating logic."""
+    if sarif_path:
+        _write(sarif_path, sarif_text(findings))
+    if baseline_path:
+        baseline = load_baseline(_read(baseline_path))
+        result = diff_baseline(findings, baseline)
+        _emit(result.new, fmt)
+        if result.resolved:
+            print(
+                f"repro-analyze: {len(result.resolved)} baselined finding(s) "
+                "no longer fire — ratchet the baseline down "
+                "(repro-analyze baseline ... -o <file>)"
+            )
+        if result.new:
+            print(
+                f"repro-analyze: {len(result.new)} finding(s) not in baseline "
+                f"({len(result.known)} tolerated)"
+            )
+            return 1
+        print(
+            f"repro-analyze: clean against baseline "
+            f"({len(result.known)} tolerated finding(s))"
+        )
+        return 0
+    _emit(findings, fmt)
+    return 1 if has_errors(findings, strict=strict) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        sys.stderr.close()
+        return 1
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    if args.command == "list-rules":
+        _print_rules()
+        return 0
+    try:
+        if args.command == "selfcheck":
+            findings = analyze_paths([_package_root()])
+            return _gate(findings, args.baseline, args.format, args.sarif, args.strict)
+        select = _split_select(args.select)
+        findings = analyze_paths(args.paths, select=select, root=args.root)
+        if args.command == "scan":
+            return _gate(findings, args.baseline, args.format, args.sarif, args.strict)
+        if args.command == "baseline":
+            _write(args.output, write_baseline(findings))
+            print(
+                f"repro-analyze: wrote {len(findings)} finding(s) to {args.output}"
+            )
+            return 0
+        if args.command == "diff":
+            baseline = load_baseline(_read(args.baseline))
+            result = diff_baseline(findings, baseline)
+            if args.format == "json":
+                print(
+                    json.dumps(
+                        {
+                            "new": [
+                                dict(f._asdict(), fingerprint=f.fingerprint)
+                                for f in result.new
+                            ],
+                            "resolved": result.resolved,
+                            "known": len(result.known),
+                        },
+                        indent=2,
+                    )
+                )
+            else:
+                for finding in result.new:
+                    print(f"NEW      {finding.format()}")
+                for entry in result.resolved:
+                    print(
+                        f"RESOLVED {entry.get('rule_id', '?')} {entry.get('path', '?')} "
+                        f"{entry.get('symbol', '')} [{entry.get('fingerprint', '')}]"
+                    )
+                print(
+                    f"repro-analyze: {len(result.new)} new, "
+                    f"{len(result.resolved)} resolved, {len(result.known)} known"
+                )
+            return 1 if result.new else 0
+        if args.command == "sarif":
+            _write(args.output, sarif_text(findings))
+            print(f"repro-analyze: wrote SARIF for {len(findings)} finding(s) to {args.output}")
+            return 0
+    except ReproError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+    parser.print_usage(sys.stderr)  # pragma: no cover - unreachable
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Finding model for the whole-program analyzer.
+
+``repro-analyze`` findings mirror ``repro-lint``'s shape (path, line,
+rule id, severity, message) and add two things the whole-program setting
+needs:
+
+* a **symbol** — the dotted program entity the finding is about (a
+  handler pair, a stream name, a class) — so a finding survives the file
+  being reformatted;
+* a **fingerprint** — a stable hash of (rule, path, symbol, message)
+  *excluding line numbers*, which is what the baseline ratchet keys on:
+  moving code around does not churn ``analyze-baseline.json``; changing
+  behaviour does.
+
+This module is deliberately standalone (no imports from the rest of
+``repro``) so ``repro.lint`` can import the rule registry without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, NamedTuple
+
+
+class RuleMeta(NamedTuple):
+    """Catalogue entry for one finding id."""
+
+    id: str
+    name: str
+    severity: str  # "error" | "warning"
+    analysis: str  # which analysis emits it
+    description: str
+
+
+#: The finding-id catalogue.  A0xx — analyzer hygiene; A1xx — RNG-stream
+#: flow; A2xx — policy/system/balancer contracts; A001/A002 — event-flow.
+ANALYSIS_RULES: Dict[str, RuleMeta] = {
+    meta.id: meta
+    for meta in (
+        RuleMeta(
+            "A000",
+            "suppression-hygiene",
+            "warning",
+            "runner",
+            "A repro-analyze pragma is unknown, misplaced, or stale — it "
+            "names a finding that no longer fires on that line.  Stale "
+            "suppressions silently mask the next real regression.",
+        ),
+        RuleMeta(
+            "A001",
+            "same-time-race",
+            "warning",
+            "eventflow",
+            "Two schedule sites book events with equal constant delays "
+            "(typically both immediate), and their handlers read/write "
+            "overlapping state.  When both fire at the same simulated "
+            "timestamp, only heap insertion order decides the outcome — "
+            "a tie-break the code never states.  Make the ordering "
+            "explicit (distinct delays, one combined handler, or a "
+            "documented commutation) or suppress with justification.",
+        ),
+        RuleMeta(
+            "A002",
+            "absolute-time-race",
+            "warning",
+            "eventflow",
+            "An absolute-time schedule site (call_at with an externally "
+            "supplied time, e.g. a fault-plan timestamp) can land on the "
+            "same instant as another handler that touches the same "
+            "state.  Crash-vs-dispatch and recover-vs-complete ties are "
+            "the canonical instances: behaviour is deterministic only by "
+            "insertion order, which external data controls.",
+        ),
+        RuleMeta(
+            "A101",
+            "stream-foreign-prefix",
+            "error",
+            "rngflow",
+            "A dotted RNG stream name ('faults.net') declares its owning "
+            "subsystem in its prefix, but the stream is created in a "
+            "different package.  The prefix convention is what keeps one "
+            "subsystem's draws from perturbing another's; a mismatched "
+            "creation site breaks the audit trail.",
+        ),
+        RuleMeta(
+            "A102",
+            "stream-escape",
+            "error",
+            "rngflow",
+            "A subsystem-scoped RNG stream (dotted name) is passed into "
+            "a function or constructor belonging to a different "
+            "subsystem.  The receiving code's draw pattern now silently "
+            "couples to the owning subsystem's seed schedule: adding one "
+            "draw on either side perturbs both.",
+        ),
+        RuleMeta(
+            "A103",
+            "dynamic-stream-name",
+            "warning",
+            "rngflow",
+            "An RNG stream is requested with a non-literal name, which "
+            "defeats static stream-ownership tracking (and makes the "
+            "stream registry's contents depend on runtime values).  Use "
+            "a string literal, or a literal prefix plus a deterministic "
+            "suffix built at one audited site.",
+        ),
+        RuleMeta(
+            "A201",
+            "missing-override",
+            "error",
+            "contracts",
+            "A concrete Policy/System/Balancer subclass does not provide "
+            "a required member of its contract (e.g. a Scheduler without "
+            "on_request/on_worker_free or traits).  The gap surfaces at "
+            "runtime as an abstract-instantiation error at best, or as "
+            "silently inherited wrong behaviour at worst.",
+        ),
+        RuleMeta(
+            "A202",
+            "broken-super-chain",
+            "error",
+            "contracts",
+            "An override of a chained contract method (__init__, "
+            "on_worker_crash, on_worker_recover, attach_tracer) never "
+            "calls super().  The base class maintains engine-side state "
+            "in these methods (service-event registry, capacity "
+            "bookkeeping, tracer forwarding); skipping the chain strands "
+            "that state.",
+        ),
+        RuleMeta(
+            "A203",
+            "reserved-field-write",
+            "error",
+            "contracts",
+            "Code outside the owning module writes an engine-owned field "
+            "(EventLoop internals, Worker.current/failed/speed_factor, "
+            "Scheduler wiring).  These fields have single designated "
+            "writers; outside writes bypass the invariants the "
+            "sanitizer checks and the accounting the recorder trusts.",
+        ),
+    )
+}
+
+
+class AnalysisFinding(NamedTuple):
+    """One whole-program finding, after suppression filtering."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+    #: Dotted program entity the finding is about (stable across moves).
+    symbol: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+            f"[{self.severity}] {self.message}"
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.rule_id, self.path, self.symbol, self.message)
+
+
+_WS = re.compile(r"\s+")
+
+
+def _anchor_path(path: str) -> str:
+    """Normalize a path for fingerprinting: forward slashes, anchored at
+    the last ``repro`` component when present, so the same finding hashes
+    identically whether the tree was scanned as ``src/repro`` or by an
+    absolute installed-package path (``repro-analyze selfcheck``)."""
+    normalized = path.replace("\\", "/")
+    parts = normalized.split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return normalized
+
+
+def fingerprint(rule_id: str, path: str, symbol: str, message: str) -> str:
+    """Line-independent identity of a finding, for baseline ratcheting.
+
+    When the finding names a symbol, the symbol *is* the identity —
+    messages embed "scheduled at file:line" context that would churn the
+    baseline on every unrelated edit above the site.  Symbol-less
+    findings fall back to the whitespace-normalized message.
+    """
+    tail = symbol if symbol else _WS.sub(" ", message).strip()
+    payload = "\x1f".join((rule_id, _anchor_path(path), symbol, tail))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def make_finding(
+    rule_id: str, path: str, line: int, col: int, message: str, symbol: str = ""
+) -> AnalysisFinding:
+    """Construct a finding with the catalogue's severity for ``rule_id``."""
+    meta = ANALYSIS_RULES[rule_id]
+    return AnalysisFinding(path, line, col, rule_id, meta.severity, message, symbol)

@@ -1,0 +1,166 @@
+"""RNG-stream escape analysis (findings A101/A102/A103).
+
+:class:`repro.sim.randomness.RngRegistry` gives every stochastic
+component its own named stream so one component's draws never perturb
+another's.  The convention that makes this auditable is the *dotted
+prefix*: a stream named ``faults.net`` belongs to the ``faults``
+subsystem.  That convention is only worth anything if it is machine
+checked — a ``faults.*`` stream quietly handed to a policy couples the
+policy's decisions to the fault plan's draw schedule, and the resulting
+seed-determinism break is invisible until two runs diverge.
+
+Three findings:
+
+* **A101** — a dotted stream is *created* outside the package its
+  prefix names.
+* **A102** — a dotted stream *escapes*: it is passed (directly, through
+  a local variable, or inside a conditional expression) into a callee
+  that resolves to a different package than the prefix.
+* **A103** — a stream is requested with a non-literal name, which
+  defeats this analysis entirely.
+
+Receiver heuristic: a ``.stream(...)`` call counts as a registry draw
+when its receiver expression mentions ``rng`` or ``registry`` (this
+matches ``rngs.stream``, ``self.rngs.stream``,
+``RngRegistry(seed).stream`` and leaves unrelated ``.stream`` methods
+alone).  Undotted names (``"arrivals"``) are workload-shared by
+convention and are not ownership-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .findings import AnalysisFinding, make_finding
+from .model import FunctionInfo, Program
+
+
+def _is_registry_receiver(expr: ast.AST) -> bool:
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return False
+    lowered = text.lower()
+    return "rng" in lowered or "registry" in lowered
+
+
+def _stream_calls(fn: FunctionInfo) -> List[Tuple[ast.Call, Optional[str]]]:
+    """Every registry ``.stream(...)`` call in ``fn``: (node, literal or
+    None when the name is dynamic)."""
+    out: List[Tuple[ast.Call, Optional[str]]] = []
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream"
+            and node.args
+            and _is_registry_receiver(node.func.value)
+        ):
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                out.append((node, first.value))
+            else:
+                out.append((node, None))
+    return out
+
+
+def analyze_rngflow(program: Program) -> List[AnalysisFinding]:
+    """Run the stream-ownership and escape analysis over ``program``."""
+    findings: List[AnalysisFinding] = []
+    for fn in program.iter_functions():
+        calls = _stream_calls(fn)
+        if not calls:
+            continue
+        module = fn.module
+        pkg = module.package
+        stream_nodes: Dict[int, str] = {}  # id(node) -> stream name
+        for node, name in calls:
+            if name is None:
+                findings.append(
+                    make_finding(
+                        "A103",
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"{fn.qualname}() requests an RNG stream with a "
+                        "non-literal name; static stream-ownership tracking "
+                        "cannot follow it — use a string literal",
+                        symbol=f"{fn.key}.stream",
+                    )
+                )
+                continue
+            stream_nodes[id(node)] = name
+            if "." in name:
+                prefix = name.split(".", 1)[0]
+                if prefix in program.packages and pkg is not None and pkg != prefix:
+                    findings.append(
+                        make_finding(
+                            "A101",
+                            module.path,
+                            node.lineno,
+                            node.col_offset,
+                            f"stream '{name}' is created in package "
+                            f"'{pkg}' but its prefix names subsystem "
+                            f"'{prefix}'; create it in the owning package "
+                            "(or rename it to match its owner)",
+                            symbol=name,
+                        )
+                    )
+        # Locals bound to a stream: x = <registry>.stream("...")
+        local_streams: Dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and id(node.value) in stream_nodes
+            ):
+                local_streams[node.targets[0].id] = stream_nodes[id(node.value)]
+        # Escapes: a dotted stream as an argument to a foreign callee.
+        reported: Set[Tuple[str, int]] = set()
+        for call in ast.walk(fn.node):
+            if not isinstance(call, ast.Call):
+                continue
+            passed: List[str] = []
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) and id(sub) in stream_nodes:
+                        passed.append(stream_nodes[id(sub)])
+                    elif isinstance(sub, ast.Name) and sub.id in local_streams:
+                        passed.append(local_streams[sub.id])
+            dotted = [name for name in passed if "." in name]
+            if not dotted:
+                continue
+            callee_pkg = program.resolve_callable_owner(fn, call)
+            if callee_pkg is None:
+                continue
+            for name in dotted:
+                prefix = name.split(".", 1)[0]
+                if prefix not in program.packages or callee_pkg == prefix:
+                    continue
+                key = (name, call.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                callee = ""
+                try:
+                    callee = ast.unparse(call.func)
+                except Exception:  # pragma: no cover
+                    pass
+                findings.append(
+                    make_finding(
+                        "A102",
+                        module.path,
+                        call.lineno,
+                        call.col_offset,
+                        f"stream '{name}' (owned by subsystem '{prefix}') "
+                        f"escapes into '{callee_pkg}' code via {callee}(); "
+                        "the receiver's draw pattern now couples to "
+                        f"'{prefix}' seeding — give the receiver its own "
+                        "stream or move the draw to the owner",
+                        symbol=f"{name}->{callee_pkg}",
+                    )
+                )
+    return findings

@@ -1,0 +1,114 @@
+"""SARIF 2.1.0 serialization for analysis findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning and most IDE problem-matchers ingest.  We emit the minimal
+valid document: one run, one tool driver carrying the rule catalogue,
+one result per finding with a physical location and a
+``partialFingerprints`` entry reusing the baseline fingerprint so
+re-uploads dedup stably across line drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import ANALYSIS_RULES, AnalysisFinding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analyze"
+
+#: repro severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    meta = ANALYSIS_RULES[rule_id]
+    return {
+        "id": meta.id,
+        "name": meta.name,
+        "shortDescription": {"text": meta.description},
+        "defaultConfiguration": {"level": _LEVELS.get(meta.severity, "warning")},
+        "properties": {"analysis": meta.analysis},
+    }
+
+
+def to_sarif(findings: Sequence[AnalysisFinding]) -> Dict[str, object]:
+    """Build the SARIF 2.1.0 document (as a plain dict) for ``findings``."""
+    used_rules = sorted({f.rule_id for f in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(used_rules)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": _LEVELS.get(finding.severity, "warning"),
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": max(1, finding.col + 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproAnalyzeFingerprint/v1": finding.fingerprint
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-analyze",
+                        "rules": [_rule_descriptor(r) for r in used_rules],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def sarif_text(findings: Sequence[AnalysisFinding]) -> str:
+    return json.dumps(to_sarif(findings), indent=2) + "\n"
+
+
+def findings_from_sarif(doc: Dict[str, object]) -> List[Dict[str, object]]:
+    """Flatten a SARIF document back into simple result dicts (used by
+    tests to round-trip and by tooling that post-processes uploads)."""
+    out: List[Dict[str, object]] = []
+    for run in doc.get("runs", []):  # type: ignore[union-attr]
+        for result in run.get("results", []):
+            loc = result["locations"][0]["physicalLocation"]
+            out.append(
+                {
+                    "rule_id": result["ruleId"],
+                    "level": result["level"],
+                    "message": result["message"]["text"],
+                    "path": loc["artifactLocation"]["uri"],
+                    "line": loc["region"]["startLine"],
+                    "fingerprint": result.get("partialFingerprints", {}).get(
+                        "reproAnalyzeFingerprint/v1", ""
+                    ),
+                }
+            )
+    return out

@@ -138,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(slower; raises SanitizerViolation on the first broken invariant)",
     )
     parser.add_argument(
+        "--shadow",
+        action="store_true",
+        help="implies --sanitize and additionally runs the tie-break "
+        "shadow check: same-timestamp sibling events are detected and "
+        "their handlers' write sets compared (hazards are recorded, "
+        "never raised — results are bit-identical to a plain run)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="DIR",
         default=None,
@@ -178,7 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         run, render = EXPERIMENTS[name]
         start = time.time()
-        result = run(n, args.seed, args.sanitize, args.trace)
+        sanitize = "shadow" if args.shadow else args.sanitize
+        result = run(n, args.seed, sanitize, args.trace)
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

@@ -46,6 +46,13 @@ class LintError(ReproError):
     for lint findings, which are reported as data, never raised."""
 
 
+class AnalysisError(ReproError):
+    """Raised for fatal problems inside the ``repro.analyze`` whole-program
+    analyzer (unparseable source, malformed baseline files, impossible
+    configurations) — *not* for analysis findings, which are reported as
+    data, never raised."""
+
+
 class SanitizerViolation(ReproError):
     """A simulation invariant was broken at runtime.
 

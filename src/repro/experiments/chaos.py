@@ -137,7 +137,7 @@ def run(
     seed: int = 1,
     systems: Optional[List[SystemModel]] = None,
     retry: Optional[RetryPolicy] = None,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     trace_dir: Optional[str] = None,
 ) -> ChaosExperimentResult:
     """Run the crash/recover episode for every system."""

@@ -50,6 +50,7 @@ class RunResult:
         server: Server,
         tracer=None,
         trace_path: Optional[str] = None,
+        sanitizer=None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -65,6 +66,9 @@ class RunResult:
         self.tracer = tracer
         #: Where the trace document was written, when requested.
         self.trace_path = trace_path
+        #: The run's :class:`~repro.lint.sanitizer.SimSanitizer`, when
+        #: sanitized — carries ``tiebreak_hazards`` in shadow mode.
+        self.sanitizer = sanitizer
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -82,7 +86,7 @@ def run_once(
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
     max_sim_time_us: Optional[float] = None,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     tracer=None,
     trace_path: Optional[str] = None,
     trace_meta: Optional[Dict[str, Any]] = None,
@@ -99,6 +103,10 @@ def run_once(
     invariants (time monotonicity, request conservation, worker
     exclusivity, DARC reservation rules) after every event, raising
     :class:`~repro.errors.SanitizerViolation` on the first breakage.
+    ``sanitize="shadow"`` additionally turns on the tie-break shadow
+    check: same-timestamp sibling events are detected and their
+    handlers' observable write sets compared, recording (never raising)
+    hazards in ``result.sanitizer.tiebreak_hazards``.
 
     ``trace_path`` (or an explicit ``tracer``) turns on per-request span
     tracing (:mod:`repro.trace`).  The tracer observes the run without
@@ -122,10 +130,12 @@ def run_once(
     config = system.make_config()
     recorder = Recorder()
     server = Server(loop, scheduler, config=config, recorder=recorder)
+    sanitizer = None
     if sanitize:
         from ..lint.sanitizer import SimSanitizer
 
-        SimSanitizer().attach(loop, server)
+        sanitizer = SimSanitizer(shadow_tiebreaks=(sanitize == "shadow"))
+        sanitizer.attach(loop, server)
     if tracer is not None:
         tracer.install(loop, server)
 
@@ -175,6 +185,7 @@ def run_once(
         server,
         tracer=tracer,
         trace_path=trace_path,
+        sanitizer=sanitizer,
     )
 
 
@@ -248,7 +259,7 @@ def run_sweep(
     seed: int = 1,
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     trace_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """One :func:`run_once` per load point, same seed (common random

@@ -140,7 +140,7 @@ class FaultInjector:
     def _slowdown_start(self, event: WorkerSlowdown) -> None:
         assert self._server is not None and self._loop is not None
         worker = self._server.workers[event.worker_id]
-        worker.speed_factor = event.factor
+        worker.set_speed(event.factor)
         self.slowdowns += 1
         self.log.append((self._loop.now, "slowdown", event.worker_id))
         if self._tracer is not None:
@@ -153,7 +153,7 @@ class FaultInjector:
         worker = self._server.workers[event.worker_id]
         # A crash+recover inside the window already reset the factor;
         # restoring to full speed twice is harmless.
-        worker.speed_factor = 1.0
+        worker.set_speed(1.0)
         self.log.append((self._loop.now, "slowdown-end", event.worker_id))
         if self._tracer is not None:
             self._tracer.on_fault("slowdown-end", worker=event.worker_id)

@@ -56,6 +56,7 @@ class ChaosResult:
         duration_us: float,
         tracer=None,
         trace_path: Optional[str] = None,
+        sanitizer=None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -73,6 +74,9 @@ class ChaosResult:
         #: The episode's :class:`~repro.trace.tracer.Tracer`, when traced.
         self.tracer = tracer
         self.trace_path = trace_path
+        #: The episode's :class:`~repro.lint.sanitizer.SimSanitizer`,
+        #: when sanitized — carries ``tiebreak_hazards`` in shadow mode.
+        self.sanitizer = sanitizer
 
     def time_to_recover(self, sustain: int = 3) -> Optional[float]:
         """TTR from the plan's first fault; None for an empty plan or a
@@ -116,7 +120,7 @@ def run_chaos(
     slo_latency_us: Optional[float] = None,
     pct: float = 99.0,
     warmup_frac: float = 0.0,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     max_sim_time_us: Optional[float] = None,
     tracer=None,
     trace_path: Optional[str] = None,
@@ -170,10 +174,12 @@ def run_chaos(
         completion_sink=client.on_complete if client is not None else None,
         drop_sink=client.on_drop if client is not None else None,
     )
+    sanitizer = None
     if sanitize:
         from ..lint.sanitizer import SimSanitizer
 
-        SimSanitizer().attach(loop, server)
+        sanitizer = SimSanitizer(shadow_tiebreaks=(sanitize == "shadow"))
+        sanitizer.attach(loop, server)
 
     injector = FaultInjector(
         plan, rng=rngs.stream("faults.net") if plan.needs_rng else None
@@ -246,4 +252,5 @@ def run_chaos(
         loop.now,
         tracer=tracer,
         trace_path=trace_path,
+        sanitizer=sanitizer,
     )

@@ -20,6 +20,7 @@ from .determinism import (
     check_system,
     digest_run,
 )
+from .pragmas import FILE_PRAGMA_WINDOW, PragmaError, PragmaSuppressions, scan_foreign_pragmas
 from .rules import ALL_RULES, RULES_BY_ID, Rule
 from .runner import Finding, has_errors, lint_file, lint_paths, lint_source
 from .sanitizer import SimSanitizer
@@ -28,6 +29,10 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
     "Rule",
+    "FILE_PRAGMA_WINDOW",
+    "PragmaError",
+    "PragmaSuppressions",
+    "scan_foreign_pragmas",
     "Finding",
     "has_errors",
     "lint_file",

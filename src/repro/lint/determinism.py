@@ -66,7 +66,7 @@ def digest_run(
     utilization: float = 0.7,
     n_requests: int = 2000,
     seed: int = 1,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     tracer=None,
 ) -> RunDigest:
     """Simulate one load point and hash its observable outcome.
@@ -124,7 +124,7 @@ def check_system(
     utilization: float = 0.7,
     n_requests: int = 2000,
     seed: int = 1,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
 ) -> DeterminismReport:
     """Run ``system`` twice with the same seed and compare digests."""
     first = digest_run(system, spec, utilization, n_requests, seed, sanitize)
@@ -157,7 +157,7 @@ def check_all(
     utilization: float = 0.7,
     n_requests: int = 2000,
     seed: int = 1,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
 ) -> List[DeterminismReport]:
     """Twice-run every system; a fresh spec per run pair guards against
     workload-spec mutation leaking between runs."""
@@ -214,7 +214,7 @@ def digest_chaos_run(
     utilization: float = 0.7,
     n_requests: int = 2000,
     seed: int = 1,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
     plan=None,
 ) -> RunDigest:
     """Simulate one fault-injected episode and hash its outcome.
@@ -290,7 +290,7 @@ def check_chaos_all(
     utilization: float = 0.7,
     n_requests: int = 2000,
     seed: int = 1,
-    sanitize: bool = False,
+    sanitize: "bool | str" = False,
 ) -> List[DeterminismReport]:
     """Twice-run every system through the default fault plan; fresh spec
     *and* fresh plan per run so no state can leak between runs."""

@@ -1,0 +1,197 @@
+"""Shared suppression-pragma parsing for ``repro-lint`` and ``repro-analyze``.
+
+Both analyzers honour the same comment grammar, differing only in the
+tool token and the rule-id namespace::
+
+    t = time.time()          # repro-lint: disable=R002
+    self.rng = faults_rng    # repro-analyze: disable=A102
+    # repro-analyze: disable-file=A001   (first 10 lines only)
+
+``disable=all`` suppresses every rule of that tool.  Pragmas are read
+from genuine comment tokens only, so a pragma quoted inside a docstring
+is inert.
+
+The parser also keeps a usage ledger: runners call :meth:`mark_used`
+for every finding a pragma absorbed, and :meth:`unused` afterwards
+reports *stale* suppressions — pragmas naming a rule that no longer
+fires on that line (or anywhere in the file, for ``disable-file``).
+Stale pragmas are hazards in their own right: they read as "this line
+is exempt for a reason" long after the reason is gone.  ``repro-lint``
+surfaces them as rule R010; ``repro-analyze`` as finding A000.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from ..errors import LintError
+
+#: How deep into a file a ``disable-file`` comment may appear.
+FILE_PRAGMA_WINDOW = 10
+
+
+class PragmaError(NamedTuple):
+    """A malformed or unknown-id pragma (collected, not raised, when the
+    caller asks for lenient parsing)."""
+
+    line: int
+    message: str
+
+
+def _pragma_re(tool: str) -> re.Pattern:
+    return re.compile(
+        r"#\s*"
+        + re.escape(tool)
+        + r":\s*(?P<kind>disable|disable-file)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
+    )
+
+
+def iter_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, text)`` for genuine comment tokens only."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return
+
+
+class PragmaSuppressions:
+    """Parsed suppression pragmas for one file and one tool.
+
+    Parameters
+    ----------
+    source:
+        The module source text.
+    tool:
+        The pragma token, e.g. ``"repro-lint"`` or ``"repro-analyze"``.
+    known_ids:
+        Valid rule ids for the tool (``all`` is always accepted).
+    on_unknown:
+        ``"raise"`` raises :class:`~repro.errors.LintError` on an unknown
+        rule id (repro-lint's historical behaviour); ``"collect"`` records
+        a :class:`PragmaError` in :attr:`errors` instead, so whole-program
+        analyzers can report bad pragmas as ordinary findings.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        tool: str,
+        known_ids: Sequence[str],
+        on_unknown: str = "raise",
+    ):
+        if on_unknown not in ("raise", "collect"):
+            raise ValueError(f"on_unknown must be 'raise' or 'collect', got {on_unknown!r}")
+        self.tool = tool
+        self._known = {rule_id.upper() for rule_id in known_ids}
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        #: Unknown-id / misplaced pragmas found under ``on_unknown="collect"``.
+        self.errors: List[PragmaError] = []
+        #: (line, rule_id) pairs that absorbed at least one finding.
+        self._used: Set[Tuple[int, str]] = set()
+        pattern = _pragma_re(tool)
+        for lineno, comment in iter_comments(source):
+            match = pattern.search(comment)
+            if match is None:
+                continue
+            ids = {part.strip().upper() for part in match.group("ids").split(",") if part.strip()}
+            bad = sorted(i for i in ids if i != "ALL" and i not in self._known)
+            if bad:
+                message = (
+                    f"line {lineno}: unknown rule id {', '.join(repr(b) for b in bad)} "
+                    f"in {tool} suppression (known: {', '.join(sorted(self._known))}, or 'all')"
+                )
+                if on_unknown == "raise":
+                    raise LintError(message)
+                self.errors.append(PragmaError(lineno, message))
+                ids -= set(bad)
+                if not ids:
+                    continue
+            if match.group("kind") == "disable-file":
+                if lineno <= FILE_PRAGMA_WINDOW:
+                    self.file_wide.update(ids)
+                else:
+                    message = (
+                        f"line {lineno}: disable-file pragma must appear in the "
+                        f"first {FILE_PRAGMA_WINDOW} lines"
+                    )
+                    if on_unknown == "raise":
+                        raise LintError(message)
+                    self.errors.append(PragmaError(lineno, message))
+            else:
+                self.by_line.setdefault(lineno, set()).update(ids)
+
+    # ------------------------------------------------------------------
+    # the runner surface
+    # ------------------------------------------------------------------
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when a finding of ``rule_id`` on ``line`` is absorbed.
+
+        Marks the absorbing pragma used, feeding :meth:`unused`.
+        """
+        rule_id = rule_id.upper()
+        if "ALL" in self.file_wide or rule_id in self.file_wide:
+            self._used.add((0, rule_id if rule_id in self.file_wide else "ALL"))
+            return True
+        ids = self.by_line.get(line)
+        if ids is None:
+            return False
+        if "ALL" in ids:
+            self._used.add((line, "ALL"))
+            return True
+        if rule_id in ids:
+            self._used.add((line, rule_id))
+            return True
+        return False
+
+    def mark_used(self, line: int, rule_id: str) -> None:
+        """Explicitly mark a pragma as live (for callers that filter
+        findings themselves rather than via :meth:`is_suppressed`)."""
+        self._used.add((line, rule_id.upper()))
+
+    def unused(self, checked_ids: Optional[Sequence[str]] = None) -> List[Tuple[int, str]]:
+        """Stale pragmas: ``(line, rule_id)`` pairs that absorbed nothing.
+
+        ``checked_ids`` limits staleness judgement to rules that actually
+        ran — a pragma for a rule outside the run's ``--select`` subset is
+        never stale.  Line 0 denotes a file-wide pragma.
+        """
+        checked = None if checked_ids is None else {i.upper() for i in checked_ids}
+        stale: List[Tuple[int, str]] = []
+        for rule_id in sorted(self.file_wide):
+            if checked is not None and rule_id != "ALL" and rule_id not in checked:
+                continue
+            if (0, rule_id) not in self._used:
+                stale.append((0, rule_id))
+        for line in sorted(self.by_line):
+            for rule_id in sorted(self.by_line[line]):
+                if checked is not None and rule_id != "ALL" and rule_id not in checked:
+                    continue
+                if (line, rule_id) not in self._used:
+                    stale.append((line, rule_id))
+        return stale
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PragmaSuppressions(tool={self.tool!r}, lines={sorted(self.by_line)}, "
+            f"file_wide={sorted(self.file_wide)})"
+        )
+
+
+def scan_foreign_pragmas(
+    source: str, tool: str, known_ids: Sequence[str]
+) -> List[PragmaError]:
+    """Validate another tool's pragmas without applying them.
+
+    ``repro-lint`` uses this to reject ``repro-analyze`` pragmas naming
+    rules that do not exist — the single-file half of suppression
+    hygiene (the whole-program half, staleness, needs the analyzer's own
+    run).
+    """
+    return PragmaSuppressions(source, tool, known_ids, on_unknown="collect").errors

@@ -54,8 +54,10 @@ SIM_CRITICAL_PACKAGES = frozenset(
 )
 
 #: Packages under ``repro/`` that are *not* sim-critical (reporting,
-#: drivers, and the analyzer itself).
-_NONCRITICAL_PACKAGES = frozenset({"cli", "experiments", "metrics", "analysis", "lint"})
+#: drivers, and the analyzers themselves).
+_NONCRITICAL_PACKAGES = frozenset(
+    {"cli", "experiments", "metrics", "analysis", "lint", "analyze"}
+)
 
 
 class RawFinding(NamedTuple):
@@ -560,6 +562,35 @@ class TracePurityRule(Rule):
             )
 
 
+class StaleSuppressionRule(Rule):
+    """Suppression pragmas must stay honest.  This rule flags (a)
+    ``repro-analyze`` pragmas naming a finding id that does not exist —
+    the single-file half of suppression hygiene shared with the
+    whole-program analyzer — and, via the runner, (b) *stale*
+    ``repro-lint`` pragmas: a ``disable=`` comment naming a rule that no
+    longer fires on that line.  A stale pragma reads as "this line is
+    exempt for a reason" long after the reason is gone, and will mask
+    the next genuine regression on that line.  (``repro-analyze``
+    staleness needs the whole-program run and is reported there as
+    A000.)"""
+
+    id = "R010"
+    name = "stale-suppression"
+    severity = "warning"
+    scoped = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
+        try:
+            from ..analyze.findings import ANALYSIS_RULES
+        except ImportError:  # pragma: no cover - analyze always ships with lint
+            return
+        from .pragmas import scan_foreign_pragmas
+
+        known = list(ANALYSIS_RULES) + ["A000"]
+        for error in scan_foreign_pragmas(ctx.source, "repro-analyze", known):
+            yield RawFinding(error.line, 0, error.message)
+
+
 #: Every implemented rule, in id order.  The runner instantiates these.
 ALL_RULES: Tuple[type, ...] = (
     DirectRandomRule,
@@ -571,6 +602,7 @@ ALL_RULES: Tuple[type, ...] = (
     NondeterministicSourceRule,
     BuiltinHashOrderRule,
     TracePurityRule,
+    StaleSuppressionRule,
 )
 
 RULES_BY_ID: Dict[str, type] = {rule.id: rule for rule in ALL_RULES}

@@ -8,22 +8,12 @@ in-memory snippets without touching the filesystem.
 from __future__ import annotations
 
 import ast
-import io
 import os
-import re
-import tokenize
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Set
+from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 from ..errors import LintError
-from .rules import ALL_RULES, RULES_BY_ID, ModuleContext, Rule
-
-#: ``# repro-lint: disable=R001,R002`` (line) / ``disable-file=R005`` (file).
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
-)
-
-#: How deep into a file a ``disable-file`` comment may appear.
-_FILE_PRAGMA_WINDOW = 10
+from .pragmas import PragmaSuppressions
+from .rules import ALL_RULES, RULES_BY_ID, ModuleContext, Rule, StaleSuppressionRule
 
 
 class Finding(NamedTuple):
@@ -40,52 +30,16 @@ class Finding(NamedTuple):
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
 
 
-class Suppressions:
-    """Parsed ``repro-lint`` pragmas for one file."""
+class Suppressions(PragmaSuppressions):
+    """Parsed ``repro-lint`` pragmas for one file.
+
+    A thin specialization of the shared
+    :class:`~repro.lint.pragmas.PragmaSuppressions` grammar, keeping the
+    historical behaviour of raising :class:`LintError` on unknown ids.
+    """
 
     def __init__(self, source: str):
-        self.by_line: Dict[int, Set[str]] = {}
-        self.file_wide: Set[str] = set()
-        for lineno, comment in self._comments(source):
-            match = _SUPPRESS_RE.search(comment)
-            if match is None:
-                continue
-            ids = {part.strip().upper() for part in match.group("ids").split(",") if part.strip()}
-            for rule_id in ids:
-                if rule_id != "ALL" and rule_id not in RULES_BY_ID:
-                    raise LintError(
-                        f"line {lineno}: unknown rule id {rule_id!r} in suppression "
-                        f"(known: {', '.join(sorted(RULES_BY_ID))}, or 'all')"
-                    )
-            if match.group("kind") == "disable-file":
-                if lineno <= _FILE_PRAGMA_WINDOW:
-                    self.file_wide.update(ids)
-                else:
-                    raise LintError(
-                        f"line {lineno}: disable-file pragma must appear in the "
-                        f"first {_FILE_PRAGMA_WINDOW} lines"
-                    )
-            else:
-                self.by_line.setdefault(lineno, set()).update(ids)
-
-    @staticmethod
-    def _comments(source: str):
-        """Yield (lineno, text) for genuine comment tokens only, so a
-        pragma quoted inside a docstring is not treated as live."""
-        try:
-            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-            for tok in tokens:
-                if tok.type == tokenize.COMMENT:
-                    yield tok.start[0], tok.string
-        except (tokenize.TokenError, IndentationError):  # pragma: no cover
-            return
-
-    def is_suppressed(self, line: int, rule_id: str) -> bool:
-        rule_id = rule_id.upper()
-        if "ALL" in self.file_wide or rule_id in self.file_wide:
-            return True
-        ids = self.by_line.get(line)
-        return ids is not None and ("ALL" in ids or rule_id in ids)
+        super().__init__(source, "repro-lint", list(RULES_BY_ID), on_unknown="raise")
 
 
 def _make_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
@@ -113,14 +67,39 @@ def lint_source(
     ctx = ModuleContext(path, source, tree)
     suppressions = Suppressions(source)
     findings: List[Finding] = []
+    checked_ids: List[str] = []
+    stale_rule: Optional[Rule] = None
     for rule in _make_rules(select):
         if rule.scoped and not ctx.is_sim_critical:
             continue
+        if isinstance(rule, StaleSuppressionRule):
+            stale_rule = rule
+        checked_ids.append(rule.id)
         for raw in rule.check(ctx):
             if suppressions.is_suppressed(raw.line, rule.id):
                 continue
             findings.append(
                 Finding(path, raw.line, raw.col, rule.id, rule.severity, raw.message)
+            )
+    if stale_rule is not None:
+        # Staleness is a runner-level property — only the runner knows
+        # which findings each pragma absorbed — so R010's second half
+        # lives here rather than in the rule's AST check.
+        for line, rule_id in suppressions.unused(checked_ids):
+            if rule_id == StaleSuppressionRule.id:
+                continue  # suppressing the stale-checker is self-justifying
+            where = "file-wide pragma" if line == 0 else "pragma"
+            message = (
+                f"stale suppression: {where} disables "
+                f"{'every rule' if rule_id == 'ALL' else rule_id} "
+                "but no such finding fires; remove it (or it will mask a "
+                "future regression silently)"
+            )
+            anchor = 1 if line == 0 else line
+            if suppressions.is_suppressed(anchor, stale_rule.id):
+                continue
+            findings.append(
+                Finding(path, anchor, 0, stale_rule.id, stale_rule.severity, message)
             )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

@@ -36,13 +36,28 @@ Invariants checked when the heap drains
   are still *crashed* at drain time, queued work stranded behind them is
   expected and only the accounting equality is enforced.
 
+Tie-break shadow check (opt-in)
+-------------------------------
+Constructed with ``shadow_tiebreaks=True``, the sanitizer additionally
+watches for *same-timestamp sibling events* — the runtime twin of the
+static A001/A002 race analysis in :mod:`repro.analyze.eventflow`.  Using
+:meth:`~repro.sim.engine.EventLoop.peek_event` it detects when the event
+about to execute ties with the next pending one, snapshots the
+observable simulation state around each tied handler, and compares the
+handlers' *write sets* (state keys whose values changed, digest-
+compared).  Two tied handlers with different callbacks whose write sets
+overlap do not observably commute: the run's outcome hangs on heap
+insertion order.  Hazards are **recorded**, never raised — shadow mode
+must not perturb results — in :attr:`SimSanitizer.tiebreak_hazards`.
+
 Violations raise :class:`~repro.errors.SanitizerViolation` with the
 invariant id, the simulation time, and structured context.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import SanitizerViolation
 
@@ -67,7 +82,7 @@ class SimSanitizer:
     1
     """
 
-    def __init__(self, server: Optional["Server"] = None):
+    def __init__(self, server: Optional["Server"] = None, shadow_tiebreaks: bool = False):
         self.server = server
         self.loop: Optional["EventLoop"] = None
         #: Number of events the sanitizer has inspected.
@@ -80,6 +95,19 @@ class SimSanitizer:
         # validated for DARC eligibility; re-validated only when a new
         # request lands on the worker.
         self._validated: Dict[int, Tuple[int, int]] = {}
+        #: Whether the tie-break shadow check is on.
+        self.shadow_tiebreaks = shadow_tiebreaks
+        #: Same-timestamp events inspected by the shadow check.
+        self.ties_checked = 0
+        #: Recorded (not raised) tie-break hazards: dicts with the tied
+        #: handlers, the overlapping state keys, and each side's effect
+        #: digest.
+        self.tiebreak_hazards: List[dict] = []
+        # Current tie group: timestamp + (handler label, write set,
+        # effect digest) per already-executed member.
+        self._tie_time: Optional[float] = None
+        self._tie_members: List[Tuple[str, frozenset, str]] = []
+        self._tie_snapshot: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -113,10 +141,14 @@ class SimSanitizer:
                 {"event_time": event.time, "now": loop.now},
             )
         self._last_event_time = event.time
+        if self.shadow_tiebreaks:
+            self._shadow_before(loop, event)
 
     def after_event(self, loop: "EventLoop", event: "Event") -> None:
         """Called by the engine just after an event executes."""
         self.events_checked += 1
+        if self.shadow_tiebreaks:
+            self._shadow_after(loop, event)
         if self.server is not None:
             self._check_workers(loop)
             self._check_queues(loop)
@@ -127,6 +159,85 @@ class SimSanitizer:
         """Called by the engine when the heap empties at the end of run()."""
         if self.server is not None:
             self._check_conservation(loop, at_drain=True)
+
+    # ------------------------------------------------------------------
+    # tie-break shadow check
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _handler_label(event: "Event") -> str:
+        fn = event.fn
+        return getattr(fn, "__qualname__", None) or repr(fn)
+
+    def _observable_state(self, loop: "EventLoop") -> Dict[str, object]:
+        """The simulation state a tied handler's effects are judged on.
+
+        Deliberately the *observable* surface — worker occupancy and
+        health, queue depth, the recorder's ledgers — not raw object
+        identity, so two handlers that touch disjoint observables never
+        conflict even if they share containers internally.
+        """
+        state: Dict[str, object] = {}
+        server = self.server
+        if server is None:
+            return state
+        for worker in server.workers:
+            wid = worker.worker_id
+            current = worker.current
+            state[f"w{wid}.current"] = None if current is None else current.rid
+            state[f"w{wid}.failed"] = worker.failed
+            state[f"w{wid}.speed"] = worker.speed_factor
+        state["sched.pending"] = server.scheduler.pending_count()
+        recorder = server.recorder
+        state["rec.completed"] = recorder.completed
+        state["rec.dropped"] = recorder.dropped
+        state["rec.late"] = recorder.late_completions
+        state["srv.received"] = server.received
+        return state
+
+    def _shadow_before(self, loop: "EventLoop", event: "Event") -> None:
+        if event.time != self._tie_time:
+            # New timestamp: the previous tie group (if any) is closed.
+            self._tie_time = event.time
+            self._tie_members = []
+        nxt = loop.peek_event()
+        in_group = bool(self._tie_members) or (
+            nxt is not None and nxt.time == event.time
+        )
+        self._tie_snapshot = self._observable_state(loop) if in_group else None
+
+    def _shadow_after(self, loop: "EventLoop", event: "Event") -> None:
+        before = self._tie_snapshot
+        if before is None:
+            return
+        self._tie_snapshot = None
+        self.ties_checked += 1
+        after = self._observable_state(loop)
+        changed = frozenset(
+            key
+            for key in before.keys() | after.keys()
+            if before.get(key) != after.get(key)
+        )
+        digest = hashlib.sha256(
+            "\n".join(
+                f"{key}:{before.get(key)!r}->{after.get(key)!r}"
+                for key in sorted(changed)
+            ).encode("utf-8")
+        ).hexdigest()[:16]
+        label = self._handler_label(event)
+        for other_label, other_writes, other_digest in self._tie_members:
+            if other_label == label:
+                continue  # order among identical handlers is benign
+            overlap = changed & other_writes
+            if overlap:
+                self.tiebreak_hazards.append(
+                    {
+                        "time": event.time,
+                        "handlers": (other_label, label),
+                        "keys": sorted(overlap),
+                        "digests": (other_digest, digest),
+                    }
+                )
+        self._tie_members.append((label, changed, digest))
 
     # ------------------------------------------------------------------
     # the invariants

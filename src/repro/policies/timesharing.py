@@ -241,7 +241,11 @@ class TimeSharing(Scheduler):
         """A blocked arrival interrupts the longest-running overdue
         request (capped at one preemption per arrival)."""
         assert self.loop is not None
-        worker_id = min(self._overdue, key=lambda wid: self._overdue[wid][1])
+        # Tie-break on worker id: two slices can start at the same
+        # timestamp (e.g. a batch of frees after a crash), and without
+        # the second key the victim would be whichever entered the dict
+        # first — an ordering no line of code states.
+        worker_id = min(self._overdue, key=lambda wid: (self._overdue[wid][1], wid))
         request, slice_start, completion, factor = self._overdue.pop(worker_id)
         completion.cancel()
         worker = self.workers[worker_id]

@@ -71,6 +71,20 @@ class Worker:
         self.failed = False
         self.speed_factor = 1.0
 
+    def set_speed(self, factor: float) -> None:
+        """Degrade (or restore) this core's service speed.
+
+        ``factor`` multiplies nominal service times for work *begun*
+        while it is in force: 1.0 is full speed, 3.0 is a 3x straggler.
+        This is the only sanctioned way for fault injection to slow a
+        core — ``speed_factor`` is engine-owned state.
+        """
+        if factor <= 0:
+            raise SchedulingError(
+                f"worker {self.worker_id} speed factor must be > 0, got {factor}"
+            )
+        self.speed_factor = factor
+
     def begin(self, request: Request, now: float) -> None:
         """Start (or resume) serving ``request``."""
         if self.current is not None:

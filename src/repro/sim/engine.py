@@ -139,10 +139,23 @@ class EventLoop:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is drained."""
+        event = self.peek_event()
+        return event.time if event is not None else None
+
+    def peek_event(self) -> Optional[Event]:
+        """The next pending non-cancelled event, or None when drained.
+
+        This is how a sanitizer in shadow mode detects same-timestamp
+        *sibling* events: inside a callback (or the sanitizer hooks
+        around it) the event being executed has already been popped, so
+        the peeked event is the one that will fire next — if its time
+        equals the current event's time, the two are an insertion-order
+        tie.
+        """
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0] if heap else None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the heap drains, ``until`` is reached, or

@@ -1,0 +1,117 @@
+"""Baseline ratcheting and finding fingerprints."""
+
+import json
+
+import pytest
+
+from repro.analyze.baseline import (
+    BASELINE_VERSION,
+    diff_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze.findings import fingerprint, make_finding
+from repro.errors import AnalysisError
+
+
+def finding(rule="A102", path="src/repro/faults/run.py", line=7, symbol="faults.retry->workload"):
+    return make_finding(rule, path, line, 0, "stream escapes", symbol=symbol)
+
+
+class TestFingerprint:
+    def test_line_independent(self):
+        assert finding(line=7).fingerprint == finding(line=700).fingerprint
+
+    def test_path_anchored_at_repro(self):
+        a = fingerprint("A102", "src/repro/faults/run.py", "s", "m")
+        b = fingerprint("A102", "/opt/venv/lib/repro/faults/run.py", "s", "m")
+        assert a == b
+
+    def test_backslash_paths_normalize(self):
+        a = fingerprint("A102", r"src\repro\faults\run.py", "s", "m")
+        b = fingerprint("A102", "src/repro/faults/run.py", "s", "m")
+        assert a == b
+
+    def test_symbol_is_identity_when_present(self):
+        """Messages embed 'scheduled at file:line' context; the symbol
+        keys the baseline so that context can drift freely."""
+        a = fingerprint("A002", "src/repro/faults/x.py", "a~b", "scheduled at x.py:10")
+        b = fingerprint("A002", "src/repro/faults/x.py", "a~b", "scheduled at x.py:99")
+        assert a == b
+
+    def test_message_is_fallback_without_symbol(self):
+        a = fingerprint("A000", "src/repro/x.py", "", "one   message")
+        b = fingerprint("A000", "src/repro/x.py", "", "one message")
+        c = fingerprint("A000", "src/repro/x.py", "", "другое message")
+        assert a == b != c
+
+    def test_rule_and_symbol_discriminate(self):
+        assert finding(rule="A101").fingerprint != finding(rule="A102").fingerprint
+        assert finding(symbol="x->y").fingerprint != finding().fingerprint
+
+
+class TestRoundTrip:
+    def test_write_then_load(self):
+        findings = [finding(), finding(rule="A103", symbol="")]
+        loaded = load_baseline(write_baseline(findings))
+        assert set(loaded) == {f.fingerprint for f in findings}
+        entry = loaded[findings[0].fingerprint]
+        assert entry["rule_id"] == "A102"
+        assert entry["path"] == "src/repro/faults/run.py"
+
+    def test_stable_order(self):
+        findings = [finding(symbol=s) for s in ("z", "a", "m")]
+        assert write_baseline(findings) == write_baseline(list(reversed(findings)))
+
+    def test_version_field(self):
+        doc = json.loads(write_baseline([finding()]))
+        assert doc["version"] == BASELINE_VERSION
+
+
+class TestLoadErrors:
+    def test_invalid_json(self):
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_baseline("{nope")
+
+    def test_wrong_shape(self):
+        with pytest.raises(AnalysisError, match="'findings' list"):
+            load_baseline('["bare", "list"]')
+
+    def test_unsupported_version(self):
+        doc = json.dumps({"version": 99, "findings": []})
+        with pytest.raises(AnalysisError, match="version 99"):
+            load_baseline(doc)
+
+    def test_missing_fingerprint(self):
+        doc = json.dumps({"version": 1, "findings": [{"rule_id": "A102"}]})
+        with pytest.raises(AnalysisError, match="missing 'fingerprint'"):
+            load_baseline(doc)
+
+    def test_unknown_rule_id(self):
+        doc = json.dumps(
+            {"version": 1, "findings": [{"fingerprint": "ab", "rule_id": "A999"}]}
+        )
+        with pytest.raises(AnalysisError, match="unknown rule id 'A999'"):
+            load_baseline(doc)
+
+
+class TestDiff:
+    def test_three_way_split(self):
+        tolerated = finding()
+        gone = finding(symbol="was.here->net")
+        baseline = load_baseline(write_baseline([tolerated, gone]))
+        fresh = finding(rule="A101", symbol="faults.retry")
+        diff = diff_baseline([tolerated, fresh], baseline)
+        assert diff.new == [fresh]
+        assert diff.known == [tolerated]
+        assert [e["fingerprint"] for e in diff.resolved] == [gone.fingerprint]
+
+    def test_empty_baseline_everything_new(self):
+        diff = diff_baseline([finding()], {})
+        assert len(diff.new) == 1 and diff.known == [] and diff.resolved == []
+
+    def test_line_drift_stays_known(self):
+        baseline = load_baseline(write_baseline([finding(line=7)]))
+        diff = diff_baseline([finding(line=321)], baseline)
+        assert diff.new == [] and diff.resolved == []
+        assert len(diff.known) == 1

@@ -1,0 +1,179 @@
+"""The ``repro-analyze`` CLI surface: subcommands, exit codes, gating."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analyze.cli import main
+from repro.analyze.findings import ANALYSIS_RULES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+CHECKED_IN_BASELINE = os.path.join(REPO_ROOT, "analyze-baseline.json")
+
+ESCAPE_TREE = {
+    "workload/client.py": """
+    class Client:
+        def __init__(self, rng):
+            self.rng = rng
+    """,
+    "faults/run.py": """
+    from workload.client import Client
+
+    def go(rngs):
+        return Client(rngs.stream("faults.retry"))
+    """,
+}
+
+CLEAN_TREE = {"faults/run.py": "x = 1\n"}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    def _tree(files=ESCAPE_TREE):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return str(tmp_path)
+
+    return _tree
+
+
+class TestScan:
+    def test_error_finding_fails(self, tree, capsys):
+        root = tree()
+        assert main(["scan", root, "--root", root]) == 1
+        out = capsys.readouterr().out
+        assert "A102" in out and "1 error(s)" in out
+
+    def test_clean_tree_passes(self, tree):
+        root = tree(CLEAN_TREE)
+        assert main(["scan", root, "--root", root]) == 0
+
+    def test_warning_needs_strict(self, tree):
+        root = tree(
+            {
+                "faults/run.py": """
+                def go(rngs, which):
+                    return rngs.stream("faults." + which)
+                """
+            }
+        )
+        assert main(["scan", root, "--root", root]) == 0
+        assert main(["scan", root, "--root", root, "--strict"]) == 1
+
+    def test_select(self, tree):
+        root = tree()
+        assert main(["scan", root, "--root", root, "--select", "A103"]) == 0
+
+    def test_json_format(self, tree, capsys):
+        root = tree()
+        assert main(["scan", root, "--root", root, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule_id"] == "A102"
+        assert payload[0]["fingerprint"]
+
+    def test_sarif_side_output(self, tree, tmp_path):
+        sarif = tmp_path / "out.sarif"
+        root = tree()
+        main(["scan", root, "--root", root, "--sarif", str(sarif)])
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "A102"
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["scan", str(tmp_path / "nope")]) == 2
+        assert "repro-analyze:" in capsys.readouterr().err
+
+    def test_unknown_select_is_usage_error(self, tree, capsys):
+        root = tree(CLEAN_TREE)
+        assert main(["scan", root, "--root", root, "--select", "A999"]) == 2
+
+    def test_no_subcommand_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+
+class TestBaselineGate:
+    def test_ratchet_cycle(self, tree, tmp_path, capsys):
+        """baseline → scan tolerates → new finding fails → ratchet hint."""
+        root = tree()
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["baseline", root, "--root", root, "-o", baseline]) == 0
+        capsys.readouterr()
+
+        assert main(["scan", root, "--root", root, "--baseline", baseline]) == 0
+        assert "clean against baseline (1 tolerated" in capsys.readouterr().out
+
+        extra = tmp_path / "faults" / "more.py"
+        extra.write_text(
+            "from workload.client import Client\n\n"
+            'def again(rngs):\n    return Client(rngs.stream("faults.net"))\n'
+        )
+        assert main(["scan", root, "--root", root, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "faults.net" in out and "not in baseline" in out
+
+        extra.unlink()
+        (tmp_path / "faults" / "run.py").write_text("x = 1\n")
+        assert main(["scan", root, "--root", root, "--baseline", baseline]) == 0
+        assert "no longer fire" in capsys.readouterr().out
+
+    def test_bad_baseline_is_usage_error(self, tree, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        root = tree(CLEAN_TREE)
+        assert main(["scan", root, "--root", root, "--baseline", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_text_diff(self, tree, tmp_path, capsys):
+        root = tree()
+        baseline = str(tmp_path / "baseline.json")
+        main(["baseline", root, "--root", root, "-o", baseline])
+        capsys.readouterr()
+        assert main(["diff", root, "--root", root, "--baseline", baseline]) == 0
+        assert "0 new, 0 resolved, 1 known" in capsys.readouterr().out
+
+    def test_json_diff_reports_new(self, tree, tmp_path, capsys):
+        root = tree()
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"version": 1, "findings": []}')
+        assert main(["diff", root, "--root", root, "--baseline", str(empty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["rule_id"] for f in payload["new"]] == ["A102"]
+        assert payload["known"] == 0
+
+
+class TestSarifCommand:
+    def test_writes_document(self, tree, tmp_path, capsys):
+        out = tmp_path / "findings.sarif"
+        root = tree()
+        assert main(["sarif", root, "--root", root, "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert len(doc["runs"][0]["results"]) == 1
+
+
+class TestSelfcheck:
+    def test_clean_against_checked_in_baseline(self, capsys):
+        """The acceptance gate: the shipped tree analyzes clean against
+        the checked-in ``analyze-baseline.json``."""
+        assert main(["selfcheck", "--baseline", CHECKED_IN_BASELINE]) == 0
+        assert "clean against baseline" in capsys.readouterr().out
+
+    def test_matches_scan_of_src(self, capsys):
+        """selfcheck (installed-package path) and scan src/repro agree,
+        which is what makes the baseline portable between the two."""
+        assert main(["scan", SRC_REPRO, "--baseline", CHECKED_IN_BASELINE]) == 0
+
+
+class TestListRules:
+    def test_catalogue_complete(self, capsys):
+        assert main(["list-rules"]) == 0
+        out = capsys.readouterr().out
+        for meta in ANALYSIS_RULES.values():
+            assert meta.id in out
+            assert meta.name in out

@@ -1,0 +1,169 @@
+"""The whole-program model: naming, imports, hierarchy, call resolution."""
+
+import pytest
+
+from repro.analyze.model import _module_name_for
+from repro.errors import AnalysisError
+
+
+class TestModuleNaming:
+    def test_repro_anchor(self):
+        assert _module_name_for("src/repro/sim/engine.py", None) == (
+            "repro.sim.engine",
+            False,
+        )
+
+    def test_repro_package_init(self):
+        assert _module_name_for("src/repro/sim/__init__.py", None) == (
+            "repro.sim",
+            True,
+        )
+
+    def test_root_relative(self, tmp_path):
+        path = str(tmp_path / "faults" / "gen.py")
+        assert _module_name_for(path, str(tmp_path)) == ("faults.gen", False)
+
+
+class TestProgramBuild:
+    def test_packages_registered(self, build):
+        program = build(
+            {
+                "faults/a.py": "x = 1\n",
+                "policies/b.py": "y = 2\n",
+            }
+        )
+        assert program.packages == {"faults", "policies"}
+
+    def test_syntax_error_raises_analysis_error(self, build):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            build({"bad.py": "def broken(:\n"})
+
+    def test_functions_and_methods_keyed(self, build):
+        program = build(
+            {
+                "pkg/mod.py": """
+                def helper():
+                    pass
+
+                class Thing:
+                    def method(self):
+                        pass
+                """
+            }
+        )
+        assert "pkg.mod.helper" in program.functions
+        assert "pkg.mod.Thing.method" in program.functions
+        assert "pkg.mod.Thing" in program.classes
+
+
+class TestHierarchy:
+    FILES = {
+        "repro/policies/base.py": """
+        import abc
+
+        class Scheduler(abc.ABC):
+            def __init__(self):
+                self._events = {}
+        """,
+        "repro/policies/fcfs.py": """
+        from .base import Scheduler
+
+        class FCFS(Scheduler):
+            def __init__(self):
+                super().__init__()
+
+        class StealingFCFS(FCFS):
+            pass
+        """,
+    }
+
+    def test_relative_import_resolves_base(self, build):
+        program = build(self.FILES)
+        fcfs = program.classes["repro.policies.fcfs.FCFS"]
+        assert fcfs.base_names == ["repro.policies.base.Scheduler"]
+
+    def test_transitive_subclass(self, build):
+        program = build(self.FILES)
+        stealing = program.classes["repro.policies.fcfs.StealingFCFS"]
+        assert program.is_subclass_of(stealing, "repro.policies.base.Scheduler")
+
+    def test_subclasses_of_sorted_and_strict(self, build):
+        program = build(self.FILES)
+        names = [c.name for c in program.subclasses_of("repro.policies.base.Scheduler")]
+        assert names == ["FCFS", "StealingFCFS"]
+
+    def test_resolve_method_walks_ancestry(self, build):
+        program = build(self.FILES)
+        stealing = program.classes["repro.policies.fcfs.StealingFCFS"]
+        init = program.resolve_method(stealing, "__init__")
+        assert init is not None
+        assert init.key == "repro.policies.fcfs.FCFS.__init__"
+
+
+class TestCallResolution:
+    def test_self_method(self, build):
+        program = build(
+            {
+                "pkg/m.py": """
+                class A:
+                    def top(self):
+                        self.helper()
+
+                    def helper(self):
+                        pass
+                """
+            }
+        )
+        import ast
+
+        top = program.functions["pkg.m.A.top"]
+        call = next(n for n in ast.walk(top.node) if isinstance(n, ast.Call))
+        resolved = program.resolve_call(top, call)
+        assert resolved is not None and resolved.key == "pkg.m.A.helper"
+
+    def test_imported_class_owner(self, build):
+        program = build(
+            {
+                "workload/client.py": """
+                class Client:
+                    def __init__(self, rng):
+                        self.rng = rng
+                """,
+                "faults/run.py": """
+                from workload.client import Client
+
+                def go(rngs):
+                    return Client(rngs.stream("faults.retry"))
+                """,
+            }
+        )
+        import ast
+
+        go = program.functions["faults.run.go"]
+        call = next(
+            n
+            for n in ast.walk(go.node)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "Client"
+        )
+        assert program.resolve_callable_owner(go, call) == "workload"
+
+    def test_class_attr_resolution(self, build):
+        program = build(
+            {
+                "pkg/m.py": """
+                class Base:
+                    def __init__(self):
+                        self.loop = None
+
+                class Child(Base):
+                    traits = "x"
+                """
+            }
+        )
+        child = program.classes["pkg.m.Child"]
+        assert program.resolve_class_attr(child, "traits")
+        assert program.resolve_class_attr(child, "loop")
+        assert not program.resolve_class_attr(child, "missing")
+        assert not program.resolve_class_attr_excluding(child, "loop", "pkg.m.Base")

@@ -1,0 +1,167 @@
+"""The RNG-stream ownership and escape analysis (A101/A102/A103)."""
+
+
+def rule_ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+CLIENT = """
+class Client:
+    def __init__(self, rng):
+        self.rng = rng
+"""
+
+
+class TestForeignPrefix:
+    def test_stream_created_outside_owner_package(self, analyze):
+        files = {
+            "faults/__init__.py": "",
+            "policies/greedy.py": """
+            def seed(rngs):
+                return rngs.stream("faults.retry")
+            """,
+        }
+        findings = analyze(files, select=["A101"])
+        assert rule_ids(findings) == ["A101"]
+        assert findings[0].symbol == "faults.retry"
+
+    def test_stream_created_in_owner_package_clean(self, analyze):
+        files = {
+            "faults/gen.py": """
+            def seed(rngs):
+                return rngs.stream("faults.retry")
+            """,
+        }
+        assert analyze(files, select=["A101"]) == []
+
+    def test_prefix_without_matching_package_unjudged(self, analyze):
+        """A prefix that names no package in the tree has no owner to
+        violate."""
+        files = {
+            "policies/greedy.py": """
+            def seed(rngs):
+                return rngs.stream("telemetry.jitter")
+            """,
+        }
+        assert analyze(files, select=["A101"]) == []
+
+    def test_undotted_stream_is_shared_by_convention(self, analyze):
+        files = {
+            "faults/__init__.py": "",
+            "policies/greedy.py": """
+            def seed(rngs):
+                return rngs.stream("arrivals")
+            """,
+        }
+        assert analyze(files, select=["A101", "A102"]) == []
+
+
+class TestEscape:
+    def test_direct_argument_escape(self, analyze):
+        files = {
+            "workload/client.py": CLIENT,
+            "faults/run.py": """
+            from workload.client import Client
+
+            def go(rngs):
+                return Client(rngs.stream("faults.retry"))
+            """,
+        }
+        findings = analyze(files, select=["A102"])
+        assert rule_ids(findings) == ["A102"]
+        assert findings[0].symbol == "faults.retry->workload"
+        assert findings[0].severity == "error"
+
+    def test_local_variable_escape(self, analyze):
+        files = {
+            "workload/client.py": CLIENT,
+            "faults/run.py": """
+            from workload.client import Client
+
+            def go(rngs):
+                retry_rng = rngs.stream("faults.retry")
+                return Client(retry_rng)
+            """,
+        }
+        assert rule_ids(analyze(files, select=["A102"])) == ["A102"]
+
+    def test_conditional_expression_escape(self, analyze):
+        files = {
+            "workload/client.py": CLIENT,
+            "faults/run.py": """
+            from workload.client import Client
+
+            def go(rngs, chaos):
+                return Client(rngs.stream("faults.retry") if chaos else None)
+            """,
+        }
+        assert rule_ids(analyze(files, select=["A102"])) == ["A102"]
+
+    def test_keyword_argument_escape(self, analyze):
+        files = {
+            "workload/client.py": CLIENT,
+            "faults/run.py": """
+            from workload.client import Client
+
+            def go(rngs):
+                return Client(rng=rngs.stream("faults.retry"))
+            """,
+        }
+        assert rule_ids(analyze(files, select=["A102"])) == ["A102"]
+
+    def test_same_package_callee_clean(self, analyze):
+        files = {
+            "faults/client.py": CLIENT.replace("Client", "RetryPlan"),
+            "faults/run.py": """
+            from faults.client import RetryPlan
+
+            def go(rngs):
+                return RetryPlan(rngs.stream("faults.retry"))
+            """,
+        }
+        assert analyze(files, select=["A102"]) == []
+
+    def test_unresolvable_callee_unjudged(self, analyze):
+        """A callee the call graph cannot place has no package to clash
+        with — no speculation."""
+        files = {
+            "faults/run.py": """
+            def go(rngs, factory):
+                return factory(rngs.stream("faults.retry"))
+            """,
+        }
+        assert analyze(files, select=["A102"]) == []
+
+    def test_suppression_pragma(self, analyze):
+        files = {
+            "workload/client.py": CLIENT,
+            "faults/run.py": """
+            from workload.client import Client
+
+            def go(rngs):
+                return Client(rngs.stream("faults.retry"))  # repro-analyze: disable=A102
+            """,
+        }
+        assert analyze(files, select=["A102"]) == []
+
+
+class TestDynamicName:
+    def test_non_literal_name(self, analyze):
+        files = {
+            "faults/run.py": """
+            def go(rngs, which):
+                return rngs.stream("faults." + which)
+            """,
+        }
+        findings = analyze(files, select=["A103"])
+        assert rule_ids(findings) == ["A103"]
+        assert "non-literal" in findings[0].message
+
+    def test_non_registry_receiver_ignored(self, analyze):
+        files = {
+            "faults/run.py": """
+            def go(media, which):
+                return media.stream(which)
+            """,
+        }
+        assert analyze(files, select=["A101", "A102", "A103"]) == []

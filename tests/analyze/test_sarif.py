@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 serialization and round-trip."""
+
+import json
+
+from repro.analyze.findings import make_finding
+from repro.analyze.sarif import (
+    SARIF_SCHEMA,
+    SARIF_VERSION,
+    TOOL_NAME,
+    findings_from_sarif,
+    sarif_text,
+    to_sarif,
+)
+
+FINDINGS = [
+    make_finding("A102", "src/repro/faults/run.py", 7, 4, "escape", symbol="faults.retry->workload"),
+    make_finding("A001", "src/repro/sim/pipe.py", 12, 8, "tie", symbol="a~b"),
+    make_finding("A103", "src/repro/faults/run.py", 3, 0, "dynamic name"),
+]
+
+
+class TestDocumentShape:
+    def test_header(self):
+        doc = to_sarif(FINDINGS)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_used_rules_only(self):
+        driver = to_sarif(FINDINGS)["runs"][0]["tool"]["driver"]
+        assert driver["name"] == TOOL_NAME
+        assert [r["id"] for r in driver["rules"]] == ["A001", "A102", "A103"]
+        a102 = driver["rules"][1]
+        assert a102["name"] == "stream-escape"
+        assert a102["defaultConfiguration"]["level"] == "error"
+        assert a102["properties"]["analysis"] == "rngflow"
+
+    def test_rule_index_consistent(self):
+        doc = to_sarif(FINDINGS)
+        run = doc["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_severity_mapping(self):
+        levels = {r["ruleId"]: r["level"] for r in to_sarif(FINDINGS)["runs"][0]["results"]}
+        assert levels == {"A102": "error", "A001": "warning", "A103": "warning"}
+
+    def test_location_one_based(self):
+        result = to_sarif(FINDINGS)["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 7, "startColumn": 5}
+
+    def test_partial_fingerprint_matches_baseline_key(self):
+        result = to_sarif(FINDINGS)["runs"][0]["results"][0]
+        assert (
+            result["partialFingerprints"]["reproAnalyzeFingerprint/v1"]
+            == FINDINGS[0].fingerprint
+        )
+
+    def test_empty_scan_is_valid(self):
+        doc = to_sarif([])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class TestRoundTrip:
+    def test_text_parses_back(self):
+        doc = json.loads(sarif_text(FINDINGS))
+        flat = findings_from_sarif(doc)
+        assert [(f["rule_id"], f["path"], f["line"]) for f in flat] == [
+            ("A102", "src/repro/faults/run.py", 7),
+            ("A001", "src/repro/sim/pipe.py", 12),
+            ("A103", "src/repro/faults/run.py", 3),
+        ]
+        assert flat[0]["fingerprint"] == FINDINGS[0].fingerprint
+        assert flat[0]["message"] == "escape"

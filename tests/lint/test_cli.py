@@ -71,6 +71,25 @@ class TestLintCommand:
         assert main([]) == 2
         assert "nothing to do" in capsys.readouterr().err
 
+    def test_unknown_pragma_id_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1  # repro-lint: disable=R999\n")
+        assert main([str(bad)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_stale_pragma_warns_fails_strict(self, tmp_path, capsys):
+        stale = tmp_path / "stale.py"
+        stale.write_text("x = 1  # repro-lint: disable=R001\n")
+        assert main([str(stale)]) == 0
+        assert "R010" in capsys.readouterr().out
+        assert main([str(stale), "--strict"]) == 1
+
+    def test_chaos_requires_determinism(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good), "--chaos"]) == 2
+        assert "--chaos requires --determinism" in capsys.readouterr().err
+
 
 class TestListRules:
     def test_catalogue_lists_every_rule(self, capsys):

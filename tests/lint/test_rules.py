@@ -363,8 +363,9 @@ class TestSuppression:
                 return time.time(), acc  # repro-lint: disable=R002,R003
             """
         )
-        # R003 fires on the default's line (the def line), so it survives.
-        assert rule_ids(findings) == ["R003"]
+        # R003 fires on the default's line (the def line), so it survives —
+        # and the R003 half of the pragma is therefore stale (R010).
+        assert rule_ids(findings) == ["R003", "R010"]
 
     def test_file_suppression(self):
         findings = lint(
