@@ -1,0 +1,71 @@
+"""Extension: windowed tail-percentile bucketing throughput.
+
+Guards the vectorized ``WindowedStats.series`` (one lexsort +
+searchsorted bucketing pass instead of a per-window Python loop): times
+a Fig.-7-scale pass over a large synthetic completion set and checks,
+against a straightforward per-window ``np.percentile`` reference, that
+the fast path stays bit-identical.  Sample throughput lands in
+extra_info so CI can archive it (``--benchmark-json=BENCH_timeseries.json``)
+and the bench gate can catch a performance regression.
+"""
+
+import numpy as np
+
+from conftest import run_single
+
+from repro.metrics.percentiles import P999
+from repro.metrics.timeseries import WindowedStats
+
+WINDOW_US = 500.0
+
+
+class _SyntheticCols:
+    """Just the two columns ``WindowedStats.series`` reads."""
+
+    def __init__(self, arrivals, latencies):
+        self.arrivals = arrivals
+        self.latencies = latencies
+
+    def __len__(self):
+        return len(self.arrivals)
+
+
+def _synthetic(n: int):
+    rng = np.random.default_rng(42)
+    arrivals = np.sort(rng.uniform(0.0, n / 2.0, n))
+    latencies = np.exp(rng.normal(3.0, 1.5, n))
+    return _SyntheticCols(arrivals, latencies)
+
+
+def _reference(cols, window_us: float, pct: float):
+    idx = (cols.arrivals // window_us).astype(np.int64)
+    n_windows = int(float(cols.arrivals.max()) // window_us) + 1
+    values = np.full(n_windows, np.nan)
+    for w in range(n_windows):
+        mask = idx == w
+        if mask.any():
+            values[w] = float(np.percentile(cols.latencies[mask], pct))
+    return values
+
+
+def test_windowed_series_bucketing(benchmark, bench_n_requests):
+    n = max(bench_n_requests, 10_000)
+    cols = _synthetic(n)
+    stats = WindowedStats(WINDOW_US)
+
+    times, values = run_single(benchmark, stats.series, cols, None, P999)
+
+    n_windows = len(times)
+    benchmark.extra_info["samples"] = n
+    benchmark.extra_info["windows"] = n_windows
+    wall = benchmark.stats.stats.mean
+    benchmark.extra_info["samples_per_sec"] = n / wall if wall > 0 else 0.0
+
+    # The vectorized pass must agree with per-window np.percentile to
+    # the bit, including NaN placement for empty windows.
+    ref = _reference(cols, WINDOW_US, P999)
+    assert len(values) == len(ref)
+    both_nan = np.isnan(values) & np.isnan(ref)
+    assert bool(np.all((values == ref) | both_nan))
+    assert np.isfinite(values[~np.isnan(values)]).all()
+    assert n_windows > 10

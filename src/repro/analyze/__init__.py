@@ -2,7 +2,7 @@
 
 Where :mod:`repro.lint` checks one module at a time, this package parses
 the entire tree into a symbol table and call graph
-(:mod:`repro.analyze.model`) and runs three interprocedural analyses
+(:mod:`repro.analyze.model`) and runs four interprocedural analyses
 over it:
 
 * :mod:`repro.analyze.eventflow` — simulated-time race detection
@@ -14,6 +14,10 @@ over it:
 * :mod:`repro.analyze.contracts` — Policy/System/Balancer contract
   verification (A201–A203): required overrides, mandatory ``super()``
   chains, reserved engine-owned field writes.
+* :mod:`repro.analyze.purity` — observer-purity verification (A301):
+  wall-clock, entropy, RNG, and heap-tracking calls inside the trace
+  and telemetry observer packages, resolved through each module's
+  import table.
 
 Findings share :mod:`repro.lint`'s severity and pragma model
 (``# repro-analyze: disable=A102``), serialize to text, JSON and SARIF
@@ -28,6 +32,7 @@ from .contracts import analyze_contracts
 from .eventflow import analyze_eventflow, collect_schedule_sites
 from .findings import ANALYSIS_RULES, AnalysisFinding, RuleMeta, fingerprint, make_finding
 from .model import Program, build_program
+from .purity import analyze_purity
 from .rngflow import analyze_rngflow
 from .runner import analyze_paths, analyze_program, has_errors
 from .sarif import findings_from_sarif, sarif_text, to_sarif
@@ -42,6 +47,7 @@ __all__ = [
     "analyze_eventflow",
     "analyze_paths",
     "analyze_program",
+    "analyze_purity",
     "analyze_rngflow",
     "build_program",
     "collect_schedule_sites",

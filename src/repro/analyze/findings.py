@@ -35,7 +35,8 @@ class RuleMeta(NamedTuple):
 
 
 #: The finding-id catalogue.  A0xx — analyzer hygiene; A1xx — RNG-stream
-#: flow; A2xx — policy/system/balancer contracts; A001/A002 — event-flow.
+#: flow; A2xx — policy/system/balancer contracts; A3xx — observer
+#: purity; A001/A002 — event-flow.
 ANALYSIS_RULES: Dict[str, RuleMeta] = {
     meta.id: meta
     for meta in (
@@ -139,6 +140,19 @@ ANALYSIS_RULES: Dict[str, RuleMeta] = {
             "Scheduler wiring).  These fields have single designated "
             "writers; outside writes bypass the invariants the "
             "sanitizer checks and the accounting the recorder trusts.",
+        ),
+        RuleMeta(
+            "A301",
+            "observer-impurity",
+            "error",
+            "purity",
+            "An observer module (repro/trace/, repro/telemetry/) calls a "
+            "wall clock, host-entropy source, direct RNG constructor, or "
+            "tracemalloc heap-tracking function.  Observers promise that "
+            "attaching them cannot change a run and that their output is "
+            "a pure function of simulated events; the self-profiler is "
+            "the one sanctioned exception and must pragma-tag every such "
+            "line so each impurity stays individually justified.",
         ),
     )
 }

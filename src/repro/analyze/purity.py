@@ -1,0 +1,124 @@
+"""Observer-purity analysis (finding A301).
+
+The trace and telemetry packages are *observers*: attaching them must
+not change a run, and their output must be a pure function of simulated
+events.  :class:`repro.lint.rules.TracePurityRule` (R009) enforces the
+per-file half of that contract; this analysis is the whole-program twin
+that also covers heap-tracking calls and resolves names through each
+module's import table, so ``from time import perf_counter as clock``
+does not slip past a textual check.
+
+One finding:
+
+* **A301** — an observer module (``repro/trace/``, ``repro/telemetry/``)
+  calls a wall clock, a host-entropy source, a direct RNG constructor,
+  or a ``tracemalloc`` heap-tracking function.
+
+The self-profiler (:mod:`repro.telemetry.profiler`) is the single
+sanctioned exception — it deliberately measures the simulator's own
+wall time and heap — and carries an explicit
+``# repro-analyze: disable=A301`` pragma on every such line, so each
+allowlisted impurity stays visible and individually justified.
+``tracemalloc.is_tracing()`` is not flagged: it is a pure query used to
+guard start/stop, not a measurement.
+
+The forbidden-name sets are imported from the lint rules rather than
+duplicated, so the two layers can never drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from ..lint.rules import NondeterministicSourceRule, TracePurityRule, WallClockRule
+from .findings import AnalysisFinding, make_finding
+from .model import ModuleInfo, Program
+
+_WALL_CLOCK = WallClockRule._FORBIDDEN
+_ENTROPY = NondeterministicSourceRule._FORBIDDEN
+_ENTROPY_PREFIXES = NondeterministicSourceRule._FORBIDDEN_PREFIXES
+_RNG_PREFIXES = TracePurityRule._RNG_PREFIXES
+_OBSERVER_PACKAGES = TracePurityRule._OBSERVER_PACKAGES
+
+#: ``tracemalloc`` calls that start, stop, or read a heap measurement.
+#: ``is_tracing`` is deliberately absent (pure guard query).
+_HEAP_TRACKING = frozenset(
+    {
+        "tracemalloc.start",
+        "tracemalloc.stop",
+        "tracemalloc.get_traced_memory",
+        "tracemalloc.take_snapshot",
+        "tracemalloc.reset_peak",
+        "tracemalloc.clear_traces",
+    }
+)
+
+
+def _observer_package(module: ModuleInfo) -> str:
+    """The observer package ``module`` belongs to, or ``""``."""
+    posix = module.path.replace("\\", "/")
+    for package in _OBSERVER_PACKAGES:
+        if module.package == package or f"/{package}/" in posix:
+            return package
+    return ""
+
+
+def _classify(dotted: str) -> str:
+    """Impurity kind for a resolved dotted callee name, or ``""``."""
+    if dotted in _WALL_CLOCK:
+        return "wall-clock read"
+    if dotted in _ENTROPY or dotted.startswith(_ENTROPY_PREFIXES):
+        return "host-entropy source"
+    if dotted.startswith(_RNG_PREFIXES):
+        return "direct RNG draw"
+    if dotted in _HEAP_TRACKING:
+        return "heap-tracking call"
+    return ""
+
+
+def _scoped_calls(tree: ast.AST) -> Iterator[Tuple[ast.Call, str]]:
+    """Every call in ``tree`` with its enclosing scope's dotted name."""
+
+    def visit(node: ast.AST, scope: Tuple[str, ...]) -> Iterator[Tuple[ast.Call, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield from visit(child, scope + (child.name,))
+            else:
+                if isinstance(child, ast.Call):
+                    yield child, ".".join(scope) or "<module>"
+                yield from visit(child, scope)
+
+    yield from visit(tree, ())
+
+
+def analyze_purity(program: Program) -> List[AnalysisFinding]:
+    """Flag impure calls in observer (trace/telemetry) modules."""
+    findings: List[AnalysisFinding] = []
+    for module in program.modules.values():
+        package = _observer_package(module)
+        if not package:
+            continue
+        for call, scope in _scoped_calls(module.tree):
+            dotted = module.dotted_name(call.func)
+            if dotted is None:
+                continue
+            kind = _classify(dotted)
+            if not kind:
+                continue
+            findings.append(
+                make_finding(
+                    "A301",
+                    module.path,
+                    call.lineno,
+                    call.col_offset,
+                    f"{kind} {dotted}() in observer package "
+                    f"'repro/{package}/'; observers must be pure functions "
+                    "of simulated time — every sanctioned exception (the "
+                    "self-profiler) must carry its own A301 pragma",
+                    symbol=f"{module.name}.{scope}:{dotted}",
+                )
+            )
+    return findings

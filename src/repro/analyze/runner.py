@@ -20,6 +20,7 @@ from .contracts import analyze_contracts
 from .eventflow import analyze_eventflow
 from .findings import ANALYSIS_RULES, AnalysisFinding, make_finding
 from .model import Program, build_program
+from .purity import analyze_purity
 from .rngflow import analyze_rngflow
 
 #: analysis name -> callable; ``--select`` filters on rule ids, not on
@@ -29,6 +30,7 @@ ANALYSES = {
     "eventflow": analyze_eventflow,
     "rngflow": analyze_rngflow,
     "contracts": analyze_contracts,
+    "purity": analyze_purity,
 }
 
 

@@ -37,69 +37,109 @@ from .experiments.results import FigureResult
 #: Load-sweep request counts for --quick runs.
 QUICK_N = 8_000
 
-#: name -> (run(n, seed, sanitize, trace_dir) -> result, render(result) -> str)
+#: name -> (run(n, seed, sanitize, trace_dir, metrics_dir) -> result,
+#: render(result) -> str)
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "chaos": (
-        lambda n, seed, sanitize, trace_dir: chaos.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: chaos.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         chaos.render,
     ),
     "figure1": (
-        lambda n, seed, sanitize, trace_dir: figure1.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure1.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure1.render,
     ),
     "figure3": (
-        lambda n, seed, sanitize, trace_dir: figure3.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure3.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure3.render,
     ),
     "figure4": (
-        lambda n, seed, sanitize, trace_dir: figure4.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure4.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         lambda r: r.render(),
     ),
     "figure5": (
-        lambda n, seed, sanitize, trace_dir: figure5.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure5.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure5.render,
     ),
     "figure6": (
-        lambda n, seed, sanitize, trace_dir: figure6.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure6.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure6.render,
     ),
     "figure7": (
-        lambda n, seed, sanitize, trace_dir: figure7.run(
-            seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure7.run(
+            seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir
         ),
         lambda r: r.render(),
     ),
     "figure8": (
-        lambda n, seed, sanitize, trace_dir: figure8.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure8.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure8.render,
     ),
     "figure9": (
-        lambda n, seed, sanitize, trace_dir: figure9.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure9.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure9.render,
     ),
     "figure10": (
-        lambda n, seed, sanitize, trace_dir: figure10.run(
-            n_requests=n, seed=seed, sanitize=sanitize, trace_dir=trace_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir: figure10.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         ),
         figure10.render,
     ),
-    "tables": (lambda n, seed, sanitize, trace_dir: None, lambda r: tables.render_all()),
+    "tables": (
+        lambda n, seed, sanitize, trace_dir, metrics_dir: None,
+        lambda r: tables.render_all(),
+    ),
 }
 
 
@@ -152,6 +192,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a per-request span trace of every run into DIR "
         "(Perfetto-loadable JSON; inspect with repro-trace)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="DIR",
+        default=None,
+        help="collect virtual-time metrics for every run into DIR "
+        "(Prometheus text, JSONL timeline, HTML dashboard; inspect "
+        "with repro-metrics)",
+    )
     return parser
 
 
@@ -187,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         run, render = EXPERIMENTS[name]
         start = time.time()
         sanitize = "shadow" if args.shadow else args.sanitize
-        result = run(n, args.seed, sanitize, args.trace)
+        result = run(n, args.seed, sanitize, args.trace, args.metrics)
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

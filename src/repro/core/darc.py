@@ -549,6 +549,10 @@ class DarcScheduler(Scheduler):
                     self.reservation.spillway_worker,
                     len(alive),
                 )
+            if self.telemetry is not None:
+                self.telemetry.on_reservation(
+                    self.reservation, reserved_counts, len(alive)
+                )
         # Newly-permitted idle workers should pick up pending work now.
         for tid in self._order:
             self._dispatch_type(tid)

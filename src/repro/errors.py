@@ -40,6 +40,15 @@ class TraceError(ReproError):
     scheduling decision gone wrong."""
 
 
+class TelemetryError(ReproError):
+    """Raised when the ``repro.telemetry`` subsystem reaches an
+    inconsistent state: a metric name is re-registered with a different
+    kind, a counter moves backwards, a probe is installed twice, or a
+    metrics file fails to parse.  Telemetry is observational, so a
+    TelemetryError always means an instrumentation bug or a genuine
+    conservation violation — never a scheduling decision gone wrong."""
+
+
 class LintError(ReproError):
     """Raised for fatal problems inside the ``repro.lint`` analyzer itself
     (unparseable source, unknown rule ids, bad suppression syntax) — *not*

@@ -32,7 +32,7 @@ from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import high_bimodal
 from ..workload.resilience import RetryPolicy
-from .common import trace_target
+from .common import metrics_target, trace_target
 
 N_WORKERS = 8
 UTILIZATION = 0.70
@@ -139,6 +139,7 @@ def run(
     retry: Optional[RetryPolicy] = None,
     sanitize: "bool | str" = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> ChaosExperimentResult:
     """Run the crash/recover episode for every system."""
     if systems is None:
@@ -171,6 +172,7 @@ def run(
             slo_latency_us=SLO_LATENCY_US,
             sanitize=sanitize,
             trace_path=trace_target(trace_dir, "chaos", system.name),
+            metrics_path=metrics_target(metrics_dir, "chaos", system.name),
         )
         result.results[system.name] = res
         ttr = res.time_to_recover()

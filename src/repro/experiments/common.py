@@ -51,6 +51,8 @@ class RunResult:
         tracer=None,
         trace_path: Optional[str] = None,
         sanitizer=None,
+        telemetry=None,
+        metrics_path: Optional[str] = None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -69,6 +71,12 @@ class RunResult:
         #: The run's :class:`~repro.lint.sanitizer.SimSanitizer`, when
         #: sanitized — carries ``tiebreak_hazards`` in shadow mode.
         self.sanitizer = sanitizer
+        #: The run's :class:`~repro.telemetry.probe.TelemetryProbe`,
+        #: when metrics were collected.
+        self.telemetry = telemetry
+        #: Extensionless base path the metrics exports were written to
+        #: (``.prom``/``.jsonl``/``.html`` siblings), when requested.
+        self.metrics_path = metrics_path
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -90,6 +98,10 @@ def run_once(
     tracer=None,
     trace_path: Optional[str] = None,
     trace_meta: Optional[Dict[str, Any]] = None,
+    telemetry=None,
+    metrics_path: Optional[str] = None,
+    metrics_meta: Optional[Dict[str, Any]] = None,
+    profiler=None,
 ) -> RunResult:
     """Simulate one load point and summarize it.
 
@@ -114,6 +126,16 @@ def run_once(
     results are bit-identical to an untraced one; with ``trace_path``
     the full trace document (Perfetto-loadable JSON) is written there,
     with ``trace_meta`` merged into its metadata.
+
+    ``metrics_path`` (or an explicit ``telemetry`` probe) turns on the
+    virtual-time metrics plane (:mod:`repro.telemetry`); like the
+    tracer, the probe observes without perturbing, and with
+    ``metrics_path`` (extensionless base) the Prometheus text, JSONL
+    timeline and HTML dashboard are written as ``.prom``/``.jsonl``/
+    ``.html`` siblings.  ``profiler`` attaches a
+    :class:`~repro.telemetry.profiler.SelfProfiler` that attributes the
+    simulator's own wall-clock cost per handler (caller starts/stops
+    it).
     """
     if utilization <= 0:
         raise ConfigurationError(f"utilization must be > 0, got {utilization}")
@@ -123,6 +145,10 @@ def run_once(
         from ..trace import Tracer
 
         tracer = Tracer()
+    if metrics_path is not None and telemetry is None:
+        from ..telemetry import TelemetryProbe
+
+        telemetry = TelemetryProbe()
 
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
@@ -138,6 +164,10 @@ def run_once(
         sanitizer.attach(loop, server)
     if tracer is not None:
         tracer.install(loop, server)
+    if telemetry is not None:
+        telemetry.install(loop, server)
+    if profiler is not None:
+        loop.attach_profiler(profiler)
 
     rate = utilization * spec.peak_load(config.n_workers)
     generator = OpenLoopGenerator(
@@ -174,6 +204,21 @@ def run_once(
         if trace_meta:
             meta.update(trace_meta)
         write_trace(trace_path, tracer, recorder=recorder, meta=meta)
+    if telemetry is not None and metrics_path is not None:
+        from ..telemetry.export import write_metrics
+
+        meta = {
+            "system": system.name,
+            "workload": spec.name,
+            "utilization": utilization,
+            "n_requests": n_requests,
+            "seed": seed,
+        }
+        if metrics_meta:
+            meta.update(metrics_meta)
+        write_metrics(metrics_path, telemetry, recorder=recorder, meta=meta)
+    elif telemetry is not None:
+        telemetry.finalize()
     return RunResult(
         system.name,
         spec,
@@ -186,6 +231,8 @@ def run_once(
         tracer=tracer,
         trace_path=trace_path,
         sanitizer=sanitizer,
+        telemetry=telemetry,
+        metrics_path=metrics_path,
     )
 
 
@@ -251,6 +298,18 @@ def trace_target(trace_dir: Optional[str], *parts: Any) -> Optional[str]:
     return os.path.join(trace_dir, f"{slug}.trace.json")
 
 
+def metrics_target(metrics_dir: Optional[str], *parts: Any) -> Optional[str]:
+    """Deterministic *extensionless* metrics base path inside
+    ``metrics_dir`` (created on demand), or None when metrics are off.
+    :func:`repro.telemetry.export.write_metrics` appends the
+    ``.prom``/``.jsonl``/``.html`` suffixes."""
+    if metrics_dir is None:
+        return None
+    os.makedirs(metrics_dir, exist_ok=True)
+    slug = "_".join(s for s in (_slug(str(p)) for p in parts) if s)
+    return os.path.join(metrics_dir, f"{slug}.metrics")
+
+
 def run_sweep(
     system: SystemModel,
     spec: WorkloadSpec,
@@ -261,12 +320,15 @@ def run_sweep(
     pct: float = 99.9,
     sanitize: "bool | str" = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> List[RunResult]:
     """One :func:`run_once` per load point, same seed (common random
     numbers across systems compared at the same points).
 
     ``trace_dir`` traces every load point, writing one
-    ``<system>_<workload>_rho<load>.trace.json`` per point.
+    ``<system>_<workload>_rho<load>.trace.json`` per point;
+    ``metrics_dir`` likewise collects telemetry per point, writing
+    ``<system>_<workload>_rho<load>.metrics.{prom,jsonl,html}``.
     """
     return [
         run_once(
@@ -280,6 +342,9 @@ def run_sweep(
             sanitize=sanitize,
             trace_path=trace_target(
                 trace_dir, system.name, spec.name, f"rho{round(rho * 100):03d}"
+            ),
+            metrics_path=metrics_target(
+                metrics_dir, system.name, spec.name, f"rho{round(rho * 100):03d}"
             ),
         )
         for rho in utilizations

@@ -60,6 +60,7 @@ def run(
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> FigureResult:
     """Run the Fig. 1 sweep and derive its headline capacities."""
     spec = figure1_workload()
@@ -67,7 +68,7 @@ def run(
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
         )
     caps = result.capacities(SLO_SLOWDOWN, max_typed_slowdown_metric)
     peak_mrps = spec.peak_load(N_WORKERS)

@@ -20,7 +20,7 @@ from ..analysis.tables import render_table
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneStaticSystem
 from ..workload.presets import extreme_bimodal, high_bimodal
 from ..workload.spec import WorkloadSpec
-from .common import RunResult, run_once, trace_target
+from .common import RunResult, metrics_target, run_once, trace_target
 
 N_WORKERS = 14
 UTILIZATION = 0.95
@@ -79,6 +79,7 @@ def run(
     workloads: Optional[Dict[str, WorkloadSpec]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Figure4Result:
     if workloads is None:
         workloads = {
@@ -92,6 +93,7 @@ def run(
             cfcfs, spec, utilization, n_requests=n_requests, seed=seed,
             sanitize=sanitize,
             trace_path=trace_target(trace_dir, "figure4", name, "c-FCFS"),
+            metrics_path=metrics_target(metrics_dir, "figure4", name, "c-FCFS"),
         )
         runs: Dict[int, RunResult] = {}
         for k in reserved_counts:
@@ -102,6 +104,9 @@ def run(
                 system, spec, utilization, n_requests=n_requests, seed=seed,
                 sanitize=sanitize,
                 trace_path=trace_target(trace_dir, "figure4", name, f"reserved{k}"),
+                metrics_path=metrics_target(
+                    metrics_dir, "figure4", name, f"reserved{k}"
+                ),
             )
         result.sweeps[name] = runs
         best = result.best_reserved(name)

@@ -49,6 +49,7 @@ def run_one_workload(
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = high_bimodal() if workload_name == "high_bimodal" else extreme_bimodal()
     slo = SLO_HIGH if workload_name == "high_bimodal" else SLO_EXTREME
@@ -58,7 +59,7 @@ def run_one_workload(
             system.name,
             run_sweep(
                 system, spec, utilizations, n_requests=n_requests, seed=seed,
-                sanitize=sanitize, trace_dir=trace_dir,
+                sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
             ),
         )
     caps = result.capacities(slo, overall_slowdown_metric)
@@ -79,16 +80,17 @@ def run(
     seed: int = 1,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Dict[str, FigureResult]:
     """Both sub-figures."""
     return {
         "high_bimodal": run_one_workload(
             "high_bimodal", utilizations, n_requests=n_requests, seed=seed,
-            sanitize=sanitize, trace_dir=trace_dir,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         ),
         "extreme_bimodal": run_one_workload(
             "extreme_bimodal", utilizations, n_requests=n_requests, seed=seed,
-            sanitize=sanitize, trace_dir=trace_dir,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         ),
     }
 

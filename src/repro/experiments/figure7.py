@@ -39,7 +39,7 @@ from ..workload.generator import OpenLoopGenerator
 from ..workload.phases import Phase, PhaseSchedule
 from ..workload.spec import TypedClass, WorkloadSpec
 from ..workload.distributions import Fixed
-from .common import trace_target
+from .common import metrics_target, trace_target
 
 N_WORKERS = 14
 UTILIZATION = 0.80
@@ -109,6 +109,7 @@ def _run_system(
     window_us: float,
     sanitize: bool = False,
     trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> Tuple[Recorder, object, float]:
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
@@ -125,6 +126,12 @@ def _run_system(
 
         tracer = Tracer()
         tracer.install(loop, server)
+    telemetry = None
+    if metrics_path is not None:
+        from ..telemetry import TelemetryProbe
+
+        telemetry = TelemetryProbe()
+        telemetry.install(loop, server)
     rate = UTILIZATION * phases[0].spec.peak_load(N_WORKERS)
     generator = OpenLoopGenerator(
         loop,
@@ -151,6 +158,15 @@ def _run_system(
             recorder=recorder,
             meta={"experiment": "figure7", "system": system.name, "seed": seed},
         )
+    if telemetry is not None:
+        from ..telemetry.export import write_metrics
+
+        write_metrics(
+            metrics_path,
+            telemetry,
+            recorder=recorder,
+            meta={"experiment": "figure7", "system": system.name, "seed": seed},
+        )
     return recorder, scheduler, loop.now
 
 
@@ -161,6 +177,7 @@ def run(
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> Figure7Result:
     if phases is None:
         phases = default_phases()
@@ -182,6 +199,7 @@ def run(
         recorder, scheduler, duration = _run_system(
             system, phases, seed, window_us, sanitize=sanitize,
             trace_path=trace_target(trace_dir, "figure7", system.name),
+            metrics_path=metrics_target(metrics_dir, "figure7", system.name),
         )
         cols = recorder.columns()
         result.latency_series[system.name] = {

@@ -42,6 +42,7 @@ def run(
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> FigureResult:
     store = RocksDbLike()
     spec = store.workload_spec()
@@ -49,7 +50,7 @@ def run(
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
         )
     caps = result.capacities(SLO_SLOWDOWN, overall_slowdown_metric)
     for name, cap in caps.items():

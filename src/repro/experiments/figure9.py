@@ -50,13 +50,14 @@ def run(
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = high_bimodal()
     result = FigureResult("Figure 9 [random classifier]", utilizations)
     for system in systems if systems is not None else default_systems():
         result.add_sweep(
             system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir),
+            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
         )
     random_sweep = result.sweeps.get("DARC-random")
     cfcfs_sweep = result.sweeps.get("c-FCFS")

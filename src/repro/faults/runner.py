@@ -57,6 +57,8 @@ class ChaosResult:
         tracer=None,
         trace_path: Optional[str] = None,
         sanitizer=None,
+        telemetry=None,
+        metrics_path: Optional[str] = None,
     ):
         self.system_name = system_name
         self.spec = spec
@@ -77,6 +79,11 @@ class ChaosResult:
         #: The episode's :class:`~repro.lint.sanitizer.SimSanitizer`,
         #: when sanitized — carries ``tiebreak_hazards`` in shadow mode.
         self.sanitizer = sanitizer
+        #: The episode's :class:`~repro.telemetry.probe.TelemetryProbe`,
+        #: when metrics were collected.
+        self.telemetry = telemetry
+        #: Extensionless base path the metrics exports were written to.
+        self.metrics_path = metrics_path
 
     def time_to_recover(self, sustain: int = 3) -> Optional[float]:
         """TTR from the plan's first fault; None for an empty plan or a
@@ -125,6 +132,9 @@ def run_chaos(
     tracer=None,
     trace_path: Optional[str] = None,
     trace_meta: Optional[Dict[str, Any]] = None,
+    telemetry=None,
+    metrics_path: Optional[str] = None,
+    metrics_meta: Optional[Dict[str, Any]] = None,
 ) -> ChaosResult:
     """Run one chaos episode and summarize its degradation.
 
@@ -138,6 +148,11 @@ def run_chaos(
     for every delivered request (injector-level packet drops never reach
     the server, so they produce no span), fault events in the decision
     log, and the usual queue/worker samples.
+
+    ``metrics_path`` (or an explicit ``telemetry`` probe) collects the
+    virtual-time metrics plane over the episode — including the
+    ``repro_faults_injected_total`` family and the netstack gauges — and
+    writes the ``.prom``/``.jsonl``/``.html`` exports next to the trace.
     """
     if utilization <= 0:
         raise ConfigurationError(f"utilization must be > 0, got {utilization}")
@@ -147,6 +162,10 @@ def run_chaos(
         from ..trace import Tracer
 
         tracer = Tracer()
+    if metrics_path is not None and telemetry is None:
+        from ..telemetry import TelemetryProbe
+
+        telemetry = TelemetryProbe()
     if slo_latency_us is None:
         slo_latency_us = DEFAULT_SLO_MULTIPLE * max(
             ts.mean_service_time for ts in spec.type_specs()
@@ -187,6 +206,8 @@ def run_chaos(
     injector.arm(loop, server)
     if tracer is not None:
         tracer.install(loop, server, injector=injector)
+    if telemetry is not None:
+        telemetry.install(loop, server, injector=injector)
 
     if client is not None:
         client.bind(injector.ingress)
@@ -236,6 +257,22 @@ def run_chaos(
         if trace_meta:
             meta.update(trace_meta)
         write_trace(trace_path, tracer, recorder=recorder, meta=meta)
+    if telemetry is not None and metrics_path is not None:
+        from ..telemetry.export import write_metrics
+
+        meta = {
+            "system": system.name,
+            "workload": spec.name,
+            "utilization": utilization,
+            "n_requests": n_requests,
+            "seed": seed,
+            "plan": plan.describe(),
+        }
+        if metrics_meta:
+            meta.update(metrics_meta)
+        write_metrics(metrics_path, telemetry, recorder=recorder, meta=meta)
+    elif telemetry is not None:
+        telemetry.finalize()
     return ChaosResult(
         system.name,
         spec,
@@ -253,4 +290,6 @@ def run_chaos(
         tracer=tracer,
         trace_path=trace_path,
         sanitizer=sanitizer,
+        telemetry=telemetry,
+        metrics_path=metrics_path,
     )

@@ -68,12 +68,16 @@ def digest_run(
     seed: int = 1,
     sanitize: "bool | str" = False,
     tracer=None,
+    telemetry=None,
 ) -> RunDigest:
     """Simulate one load point and hash its observable outcome.
 
-    ``tracer`` optionally attaches a :class:`repro.trace.Tracer`; the
-    digest must come out identical with or without one (the tracer's
-    zero-interference contract, asserted by ``tests/trace``).
+    ``tracer`` optionally attaches a :class:`repro.trace.Tracer`;
+    ``telemetry`` optionally attaches a
+    :class:`repro.telemetry.TelemetryProbe`.  The digest must come out
+    identical with or without either (the observers'
+    zero-interference contract, asserted by ``tests/trace`` and
+    ``tests/telemetry``).
     """
     result = run_once(
         system,
@@ -83,6 +87,7 @@ def digest_run(
         seed=seed,
         sanitize=sanitize,
         tracer=tracer,
+        telemetry=telemetry,
     )
     recorder = result.server.recorder
     columns = recorder.columns()

@@ -514,16 +514,21 @@ class BuiltinHashOrderRule(Rule):
 
 
 class TracePurityRule(Rule):
-    """The tracer promises that attaching it cannot change a run: spans
-    and samples are a pure function of simulated events.  Any wall-clock
-    read, direct RNG draw, or host-entropy source inside
-    ``repro/trace/`` would break that promise (trace files would differ
-    between identical runs, and ``--trace`` could no longer claim
+    """The observer planes promise that attaching them cannot change a
+    run: spans, samples and metric scrapes are a pure function of
+    simulated events.  Any wall-clock read, direct RNG draw, or
+    host-entropy source inside ``repro/trace/`` or ``repro/telemetry/``
+    would break that promise (trace/metrics files would differ between
+    identical runs, and ``--trace``/``--metrics`` could no longer claim
     bit-identical results).  Timestamps must come from ``EventLoop.now``
-    and identifiers from request ids or deterministic counters."""
+    and identifiers from request ids or deterministic counters.  The one
+    sanctioned exception is the opt-in self-profiler
+    (``repro/telemetry/profiler.py``), which *measures* the simulator's
+    wall-clock cost by design — each of its timing lines carries an
+    explicit ``repro-lint: disable=R009`` pragma."""
 
     id = "R009"
-    name = "trace-purity"
+    name = "observer-purity"
     severity = "error"
     scoped = False
 
@@ -532,12 +537,20 @@ class TracePurityRule(Rule):
     _ENTROPY_PREFIXES = NondeterministicSourceRule._FORBIDDEN_PREFIXES
     _RNG_PREFIXES = ("random.", "numpy.random.")
 
-    @staticmethod
-    def _in_trace_package(ctx: ModuleContext) -> bool:
-        return ctx.package == "trace" or "/trace/" in ctx.path.replace("\\", "/")
+    #: Packages bound by the pure-observer contract.
+    _OBSERVER_PACKAGES = ("trace", "telemetry")
+
+    @classmethod
+    def _observer_package(cls, ctx: ModuleContext) -> Optional[str]:
+        posix = ctx.path.replace("\\", "/")
+        for package in cls._OBSERVER_PACKAGES:
+            if ctx.package == package or f"/{package}/" in posix:
+                return package
+        return None
 
     def check(self, ctx: ModuleContext) -> Iterator[RawFinding]:
-        if not self._in_trace_package(ctx):
+        package = self._observer_package(ctx)
+        if package is None:
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
@@ -556,9 +569,9 @@ class TracePurityRule(Rule):
             yield RawFinding(
                 node.lineno,
                 node.col_offset,
-                f"{kind} {dotted}() inside repro/trace/; the tracer must be "
-                "a pure observer of simulated time (use EventLoop.now and "
-                "deterministic counters)",
+                f"{kind} {dotted}() inside repro/{package}/; observers "
+                "must be pure functions of simulated time (use "
+                "EventLoop.now and deterministic counters)",
             )
 
 

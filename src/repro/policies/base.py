@@ -61,6 +61,9 @@ class Scheduler(ABC):
         #: Optional :class:`~repro.trace.tracer.Tracer`; None when off,
         #: making every hook site a single ``is None`` test.
         self.tracer = None
+        #: Optional :class:`~repro.telemetry.probe.TelemetryProbe`;
+        #: same contract as the tracer (pure observer, None when off).
+        self.telemetry = None
         #: worker_id -> the pending service event (completion, quantum
         #: boundary, ...) for the request currently on that core.  Fault
         #: injection cancels this event when the core crashes mid-service.
@@ -98,6 +101,14 @@ class Scheduler(ABC):
         classifier) override this to forward the tracer to them.
         """
         self.tracer = tracer
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install (or detach, with ``None``) a telemetry probe.
+
+        The probe's push hooks fire at the same sites as the tracer's
+        (completion, drop, eviction, preemption, steal, reservation).
+        """
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # the policy surface
@@ -155,6 +166,8 @@ class Scheduler(ABC):
         request.finish_time = self.loop.now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
+        if self.telemetry is not None:
+            self.telemetry.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)
@@ -169,6 +182,8 @@ class Scheduler(ABC):
         request.dropped = True
         if self.tracer is not None:
             self.tracer.on_drop(request)
+        if self.telemetry is not None:
+            self.telemetry.on_drop(request)
         if self._on_drop is not None:
             self._on_drop(request)
 
@@ -192,6 +207,8 @@ class Scheduler(ABC):
             victim = worker.end(self.loop.now)
             if self.tracer is not None:
                 self.tracer.on_evict(victim, worker, requeue)
+            if self.telemetry is not None:
+                self.telemetry.on_evict(victim, worker, requeue)
             # The crashed attempt is wasted occupancy, not service.
             victim.worker_id = None
             victim.dispatch_time = None

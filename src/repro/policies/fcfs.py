@@ -221,6 +221,10 @@ class WorkStealingFCFS(DecentralizedFCFS):
                 victim=self.workers[victim].worker_id,
                 cost_us=self.steal_cost_us,
             )
+        if self.telemetry is not None:
+            self.telemetry.on_steal(
+                request, worker, self.workers[victim].worker_id, self.steal_cost_us
+            )
         if self.steal_cost_us > 0:
             # The steal costs coordination time before service starts.
             request.overhead_time += self.steal_cost_us
@@ -247,6 +251,8 @@ class WorkStealingFCFS(DecentralizedFCFS):
         request.finish_time = self.loop.now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
+        if self.telemetry is not None:
+            self.telemetry.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)

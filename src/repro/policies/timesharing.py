@@ -271,6 +271,8 @@ class TimeSharing(Scheduler):
         request.finish_time = self.loop.now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
+        if self.telemetry is not None:
+            self.telemetry.on_complete(request, worker)
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)
@@ -284,6 +286,8 @@ class TimeSharing(Scheduler):
         worker.end(self.loop.now, overhead=cost)
         if self.tracer is not None:
             self.tracer.on_preempt(request, worker, cost)
+        if self.telemetry is not None:
+            self.telemetry.on_preempt(request, worker, cost)
         request.remaining_time -= slice_us
         request.preemption_count += 1
         request.overhead_time += cost

@@ -57,6 +57,8 @@ class Server:
         self._drop_sink = drop_sink if drop_sink is not None else self.recorder.on_drop
         #: Optional per-request observer (``repro.trace``); None when off.
         self._tracer = None
+        #: Optional metrics probe (``repro.telemetry``); None when off.
+        self._telemetry = None
         scheduler.bind(loop, self.workers, self._completion_sink, self._drop_sink)
 
     def attach_tracer(self, tracer) -> None:
@@ -64,6 +66,12 @@ class Server:
         path and forward it to the scheduler's own hook sites."""
         self._tracer = tracer
         self.scheduler.attach_tracer(tracer)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install a :class:`~repro.telemetry.probe.TelemetryProbe` and
+        forward it to the scheduler's push-hook sites."""
+        self._telemetry = telemetry
+        self.scheduler.attach_telemetry(telemetry)
 
     def ingress(self, request: Request) -> None:
         """Entry point for arriving requests (the generator's sink)."""

@@ -28,6 +28,14 @@ Design notes
   own* — the heap contents, and therefore the simulated outcome, are
   identical with tracing on or off.  When detached the cost is again a
   single ``is None`` test per event.
+* The same piggyback contract powers :mod:`repro.telemetry`: an optional
+  :class:`~repro.telemetry.probe.TelemetryProbe`
+  (:meth:`EventLoop.attach_telemetry`) is notified after every executed
+  event and scrapes metrics on virtual time, and an optional
+  :class:`~repro.telemetry.profiler.SelfProfiler`
+  (:meth:`EventLoop.attach_profiler`) wraps event execution to attribute
+  the simulator's own wall-clock cost per handler type.  Neither touches
+  the heap, so simulated outcomes stay bit-identical.
 """
 
 from __future__ import annotations
@@ -64,6 +72,8 @@ class EventLoop:
         self._stopped = False
         self._sanitizer = None
         self._tracer = None
+        self._telemetry = None
+        self._profiler = None
 
     @property
     def now(self) -> float:
@@ -137,6 +147,43 @@ class EventLoop:
             raise SimulationError("a tracer is already attached to this loop")
         self._tracer = tracer
 
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.telemetry.probe.TelemetryProbe`,
+        or None."""
+        return self._telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Install a metrics probe notified after every executed event.
+
+        Like the tracer, the probe is a pure observer — it scrapes
+        simulated state on virtual time but never schedules events, so
+        attaching one cannot change the simulated outcome.  Pass
+        ``None`` to detach; attaching over a different probe raises.
+        """
+        if telemetry is not None and self._telemetry is not None and telemetry is not self._telemetry:
+            raise SimulationError("a telemetry probe is already attached to this loop")
+        self._telemetry = telemetry
+
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.telemetry.profiler.SelfProfiler`,
+        or None."""
+        return self._profiler
+
+    def attach_profiler(self, profiler) -> None:
+        """Install a self-profiler that wraps event execution.
+
+        The profiler measures the *simulator's* wall-clock cost per
+        handler type; it executes each event via
+        ``profiler.run_event(event)`` instead of a direct call but
+        never touches simulated state.  Pass ``None`` to detach;
+        attaching over a different profiler raises.
+        """
+        if profiler is not None and self._profiler is not None and profiler is not self._profiler:
+            raise SimulationError("a profiler is already attached to this loop")
+        self._profiler = profiler
+
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is drained."""
         event = self.peek_event()
@@ -174,6 +221,8 @@ class EventLoop:
         heap = self._heap
         sanitizer = self._sanitizer
         tracer = self._tracer
+        telemetry = self._telemetry
+        profiler = self._profiler
         executed = 0
         try:
             while heap:
@@ -189,13 +238,18 @@ class EventLoop:
                 if sanitizer is not None:
                     sanitizer.before_event(self, event)
                 self._now = event.time
-                event.fn(*event.args)
+                if profiler is not None:
+                    profiler.run_event(event)
+                else:
+                    event.fn(*event.args)
                 self._events_processed += 1
                 executed += 1
                 if sanitizer is not None:
                     sanitizer.after_event(self, event)
                 if tracer is not None:
                     tracer.on_loop_event(self)
+                if telemetry is not None:
+                    telemetry.on_loop_event(self)
                 if self._stopped:
                     break
             if sanitizer is not None and not any(not e.cancelled for e in heap):

@@ -1,0 +1,324 @@
+"""``repro-metrics`` — inspect, convert and gate telemetry artifacts.
+
+Usage::
+
+    repro-metrics summary run.metrics.jsonl       # final values + recon
+    repro-metrics export run.metrics.jsonl out.prom
+    repro-metrics dashboard run.metrics.jsonl out.html
+    repro-metrics profile --out BENCH_profile.json  # run a profiled
+                                                    # smoke experiment
+    repro-metrics compare a.metrics.jsonl b.metrics.jsonl --tolerance 0.1
+    repro-metrics bench --root . --baseline bench-baseline.json
+
+Exit codes: 0 ok, 1 reconciliation / drift / regression failure,
+2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+from . import bench as bench_mod
+from .export import dashboard_html, prometheus_text, read_metrics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="Virtual-time metrics for the Persephone reproduction: "
+        "summarize, re-export, render, profile, diff and gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="print a metrics digest")
+    p.add_argument("path", help="metrics JSONL written with --metrics")
+    p.add_argument(
+        "--family", action="append", default=None,
+        help="only show series of this family (repeatable)",
+    )
+
+    p = sub.add_parser("export", help="re-export the final registry as "
+                       "Prometheus text")
+    p.add_argument("path")
+    p.add_argument("out", help="output .prom path")
+
+    p = sub.add_parser("dashboard", help="re-render the static HTML dashboard")
+    p.add_argument("path")
+    p.add_argument("out", help="output .html path")
+
+    p = sub.add_parser(
+        "profile",
+        help="run a profiled figure4-style smoke experiment and write "
+        "BENCH_profile.json",
+    )
+    p.add_argument("--out", default="BENCH_profile.json")
+    p.add_argument("--n-requests", type=int, default=6000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--utilization", type=float, default=0.95)
+    p.add_argument(
+        "--heap", action="store_true",
+        help="also track peak heap via tracemalloc (slower)",
+    )
+    p.add_argument("--top", type=int, default=12, help="handlers to print")
+
+    p = sub.add_parser("compare", help="diff two runs' metrics and flag drift")
+    p.add_argument("a", help="baseline metrics JSONL")
+    p.add_argument("b", help="candidate metrics JSONL")
+    p.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="relative drift allowed per series (0 = exact)",
+    )
+    p.add_argument(
+        "--counters-only", action="store_true",
+        help="compare monotonic counter series only (gauges are "
+        "load-dependent snapshots)",
+    )
+
+    p = sub.add_parser(
+        "bench",
+        help="aggregate BENCH_*.json into BENCH_summary.json and gate "
+        "against a baseline",
+    )
+    p.add_argument("--root", default=".", help="directory holding BENCH_*.json")
+    p.add_argument("--out", default="BENCH_summary.json")
+    p.add_argument("--baseline", default=None, help="bench-baseline.json to gate against")
+    p.add_argument(
+        "--write-baseline", default=None,
+        help="write a fresh baseline from this aggregation and exit",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline's tolerance",
+    )
+    return parser
+
+
+def _fmt_counters(counters: dict) -> str:
+    return ", ".join(f"{key}={value}" for key, value in counters.items())
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    doc = read_metrics(args.path)
+    lines = [f"metrics: {args.path}"]
+    if doc.meta:
+        lines.append("meta: " + _fmt_counters(doc.meta))
+    span = doc.timeline.times[-1] if doc.timeline.times else 0.0
+    lines.append(
+        f"scrapes: {doc.timeline.n_scrapes} over {span:.0f} us virtual, "
+        f"{len(doc.timeline.series)} series"
+    )
+    if doc.counters:
+        lines.append("push counters: " + _fmt_counters(doc.counters))
+    wanted = set(args.family) if args.family else None
+    lines.append("final values:")
+    for key, track in doc.timeline.series.items():
+        if wanted is not None and track.family not in wanted:
+            continue
+        if track.last_value is not None:
+            lines.append(f"  {key} = {track.last_value:g}")
+    status = 0
+    if doc.reconciliation is not None:
+        verdict = "OK" if doc.reconciliation.get("ok") else "MISMATCH"
+        lines.append(f"telemetry/recorder reconciliation: {verdict}")
+        if not doc.reconciliation.get("ok"):
+            lines.append("  " + _fmt_counters(doc.reconciliation))
+            status = 1
+    print("\n".join(lines))
+    return status
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    doc = read_metrics(args.path)
+    if doc.registry is None:
+        print("error: no registry dump in this metrics file", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as fp:
+        fp.write(prometheus_text(doc.registry))
+    print(f"wrote {args.out}: {len(doc.registry)} series")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    doc = read_metrics(args.path)
+    with open(args.out, "w") as fp:
+        fp.write(dashboard_html(doc.timeline, meta=doc.meta))
+    print(
+        f"wrote {args.out}: {len(doc.timeline.series)} series over "
+        f"{doc.timeline.n_scrapes} scrapes"
+    )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    # Imported lazily: experiments.common itself imports repro.telemetry.
+    from ..experiments.common import run_once
+    from ..systems.persephone import PersephoneStaticSystem
+    from ..workload.presets import high_bimodal
+    from .profiler import SelfProfiler
+
+    profiler = SelfProfiler(track_heap=args.heap)
+    system = PersephoneStaticSystem(n_reserved=1, n_workers=14, name="DARC-static(1)")
+    profiler.start()
+    result = run_once(
+        system,
+        high_bimodal(),
+        args.utilization,
+        n_requests=args.n_requests,
+        seed=args.seed,
+        profiler=profiler,
+    )
+    report = profiler.stop(result.server.loop)
+    report["meta"] = {
+        "system": system.name,
+        "workload": "high_bimodal",
+        "utilization": args.utilization,
+        "n_requests": args.n_requests,
+        "seed": args.seed,
+    }
+    SelfProfiler.write(args.out, report)
+    print(
+        f"wrote {args.out}: {report['events']} events in "
+        f"{report['wall_s']:.3f}s wall "
+        f"({report['events_per_sec']:.0f} events/s, "
+        f"{report['sim_time_us']:.0f} us simulated)"
+    )
+    if report["peak_heap_bytes"]:
+        print(f"peak heap: {report['peak_heap_bytes']} bytes")
+    print(f"{'handler':<58} {'calls':>8} {'cum_s':>9} {'mean_us':>9}")
+    for row in report["handlers"][: args.top]:
+        print(
+            f"{row['name']:<58} {row['calls']:>8} "
+            f"{row['cum_s']:>9.4f} {row['mean_us']:>9.2f}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    doc_a = read_metrics(args.a)
+    doc_b = read_metrics(args.b)
+    final_a = doc_a.timeline.final_values()
+    final_b = doc_b.timeline.final_values()
+    counter_families: Dict[str, bool] = {}
+    if args.counters_only:
+        for doc in (doc_a, doc_b):
+            if doc.registry is None:
+                print(
+                    "error: --counters-only needs registry dumps in both files",
+                    file=sys.stderr,
+                )
+                return 2
+            for name, kind, _help, _series in doc.registry.families():
+                counter_families[name] = kind == "counter"
+
+    def keep(doc, key: str) -> bool:
+        if not args.counters_only:
+            return True
+        family = doc.timeline.series[key].family
+        return counter_families.get(family, False)
+
+    drift: List[str] = []
+    for key in sorted(set(final_a) | set(final_b)):
+        in_a, in_b = key in final_a, key in final_b
+        if not in_a:
+            if keep(doc_b, key):
+                drift.append(f"only in {args.b}: {key} = {final_b[key]:g}")
+            continue
+        if not in_b:
+            if keep(doc_a, key):
+                drift.append(f"only in {args.a}: {key} = {final_a[key]:g}")
+            continue
+        if not keep(doc_a, key):
+            continue
+        va, vb = final_a[key], final_b[key]
+        if va == vb:
+            continue
+        denom = max(abs(va), abs(vb))
+        rel = abs(vb - va) / denom if denom else 0.0
+        if rel > args.tolerance:
+            drift.append(f"{key}: {va:g} -> {vb:g} (drift {rel:.1%})")
+    common = len(set(final_a) & set(final_b))
+    print(
+        f"compared {common} common series "
+        f"({len(final_a)} in a, {len(final_b)} in b), "
+        f"tolerance {args.tolerance:.1%}"
+    )
+    if drift:
+        for line in drift:
+            print("  " + line)
+        print(f"DRIFT: {len(drift)} series differ")
+        return 1
+    print("OK: no metric drift")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    paths = bench_mod.discover(args.root)
+    if not paths:
+        print(f"error: no BENCH_*.json under {args.root}", file=sys.stderr)
+        return 2
+    summary = bench_mod.aggregate(paths)
+    bench_mod.write_json(args.out, summary)
+    n_metrics = sum(len(m) for m in summary["benchmarks"].values())
+    print(
+        f"wrote {args.out}: {len(summary['benchmarks'])} benchmark(s), "
+        f"{n_metrics} metric(s) from {len(paths)} artifact(s)"
+    )
+    if args.write_baseline:
+        baseline = bench_mod.make_baseline(
+            summary,
+            tolerance=(
+                args.tolerance
+                if args.tolerance is not None
+                else bench_mod.DEFAULT_TOLERANCE
+            ),
+        )
+        bench_mod.write_json(args.write_baseline, baseline)
+        print(f"wrote baseline {args.write_baseline}")
+        return 0
+    if args.baseline:
+        baseline = bench_mod._load_json(args.baseline)
+        regressions, report = bench_mod.compare(
+            summary, baseline, tolerance=args.tolerance
+        )
+        gated = [r for r in report if r.get("direction")]
+        print(f"gated {len(gated)} directional metric(s) against {args.baseline}")
+        if regressions:
+            for row in regressions:
+                if row["status"] == "missing":
+                    print(f"  MISSING {row['benchmark']} :: {row['metric']}")
+                else:
+                    print(
+                        f"  REGRESSED {row['benchmark']} :: {row['metric']}: "
+                        f"{row['baseline']:g} -> {row['value']:g} "
+                        f"({row['change']:+.1%})"
+                    )
+            print(f"FAIL: {len(regressions)} regression(s)")
+            return 1
+        print("OK: no benchmark regressions")
+    return 0
+
+
+_COMMANDS = {
+    "summary": cmd_summary,
+    "export": cmd_export,
+    "dashboard": cmd_dashboard,
+    "profile": cmd_profile,
+    "compare": cmd_compare,
+    "bench": cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

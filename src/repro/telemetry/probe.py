@@ -1,0 +1,442 @@
+"""The :class:`TelemetryProbe` — one run's metrics plane, end to end.
+
+A probe owns a :class:`~repro.telemetry.registry.MetricsRegistry` and a
+:class:`~repro.telemetry.timeline.MetricsTimeline` and wires them into a
+run via :meth:`install`, after which two kinds of instrumentation feed
+it:
+
+* **push hooks** — the scheduler base, time sharing, work stealing and
+  DARC call ``telemetry.on_*`` at the same sites that feed the tracer
+  (completion, drop, eviction, preemption, steal, reservation install);
+* **pull sources** — at every scrape the probe reads engine counters,
+  dispatcher state, worker occupancy, per-type queue depths, recorder
+  totals, fault-injector counters and the streaming tail monitor.
+
+Scraping is piggybacked on executed events exactly like the tracer: the
+loop notifies the probe after each event and the probe samples when at
+least ``scrape_interval_us`` of *virtual* time has passed.  The probe
+never schedules events, draws randomness, or reads a wall clock, so an
+armed probe leaves the simulated outcome bit-identical
+(``tests/telemetry/test_determinism.py``).
+
+Conservation: :meth:`reconcile` checks the final push counters against
+the :class:`~repro.metrics.recorder.Recorder` ledger the same way
+trace↔recorder reconciliation works —
+
+    completions_total == recorder.completed + recorder.late_completions
+    drops_total + dispatcher drops == recorder.dropped
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TelemetryError
+from ..trace.monitor import TailMonitor
+from .registry import MetricsRegistry
+from .timeline import MetricsTimeline
+
+#: Default simulated-time distance between scrapes (us) — matches the
+#: tracer's sampling cadence.
+DEFAULT_SCRAPE_INTERVAL_US = 100.0
+
+
+class TelemetryProbe:
+    """Collects push metrics, runs the virtual-time scrape loop."""
+
+    def __init__(
+        self,
+        scrape_interval_us: float = DEFAULT_SCRAPE_INTERVAL_US,
+        tail_pct: float = 99.9,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if scrape_interval_us <= 0:
+            raise TelemetryError(
+                f"scrape_interval_us must be > 0, got {scrape_interval_us}"
+            )
+        self.scrape_interval_us = scrape_interval_us
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.timeline = MetricsTimeline()
+        #: Streaming per-type tail estimates, published as gauges.
+        self.tail_monitor = TailMonitor(pct=tail_pct)
+        self._loop = None
+        self._server = None
+        self._injector = None
+        self._netstack_nics: List[Any] = []
+        self._last_scrape_at: Optional[float] = None
+        self._finalized = False
+        self.scrapes = 0
+        # Aggregate push counters (cheap reconciliation without walking
+        # the registry), mirroring Tracer's.
+        self.completions = 0
+        self.drops = 0
+        self.preemptions = 0
+        self.evictions = 0
+        self.steals = 0
+        self.reservation_updates = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, loop, server, injector=None) -> None:
+        """Attach this probe to a loop + server (+ optional injector).
+
+        One probe observes exactly one run.
+        """
+        if self._loop is not None:
+            raise TelemetryError("probe already installed; use one probe per run")
+        self._loop = loop
+        self._server = server
+        self._injector = injector
+        self._last_scrape_at = loop.now
+        loop.attach_telemetry(self)
+        server.attach_telemetry(self)
+        self.tail_monitor.register_gauges(self.registry)
+        self.scrape(loop.now)
+
+    def register_netstack(self, nic) -> None:
+        """Add a NIC whose in-flight packet count is sampled each scrape."""
+        self._netstack_nics.append(nic)
+
+    @property
+    def now(self) -> float:
+        if self._loop is None:
+            raise TelemetryError("probe not installed")
+        return self._loop.now
+
+    # ------------------------------------------------------------------
+    # push hooks (called from policies / DARC)
+    # ------------------------------------------------------------------
+    def on_complete(self, request, worker) -> None:
+        """``request`` finished application processing on ``worker``."""
+        tid = request.type_id
+        self.registry.counter(
+            "repro_requests_completed_total",
+            "Requests completed by the server, by type.",
+            type=tid,
+        ).inc()
+        latency = self.now - request.arrival_time
+        self.registry.histogram(
+            "repro_request_latency_us",
+            "End-to-end request latency (arrival to completion), by type.",
+            type=tid,
+        ).observe(latency)
+        self.tail_monitor.observe(tid, latency)
+        self.completions += 1
+
+    def on_drop(self, request) -> None:
+        """A scheduling policy's flow control rejected ``request``."""
+        self.registry.counter(
+            "repro_requests_dropped_total",
+            "Requests rejected by policy flow control, by type.",
+            type=request.type_id,
+        ).inc()
+        self.drops += 1
+
+    def on_preempt(self, request, worker, overhead_us: float) -> None:
+        """A preemptive policy sliced ``request`` off ``worker``."""
+        self.registry.counter(
+            "repro_preemptions_total",
+            "Time-sharing quantum preemptions.",
+        ).inc()
+        self.registry.counter(
+            "repro_preempt_overhead_us_total",
+            "Cumulative worker time burned on preemption costs (us).",
+        ).inc(overhead_us)
+        self.preemptions += 1
+
+    def on_evict(self, request, worker, requeued: bool) -> None:
+        """``worker`` crashed under ``request``; progress was lost."""
+        self.registry.counter(
+            "repro_evictions_total",
+            "In-flight requests evicted by worker crashes.",
+            requeued="true" if requeued else "false",
+        ).inc()
+        self.evictions += 1
+
+    def on_steal(self, request, thief, victim_worker_id: int, cost_us: float) -> None:
+        """An idle worker stole the head of a victim's queue."""
+        self.registry.counter(
+            "repro_steals_total",
+            "Successful work-steal operations.",
+        ).inc()
+        self.registry.counter(
+            "repro_steal_cost_us_total",
+            "Cumulative cross-core coordination time spent stealing (us).",
+        ).inc(cost_us)
+        self.steals += 1
+
+    def on_reservation(self, reservation, reserved_counts: Dict[int, int], n_alive: int) -> None:
+        """DARC installed a new reservation (Algorithm 2 output).
+
+        ``reserved`` gauges the workers a type's group owns outright;
+        ``yielding`` gauges the owned workers that shorter groups may
+        steal — the cores the group has conditionally given up, which is
+        the non-work-conserving lever Fig. 7 visualizes.
+        """
+        stealable: set = set()
+        for alloc in reservation.allocations:
+            stealable.update(alloc.stealable)
+        for alloc in reservation.allocations:
+            yielding = sum(1 for widx in alloc.reserved if widx in stealable)
+            for tid in sorted(alloc.type_ids):
+                self.registry.gauge(
+                    "repro_darc_reserved_cores",
+                    "Workers currently guaranteed to the type's group.",
+                    type=tid,
+                ).set(len(alloc.reserved))
+                self.registry.gauge(
+                    "repro_darc_yielding_cores",
+                    "Guaranteed workers the group currently yields to "
+                    "shorter groups (stealable by them).",
+                    type=tid,
+                ).set(yielding)
+        spillway = reservation.spillway_worker
+        self.registry.gauge(
+            "repro_darc_spillway_worker",
+            "Worker id of the shared spillway core (-1 when none).",
+        ).set(-1 if spillway is None else spillway)
+        self.registry.gauge(
+            "repro_darc_alive_workers",
+            "Workers the reservation was computed over.",
+        ).set(n_alive)
+        self.registry.counter(
+            "repro_darc_reservation_updates_total",
+            "Algorithm 2 reservation recomputations installed.",
+        ).inc()
+        self.reservation_updates += 1
+
+    def on_fault(self, kind: str, **payload: Any) -> None:
+        """A fault-injection event fired (crash/recover/slowdown/...)."""
+        self.registry.counter(
+            "repro_fault_events_total",
+            "Fault-plan events executed, by kind.",
+            kind=kind,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # the scrape loop (piggybacked on executed events)
+    # ------------------------------------------------------------------
+    def on_loop_event(self, loop) -> None:
+        """Notified by the event loop after every executed event."""
+        now = loop.now
+        if (
+            self._last_scrape_at is not None
+            and now - self._last_scrape_at < self.scrape_interval_us
+        ):
+            return
+        self._last_scrape_at = now
+        self.scrape(now)
+
+    def scrape(self, now: float) -> None:
+        """Sample every pull source and append to the timeline."""
+        self._pull_engine(now)
+        self._pull_server(now)
+        self._pull_scheduler(now)
+        self._pull_recorder(now)
+        self._pull_faults(now)
+        self._pull_netstack(now)
+        self.registry.collect(now)
+        self.timeline.record(now, self.registry)
+        self.scrapes += 1
+
+    def finalize(self) -> None:
+        """Take the closing scrape (idempotent; run end / export time)."""
+        if self._finalized or self._loop is None:
+            return
+        self._finalized = True
+        self.scrape(self._loop.now)
+
+    # ------------------------------------------------------------------
+    # pull sources
+    # ------------------------------------------------------------------
+    def _pull_engine(self, now: float) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        self.registry.counter(
+            "repro_sim_events_processed_total",
+            "Events executed by the discrete-event loop.",
+        ).set_total(loop.events_processed)
+        self.registry.gauge(
+            "repro_sim_pending_events",
+            "Events in the loop heap (including lazily cancelled ones).",
+        ).set(loop.pending_count)
+
+    def _pull_server(self, now: float) -> None:
+        server = self._server
+        if server is None:
+            return
+        self.registry.counter(
+            "repro_server_received_total",
+            "Requests that reached Server.ingress.",
+        ).set_total(server.received)
+        self.registry.counter(
+            "repro_dispatcher_drops_total",
+            "Requests dropped by the dispatcher's inbound queue (NIC ring).",
+        ).set_total(server.dispatcher_drops)
+        busy = free = failed = slowed = 0
+        for w in server.workers:
+            if w.failed:
+                failed += 1
+            elif w.current is not None:
+                busy += 1
+            else:
+                free += 1
+            if not w.failed and w.speed_factor != 1.0:
+                slowed += 1
+        self.registry.gauge(
+            "repro_workers_busy", "Workers currently serving a request."
+        ).set(busy)
+        self.registry.gauge(
+            "repro_workers_free", "Workers currently idle."
+        ).set(free)
+        self.registry.gauge(
+            "repro_workers_failed", "Workers currently crashed."
+        ).set(failed)
+        self.registry.gauge(
+            "repro_workers_slowed",
+            "Live workers currently running degraded (speed_factor != 1).",
+        ).set(slowed)
+
+    def _pull_scheduler(self, now: float) -> None:
+        server = self._server
+        if server is None:
+            return
+        scheduler = server.scheduler
+        self.registry.gauge(
+            "repro_scheduler_pending",
+            "Requests queued at the scheduler (not being served).",
+        ).set(scheduler.pending_count())
+        for label_key, label_value, depth in _queue_depths(scheduler):
+            self.registry.gauge(
+                "repro_queue_depth",
+                "Scheduler queue depth, by typed queue / worker queue.",
+                **{label_key: label_value},
+            ).set(depth)
+
+    def _pull_recorder(self, now: float) -> None:
+        server = self._server
+        if server is None:
+            return
+        recorder = server.recorder
+        self.registry.counter(
+            "repro_recorder_completions_total",
+            "Completion rows booked by the Recorder.",
+        ).set_total(recorder.completed)
+        self.registry.counter(
+            "repro_recorder_drops_total",
+            "Drops booked by the Recorder (policy + dispatcher).",
+        ).set_total(recorder.dropped)
+        for key, value in sorted(recorder.orphan_counters().items()):
+            self.registry.counter(
+                "repro_recorder_orphans_total",
+                "Orphan-request ledger (resilience layer), by kind.",
+                kind=key,
+            ).set_total(value)
+
+    def _pull_faults(self, now: float) -> None:
+        injector = self._injector
+        if injector is None:
+            return
+        for key, value in sorted(injector.counters().items()):
+            self.registry.counter(
+                "repro_fault_injector_total",
+                "Fault-injector lifetime counters, by kind.",
+                kind=key,
+            ).set_total(value)
+
+    def _pull_netstack(self, now: float) -> None:
+        for index, nic in enumerate(self._netstack_nics):
+            self.registry.gauge(
+                "repro_net_in_flight_packets",
+                "Packets queued in the NIC, by nic index.",
+                nic=index,
+            ).set(nic.pending())
+
+    # ------------------------------------------------------------------
+    # reconciliation
+    # ------------------------------------------------------------------
+    def counter_totals(self) -> Dict[str, int]:
+        """The aggregate push counters as a plain dict."""
+        return {
+            "completions": self.completions,
+            "drops": self.drops,
+            "preemptions": self.preemptions,
+            "evictions": self.evictions,
+            "steals": self.steals,
+            "reservation_updates": self.reservation_updates,
+        }
+
+    def reconcile(self, recorder) -> Dict[str, Any]:
+        """Conservation check against a Recorder's ledger.
+
+        Every server-side completion fires the push hook exactly once,
+        and the recorder books it either as a row or (behind a
+        resilience layer, for orphaned attempts) as a late completion::
+
+            completions_total == recorder.completed + recorder.late_completions
+            drops_total + dispatcher_drops == recorder.dropped
+
+        The registry's per-type counter families must agree with the
+        aggregate push counters (they are incremented at the same sites).
+        """
+        dispatcher_drops = self._server.dispatcher_drops if self._server else 0
+        expected_complete = recorder.completed + recorder.late_completions
+        family_completions = self.registry.family_total(
+            "repro_requests_completed_total"
+        )
+        family_drops = self.registry.family_total("repro_requests_dropped_total")
+        ok = (
+            self.completions == expected_complete
+            and self.drops + dispatcher_drops == recorder.dropped
+            and family_completions == self.completions
+            and family_drops == self.drops
+        )
+        return {
+            "ok": ok,
+            "telemetry_completions": self.completions,
+            "recorder_complete": recorder.completed,
+            "recorder_late_completions": recorder.late_completions,
+            "telemetry_drops": self.drops,
+            "dispatcher_drops": dispatcher_drops,
+            "recorder_dropped": recorder.dropped,
+            "orphans": dict(sorted(recorder.orphan_counters().items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TelemetryProbe(series={len(self.registry)}, "
+            f"scrapes={self.scrapes}, completions={self.completions})"
+        )
+
+
+def _queue_depths(scheduler) -> List[Tuple[str, str, int]]:
+    """Queue-depth gauges for every queue shape a policy exposes.
+
+    * ``queues`` dict  — typed queues (DARC, FixedPriority, DRR, ...):
+      one gauge per type id;
+    * ``queues`` list  — per-worker FIFOs (d-FCFS / work stealing): one
+      gauge per worker index;
+    * ``queue`` deque  — c-FCFS's single central queue;
+    * ``central`` / ``typed`` — TimeSharing's two disciplines.
+    """
+    out: List[Tuple[str, str, int]] = []
+    queues = getattr(scheduler, "queues", None)
+    if isinstance(queues, dict):
+        for tid in sorted(queues):
+            out.append(("type", str(tid), len(queues[tid])))
+    elif isinstance(queues, list):
+        for index, queue in enumerate(queues):
+            out.append(("worker", str(index), len(queue)))
+    central = getattr(scheduler, "queue", None)
+    if central is not None:
+        out.append(("queue", "central", len(central)))
+    ts_central = getattr(scheduler, "central", None)
+    ts_typed = getattr(scheduler, "typed", None)
+    if ts_central is not None and getattr(scheduler, "mode", None) == "single":
+        out.append(("queue", "central", len(ts_central)))
+    if isinstance(ts_typed, dict) and getattr(scheduler, "mode", None) == "multi":
+        for tid in sorted(ts_typed):
+            out.append(("type", str(tid), len(ts_typed[tid])))
+    return out

@@ -64,6 +64,33 @@ class TailMonitor:
             }
         return out
 
+    def register_gauges(self, registry) -> None:
+        """Publish the streaming estimates as telemetry gauges.
+
+        Registers a pull source on a
+        :class:`~repro.telemetry.registry.MetricsRegistry`: at every
+        scrape, each type with at least one sample exports its current
+        P² tail estimate as ``repro_tail_latency_us{pct=...,type=...}``
+        (plus the cross-type ``type="overall"`` series), so streaming
+        tails appear on the dashboard without storing raw samples.
+        """
+        pct_label = f"{self.pct:g}"
+
+        def sample(reg, now: float) -> None:
+            for tid in sorted(self._estimators):
+                est = self._estimators[tid]
+                if est.count == 0:
+                    continue
+                key = "overall" if tid == OVERALL else str(tid)
+                reg.gauge(
+                    "repro_tail_latency_us",
+                    "Streaming P2 tail-latency estimate, by type.",
+                    pct=pct_label,
+                    type=key,
+                ).set(est.value())
+
+        registry.register_source(sample)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"TailMonitor(p{self.pct}, types={len(self._estimators) - 1}, "

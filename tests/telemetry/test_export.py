@@ -1,0 +1,167 @@
+"""Export round-trips: Prometheus text, the JSONL timeline document,
+and the static HTML dashboard."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneSystem
+from repro.telemetry import MetricsRegistry, TelemetryProbe
+from repro.telemetry.export import (
+    dashboard_html,
+    parse_prometheus_text,
+    prometheus_text,
+    read_metrics,
+    registry_dump,
+    registry_from_dump,
+    write_metrics,
+)
+from repro.workload.presets import high_bimodal
+
+
+def _small_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_done_total", "Things done.", type=0).inc(7)
+    reg.counter("repro_done_total", "Things done.", type=1).inc(2)
+    reg.gauge("repro_depth", "Queue depth.").set(3.5)
+    h = reg.histogram("repro_lat_us", "Latency.", bounds=[1.0, 10.0])
+    h.observe(0.5)
+    h.observe(42.0)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def metrics_run(tmp_path_factory):
+    base = str(tmp_path_factory.mktemp("metrics") / "run.metrics")
+    probe = TelemetryProbe()
+    result = run_once(
+        PersephoneSystem(n_workers=8, oracle=True, name="DARC"),
+        high_bimodal(),
+        0.8,
+        n_requests=2000,
+        seed=4,
+        telemetry=probe,
+    )
+    paths = write_metrics(
+        base, probe, recorder=result.server.recorder, meta={"seed": 4}
+    )
+    return probe, paths
+
+
+class TestPrometheusText:
+    def test_help_type_and_samples(self):
+        text = prometheus_text(_small_registry())
+        assert "# HELP repro_done_total Things done.\n" in text
+        assert "# TYPE repro_done_total counter\n" in text
+        assert 'repro_done_total{type="0"} 7\n' in text
+        assert "repro_depth 3.5\n" in text
+        # histograms expand to cumulative buckets + sum + count
+        assert 'repro_lat_us_bucket{le="1"} 1\n' in text
+        assert 'repro_lat_us_bucket{le="+Inf"} 2\n' in text
+        assert "repro_lat_us_count 2\n" in text
+
+    def test_parse_inverts_format(self):
+        reg = _small_registry()
+        parsed = parse_prometheus_text(prometheus_text(reg))
+        assert parsed["repro_done_total"]["kind"] == "counter"
+        samples = parsed["repro_done_total"]["samples"]
+        assert samples['repro_done_total{type="0"}'] == 7.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TelemetryError):
+            parse_prometheus_text("sample-line-with-no-value\n")
+
+
+class TestRegistryDump:
+    def test_dump_roundtrip_is_lossless(self):
+        reg = _small_registry()
+        rebuilt = registry_from_dump(registry_dump(reg))
+        assert prometheus_text(rebuilt) == prometheus_text(reg)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TelemetryError):
+            registry_from_dump(
+                [{"name": "x", "kind": "mystery", "help": "",
+                  "series": [{"labels": [], "value": 1}]}]
+            )
+
+
+class TestWriteMetrics:
+    def test_writes_all_three_exports(self, metrics_run):
+        _, paths = metrics_run
+        assert set(paths) == {"prometheus", "jsonl", "html"}
+        for path in paths.values():
+            with open(path) as fp:
+                assert fp.read(64)
+
+    def test_jsonl_roundtrip_preserves_timeline(self, metrics_run):
+        probe, paths = metrics_run
+        doc = read_metrics(paths["jsonl"])
+        assert doc.meta["seed"] == 4
+        assert doc.timeline.n_scrapes == probe.timeline.n_scrapes
+        assert doc.timeline.times == probe.timeline.times
+        for key, track in probe.timeline.series.items():
+            assert doc.timeline.series[key].points == track.points
+
+    def test_jsonl_trailer_carries_registry_and_reconciliation(self, metrics_run):
+        probe, paths = metrics_run
+        doc = read_metrics(paths["jsonl"])
+        assert doc.reconciliation is not None and doc.reconciliation["ok"]
+        assert doc.counters == probe.counter_totals()
+        assert doc.registry is not None
+        assert prometheus_text(doc.registry) == prometheus_text(probe.registry)
+
+    def test_jsonl_is_line_delimited_json(self, metrics_run):
+        _, paths = metrics_run
+        with open(paths["jsonl"]) as fp:
+            kinds = [json.loads(line)["kind"] for line in fp if line.strip()]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "final"
+        assert "sample" in kinds and "series" in kinds
+
+    def test_prom_export_matches_final_registry(self, metrics_run):
+        probe, paths = metrics_run
+        with open(paths["prometheus"]) as fp:
+            assert fp.read() == prometheus_text(probe.registry)
+
+
+class TestDashboard:
+    def test_html_is_self_contained_with_sparklines(self, metrics_run):
+        probe, paths = metrics_run
+        with open(paths["html"]) as fp:
+            html = fp.read()
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "polyline" in html
+        assert "repro_workers_busy" in html
+        assert "<script" not in html  # static: no JS, no external fetches
+
+    def test_escapes_metadata(self):
+        html = dashboard_html(
+            TelemetryProbe().timeline, meta={"system": "<script>alert(1)</script>"}
+        )
+        assert "<script>alert(1)</script>" not in html
+
+
+class TestReadMetricsFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            read_metrics(str(tmp_path / "nope.jsonl"))
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "meta", "meta": {}}\nnot json\n')
+        with pytest.raises(TelemetryError):
+            read_metrics(str(path))
+
+
+def test_fmt_value_handles_non_finite():
+    from repro.telemetry.export import _fmt_value
+
+    assert _fmt_value(float("nan")) == "NaN"
+    assert _fmt_value(float("inf")) == "+Inf"
+    assert _fmt_value(float("-inf")) == "-Inf"
+    assert _fmt_value(3.0) == "3"
+    assert float(_fmt_value(math.pi)) == pytest.approx(math.pi)

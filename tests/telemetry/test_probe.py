@@ -1,0 +1,132 @@
+"""The probe end-to-end on real runs: scrape pacing, queue-depth and
+DARC gauges, push-counter/Recorder reconciliation."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+from repro.systems.shenango import ShenangoSystem
+from repro.telemetry import TelemetryProbe
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="module")
+def darc_run():
+    probe = TelemetryProbe()
+    result = run_once(
+        PersephoneSystem(n_workers=8, oracle=False, min_samples=200, name="DARC"),
+        high_bimodal(),
+        0.8,
+        n_requests=3000,
+        seed=3,
+        telemetry=probe,
+    )
+    return probe, result
+
+
+class TestScrapeLoop:
+    def test_scrapes_paced_by_virtual_time(self, darc_run):
+        probe, result = darc_run
+        duration = result.server.loop.now
+        # One scrape per interval boundary crossed (plus install/final);
+        # never more than one per executed event.
+        assert probe.scrapes >= duration / probe.scrape_interval_us * 0.5
+        assert probe.scrapes <= result.server.loop.events_processed + 2
+        assert probe.timeline.n_scrapes == probe.scrapes
+
+    def test_timeline_times_are_monotonic(self, darc_run):
+        probe, _ = darc_run
+        times = probe.timeline.times
+        assert all(t1 <= t2 for t1, t2 in zip(times, times[1:]))
+
+    def test_one_probe_per_run(self, darc_run):
+        probe, result = darc_run
+        with pytest.raises(TelemetryError):
+            probe.install(result.server.loop, result.server)
+
+
+class TestGauges:
+    def test_per_type_queue_depth_series_exist(self, darc_run):
+        probe, _ = darc_run
+        keys = {s.key for s in probe.registry.series()}
+        assert any(k.startswith('repro_queue_depth{type="') for k in keys)
+
+    def test_darc_reservation_gauges_exist(self, darc_run):
+        probe, _ = darc_run
+        reserved = probe.registry.family_total("repro_darc_reserved_cores")
+        assert reserved > 0
+        assert probe.reservation_updates > 0
+        assert (
+            probe.registry.family_total("repro_darc_reservation_updates_total")
+            == probe.reservation_updates
+        )
+
+    def test_tail_gauges_published(self, darc_run):
+        probe, _ = darc_run
+        assert probe.registry.family_total("repro_tail_latency_us") > 0
+
+    def test_per_worker_queue_depth_for_dfcfs(self):
+        probe = TelemetryProbe()
+        run_once(
+            ShenangoSystem(n_workers=4, work_stealing=True, name="Shenango"),
+            high_bimodal(),
+            0.7,
+            n_requests=1500,
+            seed=5,
+            telemetry=probe,
+        )
+        keys = {s.key for s in probe.registry.series()}
+        assert 'repro_queue_depth{worker="0"}' in keys
+        assert probe.steals >= 0  # counted, possibly zero at low load
+
+    def test_central_queue_depth_for_cfcfs(self):
+        probe = TelemetryProbe()
+        run_once(
+            PersephoneCfcfsSystem(n_workers=4, name="c-FCFS"),
+            high_bimodal(),
+            0.7,
+            n_requests=1500,
+            seed=5,
+            telemetry=probe,
+        )
+        keys = {s.key for s in probe.registry.series()}
+        assert 'repro_queue_depth{queue="central"}' in keys
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize(
+        "make_system",
+        [
+            lambda: PersephoneSystem(n_workers=8, oracle=True, name="DARC"),
+            lambda: ShenangoSystem(n_workers=8, work_stealing=True, name="Shenango"),
+            lambda: PersephoneCfcfsSystem(n_workers=8, name="c-FCFS"),
+        ],
+    )
+    def test_push_counters_match_recorder_exactly(self, make_system):
+        probe = TelemetryProbe()
+        result = run_once(
+            make_system(), high_bimodal(), 0.85, n_requests=2500, seed=9,
+            telemetry=probe,
+        )
+        recorder = result.server.recorder
+        verdict = probe.reconcile(recorder)
+        assert verdict["ok"], verdict
+        assert probe.completions == recorder.completed + recorder.late_completions
+        assert (
+            probe.registry.family_total("repro_requests_completed_total")
+            == probe.completions
+        )
+
+    def test_counter_totals_shape(self, darc_run):
+        probe, _ = darc_run
+        totals = probe.counter_totals()
+        assert set(totals) == {
+            "completions",
+            "drops",
+            "preemptions",
+            "evictions",
+            "steals",
+            "reservation_updates",
+        }
+        assert totals["completions"] == probe.completions

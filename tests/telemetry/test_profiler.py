@@ -1,0 +1,95 @@
+"""The self-profiler: per-handler wall-time attribution, report shape,
+and the BENCH_profile.json artifact."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneSystem
+from repro.telemetry import SelfProfiler
+from repro.telemetry.profiler import PROFILE_KIND
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    profiler = SelfProfiler()
+    profiler.start()
+    result = run_once(
+        PersephoneSystem(n_workers=8, oracle=True),
+        high_bimodal(),
+        0.7,
+        n_requests=1200,
+        seed=2,
+        profiler=profiler,
+    )
+    report = profiler.stop(result.server.loop)
+    return profiler, result, report
+
+
+class TestAttribution:
+    def test_every_event_is_counted(self, profiled):
+        _, result, report = profiled
+        assert report["events"] == result.server.loop.events_processed
+        assert sum(h["calls"] for h in report["handlers"]) == report["events"]
+
+    def test_handlers_sorted_by_cumulative_time(self, profiled):
+        _, _, report = profiled
+        cums = [h["cum_s"] for h in report["handlers"]]
+        assert cums == sorted(cums, reverse=True)
+        names = {h["name"] for h in report["handlers"]}
+        assert any("OpenLoopGenerator" in n for n in names)
+
+    def test_profiled_run_results_unaffected(self, profiled):
+        # The profiler wraps execution from outside; virtual-time results
+        # must match an unprofiled same-seed run exactly.
+        _, result, _ = profiled
+        plain = run_once(
+            PersephoneSystem(n_workers=8, oracle=True),
+            high_bimodal(),
+            0.7,
+            n_requests=1200,
+            seed=2,
+        )
+        assert plain.summary.overall_tail_latency == (
+            result.summary.overall_tail_latency
+        )
+        assert plain.server.loop.now == result.server.loop.now
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        profiler = SelfProfiler()
+        profiler.start()
+        with pytest.raises(TelemetryError):
+            profiler.start()
+
+    def test_stop_before_start_rejected(self):
+        with pytest.raises(TelemetryError):
+            SelfProfiler().stop()
+
+
+class TestReport:
+    def test_report_schema(self, profiled):
+        _, _, report = profiled
+        assert report["kind"] == PROFILE_KIND
+        assert report["version"] == 1
+        assert report["wall_s"] > 0
+        assert report["events_per_sec"] > 0
+        assert report["sim_time_us"] > 0
+        for h in report["handlers"]:
+            assert set(h) == {"name", "calls", "cum_s", "mean_us"}
+
+    def test_write_is_valid_json_and_bench_compatible(self, profiled, tmp_path):
+        from repro.telemetry.bench import summarize_file
+
+        profiler, _, report = profiled
+        path = tmp_path / "BENCH_profile.json"
+        profiler.write(str(path), report)
+        assert json.loads(path.read_text())["kind"] == PROFILE_KIND
+        summary = summarize_file(str(path))
+        metrics = summary["BENCH_profile"]
+        assert metrics["events"] == report["events"]
+        assert metrics["time_wall_s"] == report["wall_s"]

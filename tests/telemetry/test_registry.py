@@ -1,0 +1,119 @@
+"""Metric primitives: monotonic counters, gauges, fixed-bound
+histograms, and the registry's get-or-create family/series model."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DEFAULT_BOUNDS,
+    MetricsRegistry,
+    log_spaced_bounds,
+    series_key,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_set_total_must_be_monotonic(self):
+        c = MetricsRegistry().counter("repro_things_total")
+        c.set_total(10)
+        c.set_total(10)  # equal is fine
+        with pytest.raises(TelemetryError):
+            c.set_total(9)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_bounds_must_be_ascending(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            reg.histogram("repro_lat_us", bounds=[2.0, 1.0])
+        with pytest.raises(TelemetryError):
+            reg.histogram("repro_lat2_us", bounds=[])
+
+    def test_observe_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_us", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        # bucket_counts: per-bound (non-cumulative) + one overflow slot
+        assert h.count == 5
+        assert h.sum == pytest.approx(5060.5)
+        cumulative = h.cumulative_buckets()
+        # le=1.0 -> 1, le=10.0 -> 3, le=100.0 -> 4, le=+Inf -> 5
+        assert [c for _, c in cumulative] == [1, 3, 4, 5]
+        assert cumulative[-1][0] == float("inf")
+
+    def test_default_bounds_are_log_spaced_and_fixed(self):
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
+        assert len(DEFAULT_BOUNDS) == 25
+        assert DEFAULT_BOUNDS[0] == pytest.approx(0.1)
+        assert DEFAULT_BOUNDS[-1] == pytest.approx(1e7)
+        with pytest.raises(TelemetryError):
+            log_spaced_bounds(per_decade=0)
+        with pytest.raises(TelemetryError):
+            log_spaced_bounds(lo_exp=3, hi_exp=3)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", type=1)
+        b = reg.counter("repro_x_total", type=1)
+        assert a is b
+        assert reg.counter("repro_x_total", type=2) is not a
+        assert len(reg) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(TelemetryError):
+            reg.gauge("repro_x_total")
+
+    def test_series_key_is_label_sorted(self):
+        # Labels are frozen into sorted order before keying, so argument
+        # order never creates a second series.
+        assert series_key("m", (("a", "1"), ("b", "2"))) == 'm{a="1",b="2"}'
+        reg = MetricsRegistry()
+        assert reg.counter("repro_x_total", b=2, a=1) is reg.counter(
+            "repro_x_total", a=1, b=2
+        )
+
+    def test_family_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", type=0).inc(3)
+        reg.counter("repro_x_total", type=1).inc(4)
+        assert reg.family_total("repro_x_total") == 7
+        assert reg.family_total("repro_missing_total") == 0
+
+    def test_pull_source_runs_on_collect(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def source(registry, now):
+            seen.append(now)
+            registry.gauge("repro_pulled").set(now)
+
+        reg.register_source(source)
+        reg.collect(42.0)
+        assert seen == [42.0]
+        assert reg.gauge("repro_pulled").value == 42.0
