@@ -18,6 +18,12 @@ over it:
   wall-clock, entropy, RNG, and heap-tracking calls inside the trace
   and telemetry observer packages, resolved through each module's
   import table.
+* :mod:`repro.analyze.hotpath` — profile-guided hot-path performance
+  analysis (A401–A406): allocations, missing ``__slots__``, repeated
+  attribute lookups, string formatting, exception-driven control flow,
+  and trivial delegation inside the set of functions transitively
+  reachable from event dispatch, optionally ranked by measured handler
+  cost from a ``BENCH_profile.json``.
 
 Findings share :mod:`repro.lint`'s severity and pragma model
 (``# repro-analyze: disable=A102``), serialize to text, JSON and SARIF
@@ -31,6 +37,14 @@ from .baseline import BaselineDiff, diff_baseline, load_baseline, write_baseline
 from .contracts import analyze_contracts
 from .eventflow import analyze_eventflow, collect_schedule_sites
 from .findings import ANALYSIS_RULES, AnalysisFinding, RuleMeta, fingerprint, make_finding
+from .hotpath import (
+    analyze_hotpath,
+    function_weights,
+    hot_functions,
+    hot_roots,
+    load_profile,
+    rank_findings,
+)
 from .model import Program, build_program
 from .purity import analyze_purity
 from .rngflow import analyze_rngflow
@@ -45,6 +59,7 @@ __all__ = [
     "RuleMeta",
     "analyze_contracts",
     "analyze_eventflow",
+    "analyze_hotpath",
     "analyze_paths",
     "analyze_program",
     "analyze_purity",
@@ -54,9 +69,14 @@ __all__ = [
     "diff_baseline",
     "findings_from_sarif",
     "fingerprint",
+    "function_weights",
     "has_errors",
+    "hot_functions",
+    "hot_roots",
     "load_baseline",
+    "load_profile",
     "make_finding",
+    "rank_findings",
     "sarif_text",
     "to_sarif",
     "write_baseline",

@@ -12,6 +12,9 @@ Usage::
     repro-analyze diff src/repro --baseline analyze-baseline.json
                                                       # show new + resolved
     repro-analyze sarif src/repro -o out.sarif        # SARIF only
+    repro-analyze hotpath src/repro --profile BENCH_profile.json
+                                                      # A401-A406 only,
+                                                      # cost-ranked output
     repro-analyze selfcheck                           # scan this package's
                                                       # own source tree
     repro-analyze list-rules                          # finding catalogue
@@ -31,8 +34,14 @@ from typing import List, Optional, Sequence
 from ..errors import ReproError
 from .baseline import diff_baseline, load_baseline, write_baseline
 from .findings import ANALYSIS_RULES, AnalysisFinding
-from .runner import analyze_paths, has_errors
+from .hotpath import load_profile, rank_findings
+from .model import build_program
+from .runner import analyze_paths, analyze_program, has_errors
+from ..lint.runner import iter_python_files
 from .sarif import sarif_text
+
+#: The rule ids the ``hotpath`` subcommand restricts itself to.
+HOTPATH_SELECT = ["A000", "A401", "A402", "A403", "A404", "A405", "A406"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +96,30 @@ def build_parser() -> argparse.ArgumentParser:
     sarif = sub.add_parser("sarif", help="analyze and write SARIF 2.1.0 only")
     add_scan_args(sarif)
     sarif.add_argument("-o", "--output", required=True, help="SARIF file to write")
+
+    hot = sub.add_parser(
+        "hotpath",
+        help="profile-guided hot-path performance scan (A401-A406 only)",
+    )
+    add_scan_args(hot)
+    hot.add_argument(
+        "--profile",
+        default=None,
+        metavar="BENCH_PROFILE",
+        help="BENCH_profile.json to rank findings by measured handler cost",
+    )
+    hot.add_argument(
+        "--format", choices=("text", "json"), default="text", help="findings format"
+    )
+    hot.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON; findings in it are tolerated, new ones fail",
+    )
+    hot.add_argument("--sarif", default=None, help="also write SARIF 2.1.0 here")
+    hot.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
 
     self_p = sub.add_parser(
         "selfcheck", help="scan the installed repro package's own source"
@@ -157,14 +190,16 @@ def _gate(
     fmt: str,
     sarif_path: Optional[str],
     strict: bool,
+    emit=None,
 ) -> int:
-    """Shared scan/selfcheck reporting + gating logic."""
+    """Shared scan/selfcheck/hotpath reporting + gating logic."""
+    emit = emit or _emit
     if sarif_path:
         _write(sarif_path, sarif_text(findings))
     if baseline_path:
         baseline = load_baseline(_read(baseline_path))
         result = diff_baseline(findings, baseline)
-        _emit(result.new, fmt)
+        emit(result.new, fmt)
         if result.resolved:
             print(
                 f"repro-analyze: {len(result.resolved)} baselined finding(s) "
@@ -182,7 +217,7 @@ def _gate(
             f"({len(result.known)} tolerated finding(s))"
         )
         return 0
-    _emit(findings, fmt)
+    emit(findings, fmt)
     return 1 if has_errors(findings, strict=strict) else 0
 
 
@@ -207,6 +242,34 @@ def _main(argv: Optional[List[str]] = None) -> int:
         if args.command == "selfcheck":
             findings = analyze_paths([_package_root()])
             return _gate(findings, args.baseline, args.format, args.sarif, args.strict)
+        if args.command == "hotpath":
+            select = _split_select(args.select) or HOTPATH_SELECT
+            files = iter_python_files(args.paths)
+            if not files:
+                raise ReproError("no Python files to analyze")
+            program = build_program(files, root=args.root)
+            findings = analyze_program(program, select=select)
+            profile = load_profile(args.profile) if args.profile else None
+
+            def emit_ranked(shown: Sequence[AnalysisFinding], fmt: str) -> None:
+                if profile is None or fmt != "text":
+                    _emit(shown, fmt)
+                    return
+                for weight, finding in rank_findings(program, shown, profile):
+                    print(f"{weight * 1e3:9.3f}ms {finding.format()}")
+                print(
+                    f"repro-analyze: {len(shown)} hot-path finding(s), "
+                    "ranked by measured handler cost"
+                )
+
+            return _gate(
+                findings,
+                args.baseline,
+                args.format,
+                args.sarif,
+                args.strict,
+                emit=emit_ranked,
+            )
         select = _split_select(args.select)
         findings = analyze_paths(args.paths, select=select, root=args.root)
         if args.command == "scan":

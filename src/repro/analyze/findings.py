@@ -36,7 +36,7 @@ class RuleMeta(NamedTuple):
 
 #: The finding-id catalogue.  A0xx — analyzer hygiene; A1xx — RNG-stream
 #: flow; A2xx — policy/system/balancer contracts; A3xx — observer
-#: purity; A001/A002 — event-flow.
+#: purity; A4xx — hot-path performance; A001/A002 — event-flow.
 ANALYSIS_RULES: Dict[str, RuleMeta] = {
     meta.id: meta
     for meta in (
@@ -153,6 +153,72 @@ ANALYSIS_RULES: Dict[str, RuleMeta] = {
             "a pure function of simulated events; the self-profiler is "
             "the one sanctioned exception and must pragma-tag every such "
             "line so each impurity stays individually justified.",
+        ),
+        RuleMeta(
+            "A401",
+            "allocation-in-hot-loop",
+            "warning",
+            "hotpath",
+            "A comprehension, sorted() call, collection literal, slice, "
+            "or allocating builtin sits on the event-dispatch hot path "
+            "(inside a loop of a reachable handler, or anywhere in one "
+            "for comprehensions).  Each event pays an allocation and a "
+            "garbage-collection debt; build the structure once outside "
+            "the hot path or maintain it incrementally.",
+        ),
+        RuleMeta(
+            "A402",
+            "missing-slots-on-hot-path",
+            "warning",
+            "hotpath",
+            "A class instantiated by hot-path code declares no __slots__ "
+            "anywhere in its ancestry.  Every instance then carries a "
+            "__dict__ (56+ bytes) and every attribute read is a hash "
+            "probe instead of an index; at thousands of instances per "
+            "simulated second this dominates allocator time.",
+        ),
+        RuleMeta(
+            "A403",
+            "repeated-attribute-lookup",
+            "warning",
+            "hotpath",
+            "A depth->=2 attribute chain (self.x.y) is loaded repeatedly "
+            "in one hot-path function with no intervening store.  Each "
+            "load re-walks the chain through two dict probes; hoist the "
+            "value to a local, or cache it at construction when the "
+            "middle object never changes.",
+        ),
+        RuleMeta(
+            "A404",
+            "string-formatting-on-hot-path",
+            "warning",
+            "hotpath",
+            "An f-string, str.format/%-formatting, print, or logging "
+            "call executes per event on the hot path.  String building "
+            "costs even when the output is discarded (and logging "
+            "formats before the level check); error paths (raise/assert) "
+            "are exempt.",
+        ),
+        RuleMeta(
+            "A405",
+            "exception-driven-control-flow",
+            "warning",
+            "hotpath",
+            "A try/except around a single lookup catches only "
+            "KeyError/IndexError/AttributeError/StopIteration on the hot "
+            "path.  Setting up the handler is cheap but each *miss* "
+            "costs an exception instance plus a traceback; dict.get or a "
+            "membership precheck is both faster and clearer.",
+        ),
+        RuleMeta(
+            "A406",
+            "trivial-delegation-on-hot-path",
+            "warning",
+            "hotpath",
+            "A hot-path function's entire body is `return other(args)` "
+            "with pass-through arguments.  The indirection costs one "
+            "Python call frame per event and buys nothing; inline the "
+            "callee or bind the target directly where it is called.",
         ),
     )
 }

@@ -19,6 +19,7 @@ from ..lint.runner import iter_python_files
 from .contracts import analyze_contracts
 from .eventflow import analyze_eventflow
 from .findings import ANALYSIS_RULES, AnalysisFinding, make_finding
+from .hotpath import analyze_hotpath
 from .model import Program, build_program
 from .purity import analyze_purity
 from .rngflow import analyze_rngflow
@@ -31,6 +32,7 @@ ANALYSES = {
     "rngflow": analyze_rngflow,
     "contracts": analyze_contracts,
     "purity": analyze_purity,
+    "hotpath": analyze_hotpath,
 }
 
 

@@ -149,7 +149,10 @@ class UtilizationGovernor:
         if backlog >= self.grow_backlog:
             applied = self.allocator.grant(1)
         elif backlog == 0:
-            idle = sum(1 for w in scheduler.workers if w.is_free)
+            idle = 0
+            for w in scheduler.workers:
+                if w.is_free:
+                    idle += 1
             if idle > 1:
                 applied = self.allocator.revoke(1)
         if applied != active:

@@ -156,8 +156,10 @@ class ConfusionClassifier(RequestClassifier):
 
     def _classify(self, request: Request) -> int:
         tid = request.type_id
-        if tid == self.a and self.rng.random() < self.error_rate:
+        # Binding rng.random draws nothing; the draw order is unchanged.
+        random = self.rng.random
+        if tid == self.a and random() < self.error_rate:
             return self.b
-        if self.symmetric and tid == self.b and self.rng.random() < self.error_rate:
+        if self.symmetric and tid == self.b and random() < self.error_rate:
             return self.a
         return tid

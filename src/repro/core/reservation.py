@@ -63,6 +63,14 @@ class GroupAllocation:
 class Reservation:
     """The full allocation produced by one run of Algorithm 2."""
 
+    __slots__ = (
+        "allocations",
+        "n_workers",
+        "spillway_worker",
+        "demand_shares",
+        "_group_of_type",
+    )
+
     def __init__(
         self,
         allocations: List[GroupAllocation],
@@ -180,8 +188,13 @@ def compute_reservation(
             f"worker_ids has {len(worker_ids)} entries for n_workers={n_workers}"
         )
 
+    # Algorithm 2 runs once per reservation update, never per request;
+    # the comprehensions and copies below are off the per-event path even
+    # though DARC's update cycle makes this function hot-reachable.
     groups = group_types(entries, delta)
-    total_demand = sum(g.demand_contribution() for g in groups)
+    total_demand = sum(  # repro-analyze: disable=A401
+        g.demand_contribution() for g in groups
+    )
     if total_demand <= 0:
         raise ConfigurationError("total CPU demand is zero")
 
@@ -210,10 +223,14 @@ def compute_reservation(
         if not reserved:
             # No pool, no spillway: the group shares the last reserved
             # worker of the previous group rather than being denied.
-            reserved = [allocations[-1].reserved[-1]] if allocations else [first_worker]
+            reserved = (
+                [allocations[-1].reserved[-1]]  # repro-analyze: disable=A401
+                if allocations
+                else [first_worker]
+            )
         # Stealable workers are those not yet reserved at this point in
         # the iteration — they will belong to longer groups (Algorithm 2).
-        stealable = list(pool)
+        stealable = list(pool)  # repro-analyze: disable=A401
         allocations.append(
             GroupAllocation(group, demand, reserved, stealable, used_spillway)
         )
@@ -231,7 +248,11 @@ def demand_deviation(old_shares: Dict[int, float], new_shares: Dict[int, float])
     threshold (10% in the paper, §4.3.3).  Types absent from one side
     count with share zero there.
     """
+    # Runs once per profiler window when deciding whether to recompute
+    # the reservation — not per request.
     keys = set(old_shares) | set(new_shares)
     if not keys:
         return 0.0
-    return max(abs(new_shares.get(k, 0.0) - old_shares.get(k, 0.0)) for k in keys)
+    return max(  # repro-analyze: disable=A401
+        abs(new_shares.get(k, 0.0) - old_shares.get(k, 0.0)) for k in keys
+    )

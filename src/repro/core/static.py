@@ -55,8 +55,11 @@ class DarcStatic(Scheduler):
                 f"n_reserved={self.n_reserved} leaves no workers for long "
                 f"requests out of {len(self.workers)}"
             )
-        #: Workers longer types may use (the non-reserved suffix).
+        #: Workers longer types may use (the non-reserved suffix), and
+        #: the reserved prefix — both sliced once here so the per-request
+        #: path never copies the worker list.
         self.shared_workers: List[Worker] = self.workers[self.n_reserved :]
+        self.reserved_workers: List[Worker] = self.workers[: self.n_reserved]
 
     def _queue_for(self, request: Request) -> Deque[Request]:
         tid = request.effective_type()
@@ -71,7 +74,7 @@ class DarcStatic(Scheduler):
             # Short requests may use every core, reserved ones first so
             # shared cores stay open for long requests.
             if not self.queues[tid]:
-                for worker in self.workers[: self.n_reserved]:
+                for worker in self.reserved_workers:
                     if worker.is_free:
                         self.begin_service(worker, request)
                         return

@@ -63,7 +63,9 @@ def parse_resp_command(payload: bytes) -> Optional[List[str]]:
     parts: List[str] = []
     cursor = head_end + 2
     for _ in range(count):
-        if cursor >= len(payload) or payload[cursor : cursor + 1] != b"$":
+        # Byte-string parsing is slices by nature; each slice is a few
+        # header bytes, not a payload copy.
+        if cursor >= len(payload) or payload[cursor : cursor + 1] != b"$":  # repro-analyze: disable=A401
             return None
         try:
             len_end = payload.index(_CRLF, cursor)

@@ -146,8 +146,9 @@ class Scheduler(ABC):
     def begin_service(self, worker: Worker, request: Request) -> None:
         """Run ``request`` to completion on ``worker`` (non-preemptive)."""
         assert self.loop is not None
-        request.dispatch_time = self.loop.now
-        worker.begin(request, self.loop.now)
+        now = self.loop.now
+        request.dispatch_time = now
+        worker.begin(request, now)
         if self.tracer is not None:
             self.tracer.on_dispatch(request, worker)
         occupancy = request.remaining_time * worker.speed_factor
@@ -159,11 +160,12 @@ class Scheduler(ABC):
 
     def _complete(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        now = self.loop.now
         self._service_events.pop(worker.worker_id, None)
-        worker.end(self.loop.now)
+        worker.end(now)
         worker.completed += 1
         request.remaining_time = 0.0
-        request.finish_time = self.loop.now
+        request.finish_time = now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
         if self.telemetry is not None:

@@ -195,13 +195,26 @@ class WorkStealingFCFS(DecentralizedFCFS):
             self.on_worker_free(idle)
 
     def _pick_victim(self) -> Optional[int]:
-        non_empty = [i for i, q in enumerate(self.queues) if q]
-        if not non_empty:
-            return None
+        # Runs on every completion when the local queue is empty: the
+        # random flavour needs the materialized index list (the RNG draw
+        # must see the same candidate ordering), but the longest-queue
+        # flavour scans without allocating.
         if self.victim == "random":
+            non_empty = [  # repro-analyze: disable=A401
+                i for i, q in enumerate(self.queues) if q
+            ]
+            if not non_empty:
+                return None
             assert self.rng is not None
             return int(non_empty[self.rng.integers(0, len(non_empty))])
-        return max(non_empty, key=lambda i: len(self.queues[i]))
+        best = None
+        best_len = 0
+        for i, q in enumerate(self.queues):
+            qlen = len(q)
+            if qlen > best_len:
+                best = i
+                best_len = qlen
+        return best
 
     def on_worker_free(self, worker: Worker) -> None:
         my_idx = worker.worker_id - self.workers[0].worker_id
@@ -227,9 +240,10 @@ class WorkStealingFCFS(DecentralizedFCFS):
             )
         if self.steal_cost_us > 0:
             # The steal costs coordination time before service starts.
+            now = self.loop.now
             request.overhead_time += self.steal_cost_us
-            worker.begin(request, self.loop.now)
-            request.dispatch_time = self.loop.now
+            worker.begin(request, now)
+            request.dispatch_time = now
             if self.tracer is not None:
                 self.tracer.on_dispatch(request, worker)
             self.schedule_service_event(
@@ -244,11 +258,12 @@ class WorkStealingFCFS(DecentralizedFCFS):
 
     def _complete_stolen(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        now = self.loop.now
         self._service_events.pop(worker.worker_id, None)
-        worker.end(self.loop.now, overhead=self.steal_cost_us)
+        worker.end(now, overhead=self.steal_cost_us)
         worker.completed += 1
         request.remaining_time = 0.0
-        request.finish_time = self.loop.now
+        request.finish_time = now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
         if self.telemetry is not None:

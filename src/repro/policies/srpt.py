@@ -99,7 +99,8 @@ class ShortestRemainingProcessingTime(Scheduler):
         request, start, finish_event = self._running.pop(worker_id)
         finish_event.cancel()
         worker = self.workers[worker_id]
-        consumed = self.loop.now - start
+        now = self.loop.now
+        consumed = now - start
         request.remaining_time -= consumed
         request.preemption_count += 1
         self.preemptions += 1
@@ -108,7 +109,7 @@ class ShortestRemainingProcessingTime(Scheduler):
             request.overhead_time += cost
             self.schedule_service_event(worker, cost, self._preempt_done, worker, request, cost)
         else:
-            worker.end(self.loop.now)
+            worker.end(now)
             self._push(request)
             self.on_worker_free(worker)
 
@@ -118,13 +119,14 @@ class ShortestRemainingProcessingTime(Scheduler):
         self.on_worker_free(worker)
 
     def _start(self, worker: Worker, request: Request) -> None:
+        now = self.loop.now
         if request.dispatch_time is None:
-            request.dispatch_time = self.loop.now
-        worker.begin(request, self.loop.now)
+            request.dispatch_time = now
+        worker.begin(request, now)
         finish_event = self.schedule_service_event(
             worker, request.remaining_time, self._finish, worker, request
         )
-        self._running[worker.worker_id] = (request, self.loop.now, finish_event)
+        self._running[worker.worker_id] = (request, now, finish_event)
 
     def on_worker_crash(self, worker: Worker, requeue: bool = True):
         """Crash: drop the running-bookkeeping entry; the base class
@@ -133,11 +135,12 @@ class ShortestRemainingProcessingTime(Scheduler):
         return super().on_worker_crash(worker, requeue=requeue)
 
     def _finish(self, worker: Worker, request: Request) -> None:
+        now = self.loop.now
         self._running.pop(worker.worker_id, None)
-        worker.end(self.loop.now)
+        worker.end(now)
         worker.completed += 1
         request.remaining_time = 0.0
-        request.finish_time = self.loop.now
+        request.finish_time = now
         if self._on_complete is not None:
             self._on_complete(request)
         self.completion_hook(worker, request)

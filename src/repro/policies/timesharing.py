@@ -156,7 +156,10 @@ class TimeSharing(Scheduler):
     def pending_count(self) -> int:
         if self.mode == "single":
             return len(self.central)
-        return sum(len(q) for q in self.typed.values())
+        total = 0
+        for q in self.typed.values():
+            total += len(q)
+        return total
 
     # ------------------------------------------------------------------
     # event handling
@@ -182,9 +185,10 @@ class TimeSharing(Scheduler):
 
     def _start_slice(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        now = self.loop.now
         if request.dispatch_time is None:
-            request.dispatch_time = self.loop.now
-        worker.begin(request, self.loop.now)
+            request.dispatch_time = now
+        worker.begin(request, now)
         if self.tracer is not None:
             self.tracer.on_dispatch(request, worker)
         slice_us = min(request.remaining_time, self.quantum_us)
@@ -264,11 +268,12 @@ class TimeSharing(Scheduler):
 
     def _slice_finished(self, worker: Worker, request: Request) -> None:
         assert self.loop is not None
+        now = self.loop.now
         self._service_events.pop(worker.worker_id, None)
-        worker.end(self.loop.now)
+        worker.end(now)
         worker.completed += 1
         request.remaining_time = 0.0
-        request.finish_time = self.loop.now
+        request.finish_time = now
         if self.tracer is not None:
             self.tracer.on_complete(request, worker)
         if self.telemetry is not None:

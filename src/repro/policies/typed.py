@@ -90,7 +90,10 @@ class FixedPriority(Scheduler):
                 return
 
     def pending_count(self) -> int:
-        return sum(len(q) for q in self.queues.values())
+        total = 0
+        for q in self.queues.values():
+            total += len(q)
+        return total
 
 
 class ShortestJobFirst(Scheduler):
@@ -263,7 +266,10 @@ class DeficitRoundRobin(Scheduler):
                 return
 
     def pending_count(self) -> int:
-        return sum(len(q) for q in self.queues.values())
+        total = 0
+        for q in self.queues.values():
+            total += len(q)
+        return total
 
 
 class StaticPartitioning(Scheduler):
@@ -437,15 +443,16 @@ class CSCQ(Scheduler):
             self.long_queue.append(request)
 
     def on_worker_free(self, worker: Worker) -> None:
+        short_queue = self.short_queue
         if worker.tags.get("cscq_class") == "short":
-            if self.short_queue:
-                self.begin_service(worker, self.short_queue.popleft())
+            if short_queue:
+                self.begin_service(worker, short_queue.popleft())
         else:
             # Long workers prefer their own class, then donate to shorts.
             if self.long_queue:
                 self.begin_service(worker, self.long_queue.popleft())
-            elif self.short_queue:
-                self.begin_service(worker, self.short_queue.popleft())
+            elif short_queue:
+                self.begin_service(worker, short_queue.popleft())
 
     def pending_count(self) -> int:
         return len(self.short_queue) + len(self.long_queue)

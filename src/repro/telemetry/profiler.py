@@ -36,12 +36,17 @@ PROFILE_VERSION = 1
 class HandlerStats:
     """Accumulated wall time for one handler type (``fn.__qualname__``)."""
 
-    __slots__ = ("name", "calls", "cum_s")
+    __slots__ = ("name", "calls", "cum_s", "alloc_bytes")
 
     def __init__(self, name: str):
         self.name = name
         self.calls = 0
         self.cum_s = 0.0
+        #: Net bytes the handler allocated and retained, summed over
+        #: calls (positive per-call deltas only; a call that frees more
+        #: than it allocates contributes zero).  Only populated when the
+        #: profiler tracks the heap.
+        self.alloc_bytes = 0
 
     def as_dict(self) -> Dict[str, Any]:
         mean_us = (self.cum_s / self.calls) * US_PER_SECOND if self.calls else 0.0
@@ -50,6 +55,7 @@ class HandlerStats:
             "calls": self.calls,
             "cum_s": self.cum_s,
             "mean_us": mean_us,
+            "alloc_bytes": self.alloc_bytes,
         }
 
 
@@ -65,8 +71,9 @@ class SelfProfiler:
         report = profiler.stop(loop)
         profiler.write("BENCH_profile.json", report)
 
-    ``track_heap=True`` additionally snapshots peak heap usage via
-    ``tracemalloc`` (slower; off by default).
+    ``track_heap=True`` additionally snapshots peak heap usage and
+    per-handler allocation deltas via ``tracemalloc`` (slower; off by
+    default).
     """
 
     def __init__(self, track_heap: bool = False):
@@ -77,6 +84,10 @@ class SelfProfiler:
         self._events = 0
         self._peak_heap = 0
         self._tracing_heap = False
+        #: True while heap deltas should be sampled around each event —
+        #: a plain flag so the per-event path pays one attribute test,
+        #: not an ``is_tracing()`` call, when heap tracking is off.
+        self._heap_live = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -87,6 +98,7 @@ class SelfProfiler:
         if self.track_heap and not tracemalloc.is_tracing():
             tracemalloc.start()  # repro-analyze: disable=A301
             self._tracing_heap = True
+        self._heap_live = self.track_heap and tracemalloc.is_tracing()
         self._started_at = time.perf_counter()  # repro-lint: disable=R002,R009  # repro-analyze: disable=A301
 
     def run_event(self, event) -> None:
@@ -97,6 +109,9 @@ class SelfProfiler:
         if stats is None:
             stats = HandlerStats(name)
             self._handlers[name] = stats
+        heap_live = self._heap_live
+        if heap_live:
+            heap_before = tracemalloc.get_traced_memory()[0]  # repro-analyze: disable=A301
         t0 = time.perf_counter()  # repro-lint: disable=R002,R009  # repro-analyze: disable=A301
         try:
             fn(*event.args)
@@ -104,6 +119,10 @@ class SelfProfiler:
             stats.cum_s += time.perf_counter() - t0  # repro-lint: disable=R002,R009  # repro-analyze: disable=A301
             stats.calls += 1
             self._events += 1
+            if heap_live:
+                delta = tracemalloc.get_traced_memory()[0] - heap_before  # repro-analyze: disable=A301
+                if delta > 0:
+                    stats.alloc_bytes += delta
 
     def stop(self, loop=None) -> Dict[str, Any]:
         """Finish timing and return the report dict."""
@@ -116,6 +135,7 @@ class SelfProfiler:
             if self._tracing_heap:
                 tracemalloc.stop()  # repro-analyze: disable=A301
                 self._tracing_heap = False
+        self._heap_live = False
         return self.report(loop)
 
     # ------------------------------------------------------------------

@@ -170,6 +170,89 @@ class TestSelfcheck:
         assert main(["scan", SRC_REPRO, "--baseline", CHECKED_IN_BASELINE]) == 0
 
 
+HOT_TREE = {
+    "sched/core.py": """
+    class Core:
+        def on_request(self, request):
+            return [q for q in (request,)]
+
+        def on_worker_free(self, worker):
+            pass
+    """,
+}
+
+
+class TestHotpathCommand:
+    def test_warnings_pass_unless_strict(self, tree, capsys):
+        root = tree(HOT_TREE)
+        assert main(["hotpath", root, "--root", root]) == 0
+        assert "A401" in capsys.readouterr().out
+        assert main(["hotpath", root, "--root", root, "--strict"]) == 1
+
+    def test_shipped_tree_is_clean(self, capsys):
+        """The acceptance gate: after applying the analyzer's own
+        findings, the shipped tree has zero unsuppressed A4xx findings."""
+        assert main(["hotpath", SRC_REPRO, "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_baseline_gates_new_findings(self, tree, tmp_path, capsys):
+        root = tree(HOT_TREE)
+        baseline = str(tmp_path / "hot-baseline.json")
+        select = "A401,A402,A403,A404,A405,A406"
+        assert main(
+            ["baseline", root, "--root", root, "--select", select, "-o", baseline]
+        ) == 0
+        capsys.readouterr()
+        assert main(["hotpath", root, "--root", root, "--baseline", baseline]) == 0
+        assert "clean against baseline" in capsys.readouterr().out
+
+        (tmp_path / "sched" / "extra.py").write_text(
+            "class Extra:\n"
+            "    def on_request(self, request):\n"
+            "        return sorted(request)\n\n"
+            "    def on_worker_free(self, worker):\n"
+            "        pass\n"
+        )
+        assert main(["hotpath", root, "--root", root, "--baseline", baseline]) == 1
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_profile_ranks_output(self, tree, tmp_path, capsys):
+        root = tree(HOT_TREE)
+        profile = tmp_path / "BENCH_profile.json"
+        profile.write_text(
+            json.dumps(
+                {
+                    "kind": "repro-profile",
+                    "handlers": [{"name": "Core.on_request", "cum_s": 1.5}],
+                }
+            )
+        )
+        assert main(["hotpath", root, "--root", root, "--profile", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "1500.000ms" in out
+        assert "ranked by measured handler cost" in out
+
+    def test_invalid_profile_is_usage_error(self, tree, tmp_path, capsys):
+        root = tree(HOT_TREE)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"benchmarks": []}')
+        assert main(["hotpath", root, "--root", root, "--profile", str(bad)]) == 2
+        assert "not a repro-profile" in capsys.readouterr().err
+
+    def test_sarif_side_output(self, tree, tmp_path):
+        root = tree(HOT_TREE)
+        sarif = tmp_path / "hot.sarif"
+        assert main(["hotpath", root, "--root", root, "--sarif", str(sarif)]) == 0
+        doc = json.loads(sarif.read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "A401"
+
+    def test_select_narrows_rules(self, tree, capsys):
+        root = tree(HOT_TREE)
+        assert main(
+            ["hotpath", root, "--root", root, "--select", "A402", "--strict"]
+        ) == 0
+
+
 class TestListRules:
     def test_catalogue_complete(self, capsys):
         assert main(["list-rules"]) == 0

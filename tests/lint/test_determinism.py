@@ -72,3 +72,29 @@ class TestSanitizedExperiment:
         plain = digest_run(system, high_bimodal(), n_requests=800, seed=5, sanitize=False)
         checked = digest_run(system, high_bimodal(), n_requests=800, seed=5, sanitize=True)
         assert plain.digest == checked.digest
+
+
+class TestHotPathFixesBitIdentical:
+    """The hot-path optimization pass (tuple heap entries, hoisted
+    attribute lookups, precomputed DARC allocation lists, allocation-free
+    scans) must not change a single scheduling decision.  These digests
+    were captured on the pre-optimization engine; the optimized engine
+    must reproduce them bit for bit on all three simulated systems."""
+
+    PRE_OPTIMIZATION_DIGESTS = {
+        ("persephone", 1): "b7bbf24038ca981e2dede5b6f78efdb933319370d3fe9eb4d8849ed6220b5b9f",
+        ("persephone", 42): "3ed6c37d0096f45566803c7668327e9d876c1a6d8404ea5a7d78ae37e040a71b",
+        ("shenango", 1): "8b2612c764dffe754c725f10809761c7cdf292eb346a066069ae6676cbe4c7b8",
+        ("shenango", 42): "22e8b0393e298d20f50c0f2c595c7eb820fa0e7f15b41bd1d90971b1ba574282",
+        ("shinjuku", 1): "81c2c5b944e228c0049bbaa3b9257970a89258fda8910041c42b0522b95ed8b1",
+        ("shinjuku", 42): "aa860bb0627dd6b0151cfd63e39bb508ec42d03519f8a1ce70c4a8a9f6d84e57",
+    }
+
+    @pytest.mark.parametrize(
+        "name,seed", sorted(PRE_OPTIMIZATION_DIGESTS)
+    )
+    def test_digest_matches_pre_optimization_engine(self, name, seed):
+        digest = digest_run(
+            SYSTEM_FACTORIES[name](), high_bimodal(), n_requests=800, seed=seed
+        ).digest
+        assert digest == self.PRE_OPTIMIZATION_DIGESTS[(name, seed)]

@@ -74,7 +74,7 @@ class TestMonotonicTime:
         loop.call_at(10.0, lambda: None)
         loop.run()
         # Bypass call_at's guard: plant an event before already-run time.
-        heapq.heappush(loop._heap, Event(5.0, 10_000, lambda: None, ()))
+        heapq.heappush(loop._heap, (5.0, 10_000, Event(5.0, 10_000, lambda: None, ())))
         with pytest.raises(SanitizerViolation) as excinfo:
             loop.run()
         assert excinfo.value.invariant == "monotonic-time"

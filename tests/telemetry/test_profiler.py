@@ -80,7 +80,7 @@ class TestReport:
         assert report["events_per_sec"] > 0
         assert report["sim_time_us"] > 0
         for h in report["handlers"]:
-            assert set(h) == {"name", "calls", "cum_s", "mean_us"}
+            assert set(h) == {"name", "calls", "cum_s", "mean_us", "alloc_bytes"}
 
     def test_write_is_valid_json_and_bench_compatible(self, profiled, tmp_path):
         from repro.telemetry.bench import summarize_file
@@ -93,3 +93,25 @@ class TestReport:
         metrics = summary["BENCH_profile"]
         assert metrics["events"] == report["events"]
         assert metrics["time_wall_s"] == report["wall_s"]
+
+
+class TestHeapTracking:
+    def test_alloc_bytes_attributed_per_handler(self):
+        profiler = SelfProfiler(track_heap=True)
+        profiler.start()
+        result = run_once(
+            PersephoneSystem(n_workers=4, oracle=True),
+            high_bimodal(),
+            0.6,
+            n_requests=400,
+            seed=4,
+            profiler=profiler,
+        )
+        report = profiler.stop(result.server.loop)
+        assert report["peak_heap_bytes"] > 0
+        # Request construction alone allocates; some handler must show it.
+        assert any(h["alloc_bytes"] > 0 for h in report["handlers"])
+
+    def test_alloc_bytes_zero_without_heap_tracking(self, profiled):
+        _, _, report = profiled
+        assert all(h["alloc_bytes"] == 0 for h in report["handlers"])
