@@ -1,0 +1,84 @@
+"""Extension: sweep executor — pooled cells vs the serial loop.
+
+Two measurements:
+
+* ``test_pool_speedup_latency_bound`` uses the executor's hidden
+  selftest grid (each cell sleeps a fixed wall-clock interval) so the
+  measured speedup reflects *pool overlap*, not host core count — it
+  holds even on a single-CPU CI runner.  The ``pool_speedup`` metric is
+  gated in ``bench-baseline.json``: the 4-worker pool must stay at
+  least ~2x faster than running the same cells serially.
+* ``test_figure5_cells_cpu_bound`` runs real figure5 simulation cells
+  through a 2-worker pool and records cells/sec as informational-only
+  trend data (CPU-bound throughput scales with host cores, so it is
+  deliberately named to stay outside the gate).
+
+Run:  pytest benchmarks/bench_sweep.py --benchmark-only -s
+"""
+
+import time
+
+from conftest import run_single
+
+from repro.sweep.executor import execute_cells
+from repro.sweep.planner import plan_experiment, plan_selftest
+
+#: Latency-bound grid: 8 cells x 100 ms of pure waiting each.
+N_SLEEP_CELLS = 8
+SLEEP_MS = 100.0
+POOL_JOBS = 4
+
+
+def _run(cells, jobs):
+    outcomes = execute_cells(cells, jobs=jobs)
+    bad = [o for o in outcomes if not o.ok]
+    assert not bad, f"{len(bad)} cells failed: {bad[0].error}"
+    return outcomes
+
+
+def test_pool_speedup_latency_bound(benchmark):
+    plan = plan_selftest(
+        N_SLEEP_CELLS, seeds=(1,), mode="sleep", duration_ms=SLEEP_MS
+    )
+    start = time.perf_counter()
+    serial = _run(plan.cells, 1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_single(benchmark, _run, plan.cells, POOL_JOBS)
+    pool_s = time.perf_counter() - start
+
+    # Identical work, identical results — only the wall clock differs.
+    assert [o.result.digest for o in serial] == [
+        o.result.digest for o in pooled
+    ]
+    speedup = serial_s / pool_s
+    benchmark.extra_info["n_cells"] = len(plan.cells)
+    benchmark.extra_info["jobs"] = POOL_JOBS
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["pool_s"] = pool_s
+    benchmark.extra_info["serial_cells_per_sec"] = len(plan.cells) / serial_s
+    benchmark.extra_info["pool_cells_per_sec"] = len(plan.cells) / pool_s
+    benchmark.extra_info["pool_speedup"] = speedup
+    print()
+    print(
+        f"sweep pool: {len(plan.cells)} latency-bound cells, "
+        f"serial {serial_s:.2f}s vs {POOL_JOBS} workers {pool_s:.2f}s "
+        f"-> {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, f"pool speedup {speedup:.2f}x < 2x"
+
+
+def test_figure5_cells_cpu_bound(benchmark, bench_n_requests):
+    n = max(2_000, min(bench_n_requests, 8_000))
+    plan = plan_experiment(
+        "figure5", seeds=(1,), n_requests=n, utilizations=(0.5,)
+    )
+    start = time.perf_counter()
+    outcomes = run_single(benchmark, _run, plan.cells, 2)
+    elapsed = time.perf_counter() - start
+    benchmark.extra_info["n_cells"] = len(plan.cells)
+    benchmark.extra_info["n_requests"] = n
+    # "rate", not "per_sec": CPU-bound, so never gated across machines.
+    benchmark.extra_info["cell_rate_hz"] = len(plan.cells) / elapsed
+    assert all(o.result.metrics_dict["completed"] > 0 for o in outcomes)

@@ -1,23 +1,25 @@
 """Observer-purity analysis (finding A301).
 
-The trace and telemetry packages are *observers*: attaching them must
-not change a run, and their output must be a pure function of simulated
-events.  :class:`repro.lint.rules.TracePurityRule` (R009) enforces the
-per-file half of that contract; this analysis is the whole-program twin
-that also covers heap-tracking calls and resolves names through each
-module's import table, so ``from time import perf_counter as clock``
-does not slip past a textual check.
+The trace, telemetry, and sweep packages are *observers*: attaching
+them must not change a run, and their output must be a pure function of
+simulated events.  :class:`repro.lint.rules.TracePurityRule` (R009)
+enforces the per-file half of that contract; this analysis is the
+whole-program twin that also covers heap-tracking calls and resolves
+names through each module's import table, so ``from time import
+perf_counter as clock`` does not slip past a textual check.
 
 One finding:
 
-* **A301** — an observer module (``repro/trace/``, ``repro/telemetry/``)
-  calls a wall clock, a host-entropy source, a direct RNG constructor,
-  or a ``tracemalloc`` heap-tracking function.
+* **A301** — an observer module (``repro/trace/``, ``repro/telemetry/``,
+  ``repro/sweep/``) calls a wall clock, a host-entropy source, a direct
+  RNG constructor, or a ``tracemalloc`` heap-tracking function.
 
-The self-profiler (:mod:`repro.telemetry.profiler`) is the single
-sanctioned exception — it deliberately measures the simulator's own
-wall time and heap — and carries an explicit
-``# repro-analyze: disable=A301`` pragma on every such line, so each
+The self-profiler (:mod:`repro.telemetry.profiler`) is one sanctioned
+exception — it deliberately measures the simulator's own wall time and
+heap; the sweep executor's worker-management lines (pool timeouts, the
+latency selftest's sleep) are the other, since they steer worker
+processes without touching any recorded result.  Each such line carries
+an explicit ``# repro-analyze: disable=A301`` pragma, so every
 allowlisted impurity stays visible and individually justified.
 ``tracemalloc.is_tracing()`` is not flagged: it is a pure query used to
 guard start/stop, not a measurement.

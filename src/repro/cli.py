@@ -37,107 +37,118 @@ from .experiments.results import FigureResult
 #: Load-sweep request counts for --quick runs.
 QUICK_N = 8_000
 
-#: name -> (run(n, seed, sanitize, trace_dir, metrics_dir) -> result,
-#: render(result) -> str)
+#: name -> (run(n, seed, sanitize, trace_dir, metrics_dir, seeds) ->
+#: result, render(result) -> str).  ``seeds`` is None for the legacy
+#: single-seed path or a sequence for replicated (CI-table) runs.
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "chaos": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: chaos.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: chaos.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         chaos.render,
     ),
     "figure1": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure1.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure1.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure1.render,
     ),
     "figure3": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure3.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure3.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure3.render,
     ),
     "figure4": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure4.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure4.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         lambda r: r.render(),
     ),
     "figure5": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure5.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure5.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure5.render,
     ),
     "figure6": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure6.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure6.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure6.render,
     ),
     "figure7": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure7.run(
-            seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure7.run(
+            seed=seed, sanitize=sanitize, trace_dir=trace_dir,
+            metrics_dir=metrics_dir, seeds=seeds,
         ),
         lambda r: r.render(),
     ),
     "figure8": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure8.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure8.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure8.render,
     ),
     "figure9": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure9.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure9.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure9.render,
     ),
     "figure10": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: figure10.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure10.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         figure10.render,
     ),
     "tables": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir: None,
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: None,
         lambda r: tables.render_all(),
     ),
 }
@@ -160,6 +171,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrivals per load point (default 40000)",
     )
     parser.add_argument("--seed", type=int, default=1, help="root RNG seed")
+    parser.add_argument(
+        "--seeds",
+        metavar="A,B,C",
+        default=None,
+        help="replicate every point under these seeds (comma-separated; "
+        "≥2 turns the tables into mean±CI cells, ≥3 recommended); "
+        "per-run seeds are derived per cell, so results match pooled "
+        "repro-sweep runs of the same grid",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the experiment's grid as N parallel worker processes "
+        "via the repro-sweep orchestrator (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--sweep-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory for --jobs > 1 (default: a fresh "
+        "temporary directory; printed so the sweep can be resumed "
+        "with repro-sweep run --resume)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -227,15 +263,47 @@ def _export_csv(name: str, result, directory: str) -> List[str]:
     return written
 
 
+def _run_pooled(name: str, n: int, seeds, jobs: int, sweep_dir: Optional[str]) -> None:
+    """Run one experiment's grid through the sweep orchestrator."""
+    import tempfile
+
+    from .sweep.orchestrator import run_plan
+    from .sweep.planner import plan_experiment
+
+    plan = plan_experiment(name, seeds=seeds, n_requests=n)
+    directory = sweep_dir or tempfile.mkdtemp(prefix=f"repro-sweep-{name}-")
+    print(f"pooling {len(plan.cells)} cells over {jobs} workers in {directory}")
+    print(f"(resumable: repro-sweep run {name} --resume --out {directory})")
+    sweep = run_plan(plan, directory, jobs=jobs, resume=False)
+    if sweep.merged is not None:
+        print(sweep.merged.render())
+    if sweep.n_failed:
+        print(f"WARNING: {sweep.n_failed} cells failed; see {directory}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     n = QUICK_N if args.quick else args.n_requests
+    seeds = None
+    if args.seeds is not None:
+        from .sweep.cells import parse_seeds
+
+        try:
+            seeds = parse_seeds(args.seeds)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         run, render = EXPERIMENTS[name]
         start = time.time()
+        if args.jobs > 1 and name != "tables":
+            print(f"=== {name} (pooled) ===")
+            _run_pooled(name, n, seeds or (args.seed,), args.jobs, args.sweep_dir)
+            print()
+            continue
         sanitize = "shadow" if args.shadow else args.sanitize
-        result = run(n, args.seed, sanitize, args.trace, args.metrics)
+        result = run(n, args.seed, sanitize, args.trace, args.metrics, seeds)
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

@@ -21,9 +21,10 @@ late completions) from the resilience layer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import render_series, render_table
+from ..sweep.stats import mean_ci
 from ..faults.plan import FaultPlan
 from ..faults.runner import ChaosResult, run_chaos
 from ..systems.base import SystemModel
@@ -68,7 +69,11 @@ class ChaosExperimentResult:
         self.crash_at = crash_at
         self.recover_at = recover_at
         self.window_us = window_us
+        #: system -> first replicate's episode (tables/series render these)
         self.results: Dict[str, ChaosResult] = {}
+        #: system -> metric -> per-replicate values (multi-seed only)
+        self.samples: Dict[str, Dict[str, List[float]]] = {}
+        self.n_replicates = 1
         self.findings: Dict[str, float] = {}
 
     def render(self) -> str:
@@ -132,23 +137,16 @@ class ChaosExperimentResult:
         return "\n\n".join(parts)
 
 
-def run(
-    n_requests: int = 20_000,
-    seed: int = 1,
-    systems: Optional[List[SystemModel]] = None,
-    retry: Optional[RetryPolicy] = None,
-    sanitize: "bool | str" = False,
-    trace_dir: Optional[str] = None,
-    metrics_dir: Optional[str] = None,
-) -> ChaosExperimentResult:
-    """Run the crash/recover episode for every system."""
-    if systems is None:
-        systems = default_systems()
-    if retry is None:
-        retry = default_retry()
-    spec = high_bimodal()
-    # Pin the episode to the expected run length so the same story plays
-    # out at any --n-requests scale.
+def episode_plan(n_requests: int, spec=None):
+    """The crash/recover episode geometry for an ``n_requests``-long run.
+
+    Pins the episode to the expected run length so the same story plays
+    out at any ``--n-requests`` scale.  Returns ``(plan, crash_at,
+    recover_at, window_us)``; shared by :func:`run` and the sweep runner
+    so pooled chaos cells replay exactly the serial episode.
+    """
+    if spec is None:
+        spec = high_bimodal()
     rate = UTILIZATION * spec.peak_load(N_WORKERS)
     expected_us = n_requests / rate
     crash_at = 0.25 * expected_us
@@ -157,35 +155,93 @@ def run(
     plan = FaultPlan.crash_recover(
         list(CRASH_WORKERS), crash_at=crash_at, recover_at=recover_at
     )
+    return plan, crash_at, recover_at, window_us
+
+
+def run(
+    n_requests: int = 20_000,
+    seed: int = 1,
+    systems: Optional[List[SystemModel]] = None,
+    retry: Optional[RetryPolicy] = None,
+    sanitize: "bool | str" = False,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> ChaosExperimentResult:
+    """Run the crash/recover episode for every system.
+
+    ``seeds`` replays each system's episode once per seed (derived
+    per-cell seeds matching the pooled ``repro-sweep`` chaos cells);
+    tables/series come from the first replicate while the headline
+    findings (TTR, violation time, failures) become replicate means with
+    ``±half-width`` companions.
+    """
+    if systems is None:
+        systems = default_systems()
+    if retry is None:
+        retry = default_retry()
+    spec = high_bimodal()
+    plan, crash_at, recover_at, window_us = episode_plan(n_requests, spec)
+    replicates: Sequence[int] = seeds if seeds else (seed,)
 
     result = ChaosExperimentResult(crash_at, recover_at, window_us)
+    result.n_replicates = len(replicates)
     for system in systems:
-        res = run_chaos(
-            system,
-            spec,
-            UTILIZATION,
-            plan,
-            n_requests=n_requests,
-            seed=seed,
-            retry=retry,
-            window_us=window_us,
-            slo_latency_us=SLO_LATENCY_US,
-            sanitize=sanitize,
-            trace_path=trace_target(trace_dir, "chaos", system.name),
-            metrics_path=metrics_target(metrics_dir, "chaos", system.name),
-        )
-        result.results[system.name] = res
-        ttr = res.time_to_recover()
-        result.findings[f"ttr_us [{system.name}]"] = (
-            float("nan") if ttr is None else ttr
-        )
-        result.findings[f"violation_us [{system.name}]"] = (
-            res.degradation.violation_time_us()
-        )
-        result.findings[f"failures [{system.name}]"] = float(res.recorder.failures)
-        updates = getattr(res.scheduler, "reservation_updates", None)
-        if updates is not None:
-            result.findings["darc_reservation_updates"] = float(updates)
+        samples: Dict[str, List[float]] = {
+            "ttr_us": [], "violation_us": [], "failures": []
+        }
+        for index, replicate in enumerate(replicates):
+            if seeds is None:
+                run_seed = seed
+            else:
+                from ..sweep.cells import derive_seed
+
+                run_seed = derive_seed(
+                    "chaos",
+                    {
+                        "system": system.name,
+                        "workload": "high_bimodal",
+                        "rho": UTILIZATION,
+                        "n_requests": n_requests,
+                    },
+                    replicate,
+                )
+            suffix = () if len(replicates) == 1 else (f"seed{replicate}",)
+            res = run_chaos(
+                system,
+                spec,
+                UTILIZATION,
+                plan,
+                n_requests=n_requests,
+                seed=run_seed,
+                retry=retry,
+                window_us=window_us,
+                slo_latency_us=SLO_LATENCY_US,
+                sanitize=sanitize,
+                trace_path=trace_target(trace_dir, "chaos", system.name, *suffix),
+                metrics_path=metrics_target(
+                    metrics_dir, "chaos", system.name, *suffix
+                ),
+            )
+            ttr = res.time_to_recover()
+            samples["ttr_us"].append(float("nan") if ttr is None else ttr)
+            samples["violation_us"].append(res.degradation.violation_time_us())
+            samples["failures"].append(float(res.recorder.failures))
+            if index > 0:
+                continue
+            result.results[system.name] = res
+            updates = getattr(res.scheduler, "reservation_updates", None)
+            if updates is not None:
+                result.findings["darc_reservation_updates"] = float(updates)
+        if len(replicates) > 1:
+            result.samples[system.name] = samples
+        for metric in ("ttr_us", "violation_us", "failures"):
+            stat = mean_ci(samples[metric])
+            result.findings[f"{metric} [{system.name}]"] = stat.mean
+            if len(replicates) > 1:
+                result.findings[f"{metric} halfwidth [{system.name}]"] = (
+                    stat.half_width
+                )
     return result
 
 

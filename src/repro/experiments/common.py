@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 import re
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
@@ -315,37 +316,133 @@ def run_sweep(
     spec: WorkloadSpec,
     utilizations: Sequence[float],
     n_requests: int = DEFAULT_N_REQUESTS,
-    seed: int = 1,
+    seed: Optional[int] = None,
     warmup_frac: float = DEFAULT_WARMUP_FRAC,
     pct: float = 99.9,
     sanitize: "bool | str" = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> List[RunResult]:
-    """One :func:`run_once` per load point, same seed (common random
-    numbers across systems compared at the same points).
+    """One :func:`run_once` per (load point, seed).
 
-    ``trace_dir`` traces every load point, writing one
-    ``<system>_<workload>_rho<load>.trace.json`` per point;
-    ``metrics_dir`` likewise collects telemetry per point, writing
-    ``<system>_<workload>_rho<load>.metrics.{prom,jsonl,html}``.
+    ``seeds`` replicates every load point under each listed seed;
+    results are ordered load-major, seed-minor.  Systems compared at the
+    same points with the same seeds stay paired (common random numbers).
+    The legacy single-``seed`` parameter is deprecated — pass
+    ``seeds=(s,)`` instead; when neither is given, ``seeds=(1,)``.
+
+    ``trace_dir`` traces every point, writing one
+    ``<system>_<workload>_rho<load>[_seed<s>].trace.json`` per point
+    (the seed suffix appears only for multi-seed sweeps, keeping legacy
+    single-seed filenames stable); ``metrics_dir`` likewise collects
+    telemetry per point.
     """
-    return [
-        run_once(
-            system,
-            spec,
-            rho,
-            n_requests=n_requests,
-            seed=seed,
-            warmup_frac=warmup_frac,
-            pct=pct,
-            sanitize=sanitize,
-            trace_path=trace_target(
-                trace_dir, system.name, spec.name, f"rho{round(rho * 100):03d}"
-            ),
-            metrics_path=metrics_target(
-                metrics_dir, system.name, spec.name, f"rho{round(rho * 100):03d}"
-            ),
+    if seed is not None:
+        if seeds is not None:
+            raise ConfigurationError(
+                "pass either seeds=... or the deprecated seed=..., not both"
+            )
+        warnings.warn(
+            "run_sweep(seed=...) is deprecated; pass seeds=(seed,) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        for rho in utilizations
-    ]
+        seeds = (seed,)
+    if seeds is None:
+        seeds = (1,)
+    if not seeds:
+        raise ConfigurationError("run_sweep needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"duplicate seeds in {list(seeds)!r}")
+    multi = len(seeds) > 1
+    results: List[RunResult] = []
+    for rho in utilizations:
+        for s in seeds:
+            name_parts: List[Any] = [
+                system.name, spec.name, f"rho{round(rho * 100):03d}"
+            ]
+            if multi:
+                name_parts.append(f"seed{s}")
+            results.append(
+                run_once(
+                    system,
+                    spec,
+                    rho,
+                    n_requests=n_requests,
+                    seed=s,
+                    warmup_frac=warmup_frac,
+                    pct=pct,
+                    sanitize=sanitize,
+                    trace_path=trace_target(trace_dir, *name_parts),
+                    metrics_path=metrics_target(metrics_dir, *name_parts),
+                )
+            )
+    return results
+
+
+def run_replicated_sweep(
+    system: SystemModel,
+    spec: WorkloadSpec,
+    utilizations: Sequence[float],
+    seeds: Sequence[int],
+    experiment: str,
+    workload: Optional[str] = None,
+    n_requests: int = DEFAULT_N_REQUESTS,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+    pct: float = 99.9,
+    sanitize: "bool | str" = False,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+) -> Dict[int, List[RunResult]]:
+    """Replicated sweep with **derived** per-cell seeds.
+
+    Each ``(load point, replicate)`` runs under the seed
+    :func:`repro.sweep.cells.derive_seed` produces for the matching
+    sweep cell — so a serial multi-seed figure run and a pooled
+    ``repro-sweep`` run of the same grid execute bit-identical cells.
+    ``workload`` is the planner's workload token (defaults to
+    ``spec.name``).  Returns ``{replicate: [RunResult per load point]}``
+    in the order of ``seeds``.
+    """
+    from ..sweep.cells import derive_seed
+
+    if not seeds:
+        raise ConfigurationError("run_replicated_sweep needs at least one seed")
+    token = spec.name if workload is None else workload
+    multi = len(seeds) > 1
+    replicates: Dict[int, List[RunResult]] = {}
+    for replicate in seeds:
+        sweep: List[RunResult] = []
+        for rho in utilizations:
+            cell_seed = derive_seed(
+                experiment,
+                {
+                    "system": system.name,
+                    "workload": token,
+                    "rho": rho,
+                    "n_requests": n_requests,
+                },
+                replicate,
+            )
+            name_parts: List[Any] = [
+                system.name, token, f"rho{round(rho * 100):03d}"
+            ]
+            if multi:
+                name_parts.append(f"seed{replicate}")
+            sweep.append(
+                run_once(
+                    system,
+                    spec,
+                    rho,
+                    n_requests=n_requests,
+                    seed=cell_seed,
+                    warmup_frac=warmup_frac,
+                    pct=pct,
+                    sanitize=sanitize,
+                    trace_path=trace_target(trace_dir, *name_parts),
+                    metrics_path=metrics_target(metrics_dir, *name_parts),
+                )
+            )
+        replicates[replicate] = sweep
+    return replicates

@@ -24,8 +24,7 @@ from ..systems.persephone import (
 )
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import figure1_workload
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 16
 SLO_SLOWDOWN = 10.0
@@ -61,14 +60,20 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
-    """Run the Fig. 1 sweep and derive its headline capacities."""
+    """Run the Fig. 1 sweep and derive its headline capacities.
+
+    ``seeds`` replicates every point (derived per-cell seeds, CI
+    tables); without it the single raw ``seed`` runs, as always.
+    """
     spec = figure1_workload()
     result = FigureResult("Figure 1", utilizations)
     for system in systems if systems is not None else default_systems():
-        result.add_sweep(
-            system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure1",
+            workload="figure1", n_requests=n_requests, seed=seed, seeds=seeds,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         )
     caps = result.capacities(SLO_SLOWDOWN, max_typed_slowdown_metric)
     peak_mrps = spec.peak_load(N_WORKERS)

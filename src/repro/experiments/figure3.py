@@ -22,8 +22,7 @@ from ..systems.persephone import (
     PersephoneSystem,
 )
 from ..workload.presets import high_bimodal
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
 SHORT_TYPE = 0
@@ -49,13 +48,15 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     spec = high_bimodal()
     result = FigureResult("Figure 3", utilizations)
     for system in systems if systems is not None else default_systems():
-        result.add_sweep(
-            system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure3",
+            workload="high_bimodal", n_requests=n_requests, seed=seed, seeds=seeds,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         )
 
     # Headline ratios at the highest common load point.

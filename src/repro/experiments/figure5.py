@@ -21,8 +21,7 @@ from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import extreme_bimodal, high_bimodal
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
 DEFAULT_UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.75, 0.85, 0.95)
@@ -50,17 +49,17 @@ def run_one_workload(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     spec = high_bimodal() if workload_name == "high_bimodal" else extreme_bimodal()
     slo = SLO_HIGH if workload_name == "high_bimodal" else SLO_EXTREME
     result = FigureResult(f"Figure 5 [{workload_name}]", utilizations)
     for system in systems if systems is not None else systems_for(workload_name):
-        result.add_sweep(
-            system.name,
-            run_sweep(
-                system, spec, utilizations, n_requests=n_requests, seed=seed,
-                sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
-            ),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure5",
+            workload=workload_name, n_requests=n_requests, seed=seed,
+            seeds=seeds, sanitize=sanitize, trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
         )
     caps = result.capacities(slo, overall_slowdown_metric)
     for name, cap in caps.items():
@@ -81,16 +80,19 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> Dict[str, FigureResult]:
     """Both sub-figures."""
     return {
         "high_bimodal": run_one_workload(
             "high_bimodal", utilizations, n_requests=n_requests, seed=seed,
             sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
         "extreme_bimodal": run_one_workload(
             "extreme_bimodal", utilizations, n_requests=n_requests, seed=seed,
             sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
+            seeds=seeds,
         ),
     }
 

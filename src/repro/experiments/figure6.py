@@ -23,8 +23,7 @@ from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import tpcc
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
 SLO_SLOWDOWN = 10.0
@@ -47,13 +46,15 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     spec = tpcc()
     result = FigureResult("Figure 6 [TPC-C]", utilizations)
     for system in systems if systems is not None else default_systems():
-        result.add_sweep(
-            system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure6",
+            workload="tpcc", n_requests=n_requests, seed=seed, seeds=seeds,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         )
 
     caps = result.capacities(SLO_SLOWDOWN, overall_slowdown_metric)

@@ -20,11 +20,12 @@ timeline, for DARC and a c-FCFS baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.tables import render_series
+from ..sweep.stats import mean_ci
 from ..metrics.recorder import Recorder
 from ..metrics.summary import RunSummary
 from ..metrics.timeseries import AllocationTimeline, WindowedStats
@@ -67,7 +68,13 @@ def default_phases(phase_us: float = DEFAULT_PHASE_US) -> List[Phase]:
 
 
 class Figure7Result:
-    """Time series per system: latency per type + core allocation."""
+    """Time series per system: latency per type + core allocation.
+
+    Multi-seed runs keep the first replicate's time series (the plot)
+    and collect per-replicate scalar samples (overall tail latency,
+    reservation updates) so :meth:`render` can report them as
+    ``mean±CI`` across seeds.
+    """
 
     def __init__(self, window_us: float, phase_boundaries: List[float]):
         self.window_us = window_us
@@ -78,6 +85,11 @@ class Figure7Result:
         self.alloc_series: Dict[str, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
         self.summaries: Dict[str, RunSummary] = {}
         self.reservation_updates: Dict[str, int] = {}
+        #: system -> overall p99.9 latency per replicate (multi-seed only)
+        self.tail_latency_samples: Dict[str, List[float]] = {}
+        #: system -> reservation updates per replicate (multi-seed only)
+        self.update_samples: Dict[str, List[float]] = {}
+        self.n_replicates = 1
 
     def render(self) -> str:
         parts = []
@@ -99,6 +111,19 @@ class Figure7Result:
                 )
         for system, updates in self.reservation_updates.items():
             parts.append(f"{system}: {updates} reservation updates")
+        if self.n_replicates > 1:
+            lines = [f"Figure 7: replicate stats ({self.n_replicates} seeds)"]
+            for system, samples in self.tail_latency_samples.items():
+                stat = mean_ci(samples)
+                lines.append(
+                    f"  overall p99.9 latency [{system}] = {stat.format(1)} us"
+                )
+            for system, samples in self.update_samples.items():
+                stat = mean_ci(samples)
+                lines.append(
+                    f"  reservation updates [{system}] = {stat.format(1)}"
+                )
+            parts.append("\n".join(lines))
         return "\n\n".join(parts)
 
 
@@ -110,7 +135,7 @@ def _run_system(
     sanitize: bool = False,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
-) -> Tuple[Recorder, object, float]:
+) -> Tuple[Recorder, object, EventLoop]:
     rngs = RngRegistry(seed=seed)
     loop = EventLoop()
     scheduler = system.make_scheduler(phases[0].spec, rngs)
@@ -167,7 +192,7 @@ def _run_system(
             recorder=recorder,
             meta={"experiment": "figure7", "system": system.name, "seed": seed},
         )
-    return recorder, scheduler, loop.now
+    return recorder, scheduler, loop
 
 
 def run(
@@ -178,7 +203,14 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> Figure7Result:
+    """Run the phased experiment; ``seeds`` replicates each system run.
+
+    The time series come from the first replicate (derived seeds match
+    the pooled ``repro-sweep`` figure7 cells); scalar stats across all
+    replicates land in ``tail_latency_samples``/``update_samples``.
+    """
     if phases is None:
         phases = default_phases()
     if systems is None:
@@ -192,30 +224,58 @@ def run(
                 name="DARC",
             ),
         ]
+    replicates: Sequence[int] = seeds if seeds else (seed,)
     boundaries = list(np.cumsum([p.duration_us for p in phases]))
     result = Figure7Result(window_us, boundaries)
+    result.n_replicates = len(replicates)
     stats = WindowedStats(window_us)
     for system in systems:
-        recorder, scheduler, duration = _run_system(
-            system, phases, seed, window_us, sanitize=sanitize,
-            trace_path=trace_target(trace_dir, "figure7", system.name),
-            metrics_path=metrics_target(metrics_dir, "figure7", system.name),
-        )
-        cols = recorder.columns()
-        result.latency_series[system.name] = {
-            tid: stats.series(cols, type_id=tid) for tid in (TYPE_A, TYPE_B)
-        }
-        result.summaries[system.name] = RunSummary(
-            recorder, duration_us=duration, warmup_frac=0.0
-        )
-        log = getattr(scheduler, "reservation_log", None)
-        if log is not None:
-            timeline = AllocationTimeline(log)
-            times = result.latency_series[system.name][TYPE_A][0]
-            result.alloc_series[system.name] = {
-                tid: (times, timeline.sample(times, tid)) for tid in (TYPE_A, TYPE_B)
-            }
-            result.reservation_updates[system.name] = getattr(
-                scheduler, "reservation_updates", 0
+        for index, replicate in enumerate(replicates):
+            if seeds is None:
+                run_seed = seed
+            else:
+                from ..sweep.cells import derive_seed
+
+                run_seed = derive_seed(
+                    "figure7",
+                    {"system": system.name, "workload": "phased"},
+                    replicate,
+                )
+            first = index == 0
+            suffix = () if len(replicates) == 1 else (f"seed{replicate}",)
+            recorder, scheduler, loop = _run_system(
+                system, phases, run_seed, window_us, sanitize=sanitize,
+                trace_path=trace_target(
+                    trace_dir, "figure7", system.name, *suffix
+                ),
+                metrics_path=metrics_target(
+                    metrics_dir, "figure7", system.name, *suffix
+                ),
             )
+            duration = loop.now
+            cols = recorder.columns()
+            summary = RunSummary(recorder, duration_us=duration, warmup_frac=0.0)
+            updates = getattr(scheduler, "reservation_updates", 0)
+            if len(replicates) > 1:
+                result.tail_latency_samples.setdefault(system.name, []).append(
+                    summary.overall_tail_latency
+                )
+                result.update_samples.setdefault(system.name, []).append(
+                    float(updates)
+                )
+            if not first:
+                continue
+            result.latency_series[system.name] = {
+                tid: stats.series(cols, type_id=tid) for tid in (TYPE_A, TYPE_B)
+            }
+            result.summaries[system.name] = summary
+            log = getattr(scheduler, "reservation_log", None)
+            if log is not None:
+                timeline = AllocationTimeline(log)
+                times = result.latency_series[system.name][TYPE_A][0]
+                result.alloc_series[system.name] = {
+                    tid: (times, timeline.sample(times, tid))
+                    for tid in (TYPE_A, TYPE_B)
+                }
+                result.reservation_updates[system.name] = updates
     return result

@@ -19,8 +19,7 @@ from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
 SLO_SLOWDOWN = 20.0
@@ -43,14 +42,16 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     store = RocksDbLike()
     spec = store.workload_spec()
     result = FigureResult("Figure 8 [RocksDB]", utilizations)
     for system in systems if systems is not None else default_systems():
-        result.add_sweep(
-            system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure8",
+            workload="rocksdb", n_requests=n_requests, seed=seed, seeds=seeds,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         )
     caps = result.capacities(SLO_SLOWDOWN, overall_slowdown_metric)
     for name, cap in caps.items():

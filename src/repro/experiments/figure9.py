@@ -19,8 +19,7 @@ from ..core.classifier import RandomClassifier
 from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
 from ..workload.presets import high_bimodal
-from .common import run_sweep
-from .results import FigureResult
+from .results import FigureResult, collect_sweep
 
 N_WORKERS = 8
 DEFAULT_UTILIZATIONS = (0.2, 0.35, 0.5, 0.65, 0.8, 0.9)
@@ -51,13 +50,15 @@ def run(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     spec = high_bimodal()
     result = FigureResult("Figure 9 [random classifier]", utilizations)
     for system in systems if systems is not None else default_systems():
-        result.add_sweep(
-            system.name,
-            run_sweep(system, spec, utilizations, n_requests=n_requests, seed=seed, sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir),
+        collect_sweep(
+            result, system, spec, utilizations, experiment="figure9",
+            workload="high_bimodal", n_requests=n_requests, seed=seed, seeds=seeds,
+            sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
         )
     random_sweep = result.sweeps.get("DARC-random")
     cfcfs_sweep = result.sweeps.get("c-FCFS")

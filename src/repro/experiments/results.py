@@ -7,46 +7,129 @@ numbers, and renders itself as the text analogue of the paper's plot.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.slo import MetricFn, capacity_at_slo
 from ..analysis.tables import render_series
+from ..sweep.stats import CIStat, mean_ci
 from .common import RunResult
 
 
 class FigureResult:
-    """Sweeps keyed by system name, with helpers to tabulate them."""
+    """Sweeps keyed by system name, with helpers to tabulate them.
+
+    Single-seed drivers fill ``sweeps`` directly; multi-seed drivers
+    call :meth:`add_replicated`, which additionally stores every
+    replicate so the tabulation helpers can put Student-t confidence
+    intervals on each point (``mean±half-width`` cells once at least two
+    seeds replicated a point).
+    """
+
+    #: CI level used for replicated tables.
+    CONFIDENCE = 0.95
 
     def __init__(self, name: str, utilizations: Sequence[float]):
         self.name = name
         self.utilizations = list(utilizations)
         self.sweeps: Dict[str, List[RunResult]] = {}
+        #: system name -> replicate seed -> sweep (one RunResult per
+        #: load point); filled by :meth:`add_replicated`.
+        self.replicates: Dict[str, Dict[int, List[RunResult]]] = {}
         #: Free-form derived findings, filled in by the driver.
         self.findings: Dict[str, float] = {}
 
     def add_sweep(self, system_name: str, sweep: List[RunResult]) -> None:
         self.sweeps[system_name] = sweep
 
+    def add_replicated(
+        self, system_name: str, replicates: Mapping[int, List[RunResult]]
+    ) -> None:
+        """Store a multi-seed sweep; the first replicate also lands in
+        ``sweeps`` so single-seed consumers keep working unchanged."""
+        stored = {int(k): list(v) for k, v in replicates.items()}
+        if not stored:
+            raise ValueError(f"no replicates for {system_name!r}")
+        self.replicates[system_name] = stored
+        self.sweeps[system_name] = next(iter(stored.values()))
+
+    @property
+    def n_replicates(self) -> int:
+        return max((len(r) for r in self.replicates.values()), default=1)
+
     def series(self, metric: MetricFn) -> Dict[str, List[float]]:
-        """Evaluate ``metric`` at every point of every sweep."""
+        """Evaluate ``metric`` at every point of every sweep (replicated
+        systems evaluate to the replicate mean)."""
         return {
-            name: [metric(r) for r in sweep] for name, sweep in self.sweeps.items()
+            name: [stat.mean for stat in stats]
+            for name, stats in self.series_ci(metric).items()
         }
 
+    def series_ci(self, metric: MetricFn) -> Dict[str, List[CIStat]]:
+        """Per-point replicate statistics for ``metric``.
+
+        Systems added via :meth:`add_sweep` yield degenerate ``n=1``
+        intervals, so mixed figures still tabulate uniformly.
+        """
+        out: Dict[str, List[CIStat]] = {}
+        for name, sweep in self.sweeps.items():
+            reps = self.replicates.get(name)
+            stats: List[CIStat] = []
+            for i in range(len(sweep)):
+                if reps:
+                    values = [metric(r[i]) for r in reps.values() if i < len(r)]
+                else:
+                    values = [metric(sweep[i])]
+                stats.append(mean_ci(values, confidence=self.CONFIDENCE))
+            out[name] = stats
+        return out
+
     def capacities(self, slo: float, metric: MetricFn) -> Dict[str, Optional[float]]:
-        """Per-system max utilization meeting the SLO."""
-        return {
-            name: capacity_at_slo(sweep, slo, metric)
-            for name, sweep in self.sweeps.items()
-        }
+        """Per-system max utilization meeting the SLO.
+
+        Replicated systems qualify a point on its replicate-*mean*
+        metric, and any dropped request in any replicate disqualifies
+        the point (mirroring
+        :func:`repro.analysis.slo.capacity_at_slo`).
+        """
+        out: Dict[str, Optional[float]] = {}
+        for name, sweep in self.sweeps.items():
+            reps = self.replicates.get(name)
+            if not reps or len(reps) == 1:
+                out[name] = capacity_at_slo(sweep, slo, metric)
+                continue
+            best: Optional[float] = None
+            stats = self.series_ci(metric)[name]
+            for i, rho in enumerate(self.utilizations[: len(sweep)]):
+                if any(
+                    i < len(r) and r[i].summary.drop_rate > 0
+                    for r in reps.values()
+                ):
+                    continue
+                value = stats[i].mean
+                if value == value and value <= slo:
+                    if best is None or rho > best:
+                        best = rho
+            out[name] = best
+        return out
 
     def render_metric(
         self, metric: MetricFn, label: str, precision: int = 1
     ) -> str:
+        if self.replicates and self.n_replicates > 1:
+            series = {
+                name: [stat.format(precision) for stat in stats]
+                for name, stats in self.series_ci(metric).items()
+            }
+            label = (
+                f"{label} (mean±{self.CONFIDENCE:.0%} CI, "
+                f"{self.n_replicates} seeds)"
+            )
+        else:
+            series = self.series(metric)
         return render_series(
             "load",
             self.utilizations,
-            self.series(metric),
+            series,
             precision=precision,
             title=f"{self.name}: {label}",
         )
@@ -62,3 +145,47 @@ class FigureResult:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"FigureResult({self.name!r}, systems={sorted(self.sweeps)})"
+
+
+def collect_sweep(
+    result: FigureResult,
+    system,
+    spec,
+    utilizations: Sequence[float],
+    experiment: str,
+    workload: Optional[str] = None,
+    n_requests: int = 60_000,
+    seed: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    sanitize: "bool | str" = False,
+    trace_dir: Optional[str] = None,
+    metrics_dir: Optional[str] = None,
+) -> None:
+    """Run one system's sweep into ``result``, single- or multi-seed.
+
+    Without ``seeds`` this is the legacy path: one raw-seed sweep, byte-
+    identical to what the drivers have always produced.  With ``seeds``
+    every load point is replicated under the *derived* per-cell seeds
+    (:func:`repro.experiments.common.run_replicated_sweep`), matching
+    the pooled ``repro-sweep`` cells for ``experiment``/``workload``.
+    """
+    from .common import run_replicated_sweep, run_sweep
+
+    if seeds is None:
+        result.add_sweep(
+            system.name,
+            run_sweep(
+                system, spec, utilizations, n_requests=n_requests,
+                sanitize=sanitize, trace_dir=trace_dir,
+                metrics_dir=metrics_dir, seeds=(seed,),
+            ),
+        )
+        return
+    result.add_replicated(
+        system.name,
+        run_replicated_sweep(
+            system, spec, utilizations, seeds, experiment=experiment,
+            workload=workload, n_requests=n_requests, sanitize=sanitize,
+            trace_dir=trace_dir, metrics_dir=metrics_dir,
+        ),
+    )

@@ -24,6 +24,66 @@ from ..systems.base import SystemModel
 from ..workload.spec import WorkloadSpec
 
 
+def _columns_sha(recorder) -> "hashlib._Hash":
+    """SHA-256 primed with every completion column — the common prefix of
+    all outcome digests."""
+    columns = recorder.columns()
+    sha = hashlib.sha256()
+    for array in (
+        columns.type_ids,
+        columns.arrivals,
+        columns.services,
+        columns.finishes,
+        columns.waits,
+        columns.preemptions,
+        columns.overheads,
+    ):
+        sha.update(np.ascontiguousarray(array).tobytes())
+    return sha
+
+
+def digest_outcome(recorder, loop) -> str:
+    """Hash one run's observable outcome: completion columns plus engine
+    counters.  This is *the* per-run fingerprint — :func:`digest_run`,
+    the determinism pytest suite and the sweep executor
+    (:mod:`repro.sweep.runner`) all produce their digests through it, so
+    a cell's digest is comparable no matter which path executed it."""
+    sha = _columns_sha(recorder)
+    sha.update(
+        struct.pack(
+            "<qqqd",
+            recorder.completed,
+            recorder.dropped,
+            loop.events_processed,
+            loop.now,
+        )
+    )
+    return sha.hexdigest()
+
+
+def digest_chaos_outcome(recorder, loop, injector) -> str:
+    """Chaos-run fingerprint: additionally covers the orphan-request
+    ledger and the fault injector's counters."""
+    sha = _columns_sha(recorder)
+    sha.update(
+        struct.pack(
+            "<qqqqqqqd",
+            recorder.completed,
+            recorder.dropped,
+            recorder.timeouts,
+            recorder.retries,
+            recorder.failures,
+            recorder.late_completions,
+            loop.events_processed,
+            loop.now,
+        )
+    )
+    for key, value in sorted(injector.counters().items()):
+        sha.update(key.encode())
+        sha.update(struct.pack("<q", value))
+    return sha.hexdigest()
+
+
 class RunDigest(NamedTuple):
     """Fingerprint of one simulated run."""
 
@@ -90,32 +150,11 @@ def digest_run(
         telemetry=telemetry,
     )
     recorder = result.server.recorder
-    columns = recorder.columns()
-    sha = hashlib.sha256()
-    for array in (
-        columns.type_ids,
-        columns.arrivals,
-        columns.services,
-        columns.finishes,
-        columns.waits,
-        columns.preemptions,
-        columns.overheads,
-    ):
-        sha.update(np.ascontiguousarray(array).tobytes())
     loop = result.server.loop
-    sha.update(
-        struct.pack(
-            "<qqqd",
-            recorder.completed,
-            recorder.dropped,
-            loop.events_processed,
-            loop.now,
-        )
-    )
     return RunDigest(
         system=result.system_name,
         seed=seed,
-        digest=sha.hexdigest(),
+        digest=digest_outcome(recorder, loop),
         completed=recorder.completed,
         dropped=recorder.dropped,
         events_processed=loop.events_processed,
@@ -249,39 +288,11 @@ def digest_chaos_run(
         sanitize=sanitize,
     )
     recorder = result.recorder
-    columns = recorder.columns()
-    sha = hashlib.sha256()
-    for array in (
-        columns.type_ids,
-        columns.arrivals,
-        columns.services,
-        columns.finishes,
-        columns.waits,
-        columns.preemptions,
-        columns.overheads,
-    ):
-        sha.update(np.ascontiguousarray(array).tobytes())
     loop = result.server.loop
-    sha.update(
-        struct.pack(
-            "<qqqqqqqd",
-            recorder.completed,
-            recorder.dropped,
-            recorder.timeouts,
-            recorder.retries,
-            recorder.failures,
-            recorder.late_completions,
-            loop.events_processed,
-            loop.now,
-        )
-    )
-    for key, value in sorted(result.injector.counters().items()):
-        sha.update(key.encode())
-        sha.update(struct.pack("<q", value))
     return RunDigest(
         system=result.system_name,
         seed=seed,
-        digest=sha.hexdigest(),
+        digest=digest_chaos_outcome(recorder, loop, result.injector),
         completed=recorder.completed,
         dropped=recorder.dropped,
         events_processed=loop.events_processed,

@@ -517,15 +517,21 @@ class TracePurityRule(Rule):
     """The observer planes promise that attaching them cannot change a
     run: spans, samples and metric scrapes are a pure function of
     simulated events.  Any wall-clock read, direct RNG draw, or
-    host-entropy source inside ``repro/trace/`` or ``repro/telemetry/``
-    would break that promise (trace/metrics files would differ between
-    identical runs, and ``--trace``/``--metrics`` could no longer claim
+    host-entropy source inside ``repro/trace/``, ``repro/telemetry/``,
+    or ``repro/sweep/`` would break that promise (trace/metrics/merged
+    sweep files would differ between identical runs, and
+    ``--trace``/``--metrics``/``repro-sweep`` could no longer claim
     bit-identical results).  Timestamps must come from ``EventLoop.now``
-    and identifiers from request ids or deterministic counters.  The one
-    sanctioned exception is the opt-in self-profiler
-    (``repro/telemetry/profiler.py``), which *measures* the simulator's
-    wall-clock cost by design — each of its timing lines carries an
-    explicit ``repro-lint: disable=R009`` pragma."""
+    and identifiers from request ids or deterministic counters.  The
+    sweep package's cell results, checkpoints, and CI aggregation are
+    covered because parallel and resumed sweeps must reproduce serial
+    ones byte for byte; only its worker-*management* lines (pool
+    timeouts, the latency-selftest sleep) may carry an explicit
+    ``repro-lint: disable=R009`` pragma, since they steer processes,
+    never results.  The other sanctioned exception is the opt-in
+    self-profiler (``repro/telemetry/profiler.py``), which *measures*
+    the simulator's wall-clock cost by design — each of its timing
+    lines carries an explicit pragma too."""
 
     id = "R009"
     name = "observer-purity"
@@ -538,7 +544,7 @@ class TracePurityRule(Rule):
     _RNG_PREFIXES = ("random.", "numpy.random.")
 
     #: Packages bound by the pure-observer contract.
-    _OBSERVER_PACKAGES = ("trace", "telemetry")
+    _OBSERVER_PACKAGES = ("trace", "telemetry", "sweep")
 
     @classmethod
     def _observer_package(cls, ctx: ModuleContext) -> Optional[str]:

@@ -1,0 +1,243 @@
+"""Cell model: the unit of work a sweep fans out.
+
+A *cell* is one independent simulation: an experiment name, a parameter
+binding (system, workload, load point, ...), and a replicate token (the
+user-facing seed).  Cells are value objects — hashable, picklable, and
+serializable — so the same cell can be executed in-process, shipped to a
+pool worker, or re-read from a checkpoint, and always means the same
+run.
+
+Seed derivation
+---------------
+Every cell's root seed is a **stable hash** of
+``(experiment, seed_params, replicate)`` feeding
+:class:`~repro.sim.randomness.RngRegistry`, so a cell's result is
+bit-identical whether it runs serially, in any pool ordering, or after a
+resume.  ``seed_params`` is the cell's parameter binding *minus* the
+keys in :data:`PAIRED_KEYS` (the system name): systems compared at the
+same (workload, load, replicate) point deliberately share one seed —
+the paper's common-random-numbers methodology — while different load
+points, workloads and replicates get statistically independent streams.
+The hash is SHA-256 over a canonical JSON encoding, so it is stable
+across processes, platforms and Python versions (unlike builtin
+``hash``, which is salted per process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Any, Dict, Mapping, NamedTuple, Optional, Tuple
+
+#: Parameter keys excluded from seed derivation.  Cells that differ only
+#: in these keys share a seed: comparisons across systems at the same
+#: point stay paired (common random numbers), exactly as the serial
+#: figure drivers have always run them.
+PAIRED_KEYS = ("system",)
+
+#: Length of the hexadecimal cell-id suffix (collision guard for slugs).
+ID_HASH_LEN = 10
+
+
+def _canonical(payload: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace, repr floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def stable_hash64(payload: Any) -> int:
+    """A 63-bit stable hash of any JSON-serializable payload."""
+    digest = hashlib.sha256(_canonical(payload)).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)
+
+
+def derive_seed(experiment: str, params: Mapping[str, Any], replicate: int) -> int:
+    """The root seed for one cell.
+
+    Pure function of ``(experiment, params - PAIRED_KEYS, replicate)``;
+    see the module docstring for why the system name is excluded.
+    """
+    seed_params = {
+        key: params[key] for key in sorted(params) if key not in PAIRED_KEYS
+    }
+    return stable_hash64([experiment, seed_params, int(replicate)])
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe token."""
+    return re.sub(r"[^A-Za-z0-9.-]+", "-", str(text)).strip("-") or "x"
+
+
+class Cell(NamedTuple):
+    """One independent unit of sweep work.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs so
+    cells are hashable and their identity does not depend on dict
+    ordering; build cells with :meth:`make` rather than directly.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+    #: The user-facing seed token for this replicate (e.g. ``--seeds 1,2,3``
+    #: produces replicates 1, 2 and 3 of every grid point).
+    replicate: int
+
+    @classmethod
+    def make(cls, experiment: str, params: Mapping[str, Any], replicate: int) -> "Cell":
+        return cls(
+            experiment=experiment,
+            params=tuple((k, params[k]) for k in sorted(params)),
+            replicate=int(replicate),
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def seed(self) -> int:
+        """The derived root seed actually fed to ``RngRegistry``."""
+        return derive_seed(self.experiment, self.params_dict, self.replicate)
+
+    @property
+    def group_id(self) -> str:
+        """Identity of the grid point this cell replicates (no replicate)."""
+        parts = [self.experiment] + [
+            f"{k}-{_slug(v)}" for k, v in self.params if k != "n_requests"
+        ]
+        return "_".join(_slug(p) for p in parts)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable, filesystem-safe, collision-guarded identifier."""
+        digest = hashlib.sha256(
+            _canonical([self.experiment, self.params_dict, self.replicate])
+        ).hexdigest()[:ID_HASH_LEN]
+        return f"{self.group_id}_r{self.replicate}-{digest}"
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "params": self.params_dict,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "cell_id": self.cell_id,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "Cell":
+        cell = cls.make(doc["experiment"], doc["params"], doc["replicate"])
+        recorded = doc.get("seed")
+        if recorded is not None and int(recorded) != cell.seed:
+            raise ValueError(
+                f"cell {cell.cell_id}: recorded seed {recorded} does not match "
+                f"the derived seed {cell.seed} — plan and code disagree"
+            )
+        return cell
+
+
+class CellResult(NamedTuple):
+    """The serializable outcome of one executed cell.
+
+    This is what crosses the process boundary and lands on disk — a
+    reduction of :class:`~repro.experiments.common.RunResult` to plain
+    floats plus a digest of the observable event stream, so merged
+    results never depend on live scheduler/server objects.
+    """
+
+    cell_id: str
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+    replicate: int
+    seed: int
+    #: Flat metric name -> value (summary statistics, counters).
+    metrics: Tuple[Tuple[str, float], ...]
+    #: SHA-256 of the observable outcome (recorder columns + counters);
+    #: the determinism tests pin these across serial/parallel/resume.
+    digest: str
+    #: Simulated duration in microseconds (virtual time, not wall time).
+    sim_time_us: float
+    #: Paths of per-cell artifacts (trace/metrics exports), if any.
+    artifacts: Tuple[str, ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        cell: Cell,
+        metrics: Mapping[str, float],
+        digest: str,
+        sim_time_us: float,
+        artifacts: Tuple[str, ...] = (),
+    ) -> "CellResult":
+        return cls(
+            cell_id=cell.cell_id,
+            experiment=cell.experiment,
+            params=cell.params,
+            replicate=cell.replicate,
+            seed=cell.seed,
+            metrics=tuple((k, float(metrics[k])) for k in sorted(metrics)),
+            digest=digest,
+            sim_time_us=float(sim_time_us),
+            artifacts=tuple(artifacts),
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def metrics_dict(self) -> Dict[str, float]:
+        return dict(self.metrics)
+
+    @property
+    def group_id(self) -> str:
+        return Cell.make(self.experiment, self.params_dict, self.replicate).group_id
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-sweep-cell",
+            "cell_id": self.cell_id,
+            "experiment": self.experiment,
+            "params": self.params_dict,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "metrics": self.metrics_dict,
+            "digest": self.digest,
+            "sim_time_us": self.sim_time_us,
+            "artifacts": list(self.artifacts),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "CellResult":
+        if doc.get("kind") != "repro-sweep-cell":
+            raise ValueError(f"not a cell-result document: kind={doc.get('kind')!r}")
+        return cls(
+            cell_id=doc["cell_id"],
+            experiment=doc["experiment"],
+            params=tuple((k, doc["params"][k]) for k in sorted(doc["params"])),
+            replicate=int(doc["replicate"]),
+            seed=int(doc["seed"]),
+            metrics=tuple(
+                (k, float(doc["metrics"][k])) for k in sorted(doc["metrics"])
+            ),
+            digest=doc["digest"],
+            sim_time_us=float(doc["sim_time_us"]),
+            artifacts=tuple(doc.get("artifacts", ())),
+        )
+
+
+def parse_seeds(text: Optional[str]) -> Tuple[int, ...]:
+    """Parse a ``--seeds 1,2,3`` CLI token into an ordered seed tuple."""
+    if not text:
+        return (1,)
+    seeds = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"duplicate seeds in {text!r}")
+    return tuple(seeds)

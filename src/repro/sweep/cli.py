@@ -1,0 +1,209 @@
+"""``repro-sweep`` — plan, execute, inspect and merge parallel sweeps.
+
+Usage::
+
+    repro-sweep plan figure5 --seeds 1,2,3 --out sweeps/fig5
+    repro-sweep run figure5 --seeds 1,2,3 --jobs 4 --out sweeps/fig5
+    repro-sweep run figure5 --seeds 1,2,3 --jobs 4 --out sweeps/fig5 --resume
+    repro-sweep status sweeps/fig5
+    repro-sweep merge sweeps/fig5 --confidence 0.95
+
+``plan`` only writes the expanded cell grid; ``run`` executes it
+(resumably), checkpointing each cell as it completes, and merges once
+everything is durable.  Exit codes: 0 ok, 1 failed/incomplete cells,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigurationError, ReproError
+from .cells import parse_seeds
+from .checkpoint import CheckpointStore
+from .orchestrator import merge_store, run_plan
+from .planner import plan_experiment, supported_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Parallel experiment orchestration for the Persephone "
+        "reproduction: deterministic fan-out, resumable checkpoints, "
+        "multi-seed confidence intervals.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "experiment",
+            choices=supported_experiments(),
+            help="experiment grid to expand",
+        )
+        p.add_argument(
+            "--seeds", default="1",
+            help="comma-separated replicate seeds (default: 1); 3+ seeds "
+            "turn on confidence intervals",
+        )
+        p.add_argument(
+            "--n-requests", type=int, default=None,
+            help="arrivals per cell (default: the experiment's own)",
+        )
+        p.add_argument(
+            "--utilizations", default=None,
+            help="comma-separated load points overriding the default grid",
+        )
+        p.add_argument(
+            "--out", required=True, help="checkpoint directory for this sweep"
+        )
+
+    p = sub.add_parser("plan", help="expand the cell grid and write plan.json")
+    add_grid_args(p)
+
+    p = sub.add_parser("run", help="execute a sweep (resumably)")
+    add_grid_args(p)
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock timeout in seconds (pool mode only)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue an existing checkpoint, skipping completed cells",
+    )
+    p.add_argument(
+        "--max-cells", type=int, default=None,
+        help="stop after this many cells (for interrupt/resume testing)",
+    )
+    p.add_argument(
+        "--trace", action="store_true", help="write per-cell trace artifacts"
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="write per-cell telemetry artifacts",
+    )
+    p.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="CI level for merged tables (0.90/0.95/0.99)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    p = sub.add_parser("status", help="report a checkpoint's progress")
+    p.add_argument("dir", help="checkpoint directory")
+
+    p = sub.add_parser("merge", help="(re-)aggregate a checkpoint's results")
+    p.add_argument("dir", help="checkpoint directory")
+    p.add_argument("--confidence", type=float, default=0.95)
+    return parser
+
+
+def _build_plan(args: argparse.Namespace):
+    utils = None
+    if args.utilizations:
+        utils = [float(u) for u in args.utilizations.split(",") if u.strip()]
+    return plan_experiment(
+        args.experiment,
+        seeds=parse_seeds(args.seeds),
+        n_requests=args.n_requests,
+        utilizations=utils,
+    )
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    store = CheckpointStore(args.out)
+    store.init(plan, resume=False)
+    print(
+        f"planned {args.experiment}: {len(plan.cells)} cells "
+        f"({len(plan.seeds)} seed(s)) -> {store.plan_path}"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    observe = tuple(
+        name
+        for name, enabled in (("trace", args.trace), ("metrics", args.metrics))
+        if enabled
+    )
+    progress = None if args.quiet else print
+    run = run_plan(
+        plan,
+        args.out,
+        jobs=args.jobs,
+        resume=args.resume,
+        timeout_s=args.timeout,
+        observe=observe,
+        confidence=args.confidence,
+        max_cells=args.max_cells,
+        progress=progress,
+    )
+    if run.n_failed:
+        failed = [o for o in run.outcomes if not o.ok]
+        for outcome in failed:
+            print(
+                f"FAILED {outcome.cell.cell_id}: {outcome.status} "
+                f"({outcome.error})",
+                file=sys.stderr,
+            )
+        return 1
+    if run.merged is None:
+        remaining = len(run.store.pending_cells(run.plan))
+        print(
+            f"stopped with {remaining} cell(s) pending; rerun with --resume "
+            "to finish"
+        )
+        return 1
+    print()
+    print(run.merged.render())
+    print(f"\nmerged {run.merged.n_cells} cells -> {run.store.merged_path}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    store = CheckpointStore(args.dir)
+    status = store.status()
+    print(
+        f"{status['experiment']} @ {status['root']}: "
+        f"{status['completed']}/{status['total']} cells complete, "
+        f"{status['failed']} failed, seeds {status['seeds']}"
+    )
+    for cell_id, error in status["failures"].items():
+        print(f"  FAILED {cell_id}: {error}")
+    if status["merged"]:
+        print(f"  merged: {store.merged_path}")
+    return 0 if status["pending"] == 0 and status["failed"] == 0 else 1
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    merged = merge_store(args.dir, confidence=args.confidence)
+    print(merged.render())
+    print(f"\nmerged {merged.n_cells} cells -> "
+          f"{CheckpointStore(args.dir).merged_path}")
+    return 0
+
+
+_COMMANDS = {
+    "plan": cmd_plan,
+    "run": cmd_run,
+    "status": cmd_status,
+    "merge": cmd_merge,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ConfigurationError, ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,401 @@
+"""Cell planner: expand (experiment × grid point × seed) into cells.
+
+Every orchestrable experiment registers an :class:`ExperimentSpec`
+describing its grid — which workloads it runs, which systems it
+compares, its default load points and request counts, and the SLO /
+metric its capacity findings use.  :func:`plan_experiment` expands that
+grid crossed with the requested seeds into a flat list of independent
+:class:`~repro.sweep.cells.Cell`\\ s, each carrying a deterministically
+derived root seed, and wraps it in a serializable :class:`SweepPlan`.
+
+The registry deliberately reuses the figure modules' own
+``default_systems``/``systems_for`` functions and module constants, so
+a pooled sweep runs exactly the configurations the serial drivers run
+— one source of truth for every grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .cells import Cell
+
+
+class ExperimentSpec(NamedTuple):
+    """Everything the planner and merger need to know about one experiment."""
+
+    name: str
+    #: "load_sweep" | "reserved_grid" | "phased" | "chaos" | "selftest"
+    kind: str
+    #: Workload tokens the experiment iterates over ("" when implicit).
+    workloads: Tuple[str, ...]
+    #: workload token -> WorkloadSpec factory (None for non-sweep kinds).
+    spec_for: Optional[Callable[[str], Any]]
+    #: workload token -> list of SystemModel (fresh instances per call).
+    systems_for: Optional[Callable[[str], List[Any]]]
+    #: Default load points (empty for single-point experiments).
+    utilizations: Tuple[float, ...]
+    #: Default arrivals per cell.
+    n_requests: int
+    #: workload token -> SLO threshold for capacity findings (may be {}).
+    slo: Dict[str, float]
+    #: Metric key (in CellResult.metrics) the SLO applies to.
+    capacity_metric: str
+    #: Metric keys worth tabulating in merged output, in display order.
+    table_metrics: Tuple[str, ...]
+
+
+def _load_sweep(
+    name: str,
+    workloads: Tuple[str, ...],
+    spec_for,
+    systems_for,
+    utilizations: Tuple[float, ...],
+    n_requests: int,
+    slo: Dict[str, float],
+    capacity_metric: str,
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        kind="load_sweep",
+        workloads=workloads,
+        spec_for=spec_for,
+        systems_for=systems_for,
+        utilizations=utilizations,
+        n_requests=n_requests,
+        slo=slo,
+        capacity_metric=capacity_metric,
+        table_metrics=(capacity_metric, "overall_tail_latency", "throughput"),
+    )
+
+
+def _registry() -> Dict[str, ExperimentSpec]:
+    # Imported here (not at module top) so `import repro.sweep` stays
+    # cheap and free of import cycles with repro.experiments.
+    from ..apps.rocksdb import RocksDbLike
+    from ..experiments import (
+        chaos,
+        figure1,
+        figure3,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        figure10,
+    )
+    from ..workload.presets import (
+        extreme_bimodal,
+        figure1_workload,
+        high_bimodal,
+        tpcc,
+    )
+
+    def bimodal_spec(workload: str):
+        return high_bimodal() if workload == "high_bimodal" else extreme_bimodal()
+
+    registry: Dict[str, ExperimentSpec] = {}
+
+    registry["figure1"] = _load_sweep(
+        "figure1", ("figure1",), lambda w: figure1_workload(),
+        lambda w: figure1.default_systems(), figure1.DEFAULT_UTILIZATIONS,
+        60_000, {"figure1": figure1.SLO_SLOWDOWN}, "max_typed_slowdown",
+    )
+    registry["figure3"] = _load_sweep(
+        "figure3", ("high_bimodal",), bimodal_spec,
+        lambda w: figure3.default_systems(), figure3.DEFAULT_UTILIZATIONS,
+        60_000, {"high_bimodal": figure3.SHORT_LATENCY_SLO_US},
+        "overall_tail_slowdown",
+    )
+    registry["figure5"] = _load_sweep(
+        "figure5", ("high_bimodal", "extreme_bimodal"), bimodal_spec,
+        figure5.systems_for, figure5.DEFAULT_UTILIZATIONS, 60_000,
+        {"high_bimodal": figure5.SLO_HIGH, "extreme_bimodal": figure5.SLO_EXTREME},
+        "overall_tail_slowdown",
+    )
+    registry["figure6"] = _load_sweep(
+        "figure6", ("tpcc",), lambda w: tpcc(),
+        lambda w: figure6.default_systems(), figure6.DEFAULT_UTILIZATIONS,
+        60_000, {"tpcc": figure6.SLO_SLOWDOWN}, "overall_tail_slowdown",
+    )
+    registry["figure8"] = _load_sweep(
+        "figure8", ("rocksdb",), lambda w: RocksDbLike().workload_spec(),
+        lambda w: figure8.default_systems(), figure8.DEFAULT_UTILIZATIONS,
+        60_000, {"rocksdb": figure8.SLO_SLOWDOWN}, "overall_tail_slowdown",
+    )
+    registry["figure9"] = _load_sweep(
+        "figure9", ("high_bimodal",), bimodal_spec,
+        lambda w: figure9.default_systems(), figure9.DEFAULT_UTILIZATIONS,
+        50_000, {}, "overall_tail_slowdown",
+    )
+    registry["figure10"] = _load_sweep(
+        "figure10", ("figure1",), lambda w: figure1_workload(),
+        lambda w: figure10.default_systems(), figure10.DEFAULT_UTILIZATIONS,
+        60_000, {"figure1": figure10.SLO_SLOWDOWN}, "max_typed_slowdown",
+    )
+
+    registry["figure4"] = ExperimentSpec(
+        name="figure4",
+        kind="reserved_grid",
+        workloads=("high_bimodal", "extreme_bimodal"),
+        spec_for=bimodal_spec,
+        systems_for=None,
+        utilizations=(figure4.UTILIZATION,),
+        n_requests=60_000,
+        slo={},
+        capacity_metric="overall_tail_slowdown",
+        table_metrics=("overall_tail_slowdown", "overall_tail_latency"),
+    )
+    registry["figure7"] = ExperimentSpec(
+        name="figure7",
+        kind="phased",
+        workloads=("phased",),
+        spec_for=None,
+        systems_for=lambda w: [
+            s for s in _figure7_systems(figure7)
+        ],
+        utilizations=(),
+        n_requests=0,
+        slo={},
+        capacity_metric="overall_tail_slowdown",
+        table_metrics=("overall_tail_slowdown", "overall_tail_latency"),
+    )
+    registry["chaos"] = ExperimentSpec(
+        name="chaos",
+        kind="chaos",
+        workloads=("high_bimodal",),
+        spec_for=bimodal_spec,
+        systems_for=lambda w: chaos.default_systems(),
+        utilizations=(chaos.UTILIZATION,),
+        n_requests=20_000,
+        slo={},
+        capacity_metric="overall_tail_slowdown",
+        table_metrics=("ttr_us", "violation_us", "failures", "throughput"),
+    )
+    registry[SELFTEST] = ExperimentSpec(
+        name=SELFTEST,
+        kind="selftest",
+        workloads=("",),
+        spec_for=None,
+        systems_for=None,
+        utilizations=(),
+        n_requests=400,
+        slo={},
+        capacity_metric="value",
+        table_metrics=("value",),
+    )
+    return registry
+
+
+def _figure7_systems(figure7_mod) -> List[Any]:
+    """The two systems figure7.run compares, by the same names."""
+    from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
+
+    return [
+        PersephoneCfcfsSystem(n_workers=figure7_mod.N_WORKERS, name="c-FCFS"),
+        PersephoneSystem(
+            n_workers=figure7_mod.N_WORKERS,
+            oracle=False,
+            min_samples=500,
+            ema_alpha=0.1,
+            name="DARC",
+        ),
+    ]
+
+
+#: Hidden experiment exercising the executor itself (crash isolation,
+#: timeouts, latency overlap) without a full simulation per cell.
+SELFTEST = "_selftest"
+
+#: Registry cache — filled in place on first use (configuration, not
+#: simulation state: the grid specs are immutable once built).
+_SPECS: Dict[str, ExperimentSpec] = {}
+
+
+def _specs() -> Dict[str, ExperimentSpec]:
+    if not _SPECS:
+        _SPECS.update(_registry())
+    return _SPECS
+
+
+def experiment_spec(name: str) -> ExperimentSpec:
+    spec = _specs().get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown sweep experiment {name!r} (choices: "
+            f"{', '.join(supported_experiments())})"
+        )
+    return spec
+
+
+def supported_experiments() -> List[str]:
+    """Public, orchestrable experiment names (selftest excluded)."""
+    return sorted(name for name in _specs() if not name.startswith("_"))
+
+
+class SweepPlan(NamedTuple):
+    """A fully expanded, serializable sweep."""
+
+    experiment: str
+    seeds: Tuple[int, ...]
+    n_requests: int
+    utilizations: Tuple[float, ...]
+    cells: Tuple[Cell, ...]
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-sweep-plan",
+            "version": 1,
+            "experiment": self.experiment,
+            "seeds": list(self.seeds),
+            "n_requests": self.n_requests,
+            "utilizations": list(self.utilizations),
+            "cells": [cell.to_doc() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "SweepPlan":
+        if doc.get("kind") != "repro-sweep-plan":
+            raise ConfigurationError(
+                f"not a sweep plan document: kind={doc.get('kind')!r}"
+            )
+        return cls(
+            experiment=doc["experiment"],
+            seeds=tuple(int(s) for s in doc["seeds"]),
+            n_requests=int(doc["n_requests"]),
+            utilizations=tuple(float(u) for u in doc["utilizations"]),
+            cells=tuple(Cell.from_doc(c) for c in doc["cells"]),
+        )
+
+
+def plan_experiment(
+    experiment: str,
+    seeds: Sequence[int] = (1,),
+    n_requests: Optional[int] = None,
+    utilizations: Optional[Sequence[float]] = None,
+) -> SweepPlan:
+    """Expand one experiment's grid × seeds into independent cells.
+
+    Cell ordering is deterministic (workload-major, then load point,
+    then system, then seed) but carries no meaning: every cell is
+    independent and the executor may complete them in any order.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(f"duplicate seeds in {list(seeds)!r}")
+    spec = experiment_spec(experiment)
+    n = int(n_requests) if n_requests is not None else spec.n_requests
+    utils = (
+        tuple(float(u) for u in utilizations)
+        if utilizations is not None
+        else spec.utilizations
+    )
+    cells: List[Cell] = []
+    if spec.kind == "load_sweep":
+        for workload in spec.workloads:
+            names = [s.name for s in spec.systems_for(workload)]
+            for rho in utils:
+                for name in names:
+                    for seed in seeds:
+                        cells.append(
+                            Cell.make(
+                                experiment,
+                                {
+                                    "system": name,
+                                    "workload": workload,
+                                    "rho": rho,
+                                    "n_requests": n,
+                                },
+                                seed,
+                            )
+                        )
+    elif spec.kind == "reserved_grid":
+        from ..experiments import figure4
+
+        rho = utils[0]
+        for workload in spec.workloads:
+            choices = ["c-FCFS"] + [
+                f"reserved{k}"
+                for k in figure4.DEFAULT_RESERVED
+                if k < figure4.N_WORKERS
+            ]
+            for choice in choices:
+                for seed in seeds:
+                    cells.append(
+                        Cell.make(
+                            experiment,
+                            {
+                                "system": choice,
+                                "workload": workload,
+                                "rho": rho,
+                                "n_requests": n,
+                            },
+                            seed,
+                        )
+                    )
+    elif spec.kind == "phased":
+        for name in [s.name for s in spec.systems_for("phased")]:
+            for seed in seeds:
+                cells.append(
+                    Cell.make(experiment, {"system": name, "workload": "phased"}, seed)
+                )
+    elif spec.kind == "chaos":
+        for workload in spec.workloads:
+            names = [s.name for s in spec.systems_for(workload)]
+            for name in names:
+                for seed in seeds:
+                    cells.append(
+                        Cell.make(
+                            experiment,
+                            {
+                                "system": name,
+                                "workload": workload,
+                                "rho": utils[0],
+                                "n_requests": n,
+                            },
+                            seed,
+                        )
+                    )
+    else:
+        raise ConfigurationError(f"experiment {experiment!r} is not plannable")
+    return SweepPlan(
+        experiment=experiment,
+        seeds=tuple(int(s) for s in seeds),
+        n_requests=n,
+        utilizations=utils,
+        cells=tuple(cells),
+    )
+
+
+def plan_selftest(
+    n_cells: int,
+    seeds: Sequence[int] = (1,),
+    mode: str = "ok",
+    duration_ms: float = 0.0,
+    n_requests: int = 400,
+) -> SweepPlan:
+    """A grid of executor-selftest cells (see :mod:`repro.sweep.runner`)."""
+    cells = [
+        Cell.make(
+            SELFTEST,
+            {
+                "index": index,
+                "mode": mode,
+                "duration_ms": float(duration_ms),
+                "n_requests": int(n_requests),
+            },
+            seed,
+        )
+        for index in range(n_cells)
+        for seed in seeds
+    ]
+    return SweepPlan(
+        experiment=SELFTEST,
+        seeds=tuple(int(s) for s in seeds),
+        n_requests=int(n_requests),
+        utilizations=(),
+        cells=tuple(cells),
+    )

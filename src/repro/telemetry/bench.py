@@ -118,7 +118,7 @@ def discover(root: str = ".") -> List[str]:
 
 def metric_direction(metric: str) -> int:
     """-1 = lower is better, +1 = higher is better, 0 = ungated."""
-    if "per_sec" in metric:
+    if "per_sec" in metric or "speedup" in metric:
         return 1
     if metric.endswith(("_s", "_us", "_bytes")) or "time" in metric:
         return -1

@@ -62,6 +62,48 @@ class TestMain:
         assert (tmp_path / "figure5_extreme_bimodal.csv").exists()
 
 
+class TestSeedsAndJobs:
+    def test_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["figure3", "--seeds", "1,2,3", "--jobs", "4"]
+        )
+        assert args.seeds == "1,2,3"
+        assert args.jobs == 4
+        defaults = build_parser().parse_args(["figure3"])
+        assert defaults.seeds is None
+        assert defaults.jobs == 1
+
+    def test_bad_seeds_exit_2(self, capsys):
+        assert main(["figure3", "--quick", "--seeds", "1,1"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_serial_multi_seed_run_reports_cis(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        assert main(["figure3", "--quick", "--seeds", "1,2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "±" in out
+
+    def test_jobs_delegates_to_sweep_orchestrator(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 300)
+        assert main(
+            [
+                "figure3", "--quick", "--jobs", "2",
+                "--sweep-dir", str(tmp_path / "ckpt"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pooling" in out
+        assert "repro-sweep run" in out
+        assert (tmp_path / "ckpt" / "merged.json").exists()
+
+
 class TestTraceFlag:
     def test_trace_flag_parsed(self):
         args = build_parser().parse_args(["figure3", "--trace", "traces/"])

@@ -83,7 +83,7 @@ class TestRunSweep:
             high_bimodal(),
             [0.3, 0.6],
             n_requests=200,
-            seed=2,
+            seeds=(2,),
         )
         assert [r.utilization for r in results] == [0.3, 0.6]
 
@@ -94,7 +94,87 @@ class TestRunSweep:
             high_bimodal(),
             [0.2, 0.9],
             n_requests=3000,
-            seed=2,
+            seeds=(2,),
         )
         low, high = (r.summary.overall_tail_slowdown for r in results)
         assert high >= low
+
+
+class TestRunSweepSeeds:
+    def _sweep(self, **kwargs):
+        return run_sweep(
+            PersephoneCfcfsSystem(n_workers=4),
+            high_bimodal(),
+            [0.3, 0.6],
+            n_requests=200,
+            **kwargs,
+        )
+
+    def test_multi_seed_order_load_major(self):
+        results = self._sweep(seeds=(1, 2))
+        assert [r.utilization for r in results] == [0.3, 0.3, 0.6, 0.6]
+
+    def test_replicates_actually_differ(self):
+        a, b = self._sweep(seeds=(1, 2))[:2]
+        assert a.summary.overall_tail_latency != b.summary.overall_tail_latency
+
+    def test_legacy_seed_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="seeds"):
+            legacy = self._sweep(seed=2)
+        modern = self._sweep(seeds=(2,))
+        assert [r.summary.overall_tail_latency for r in legacy] == [
+            r.summary.overall_tail_latency for r in modern
+        ]
+
+    def test_seed_and_seeds_together_rejected(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            self._sweep(seed=1, seeds=(1, 2))
+
+    def test_empty_or_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one seed"):
+            self._sweep(seeds=())
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            self._sweep(seeds=(3, 3))
+
+
+class TestRunReplicatedSweep:
+    def test_runs_under_derived_cell_seeds(self):
+        from repro.experiments.common import run_replicated_sweep
+        from repro.sweep.cells import derive_seed
+
+        spec = high_bimodal()
+        replicates = run_replicated_sweep(
+            PersephoneCfcfsSystem(n_workers=4),
+            spec,
+            [0.5],
+            seeds=(1, 2),
+            experiment="figure5",
+            workload="high_bimodal",
+            n_requests=300,
+        )
+        assert sorted(replicates) == [1, 2]
+        assert all(len(sweep) == 1 for sweep in replicates.values())
+        # Each replicate must have run under the derived cell seed — the
+        # same one a pooled repro-sweep cell of this grid point gets.
+        for replicate, (result,) in replicates.items():
+            cell_seed = derive_seed(
+                "figure5",
+                {
+                    "system": "Persephone (c-FCFS)",
+                    "workload": "high_bimodal",
+                    "rho": 0.5,
+                    "n_requests": 300,
+                },
+                replicate,
+            )
+            direct = run_once(
+                PersephoneCfcfsSystem(n_workers=4),
+                spec,
+                0.5,
+                n_requests=300,
+                seed=cell_seed,
+            )
+            assert (
+                result.summary.overall_tail_latency
+                == direct.summary.overall_tail_latency
+            )

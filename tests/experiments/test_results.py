@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.experiments.results import FigureResult
 
 
@@ -13,9 +15,9 @@ class FakeSummary:
 
 
 class FakeResult:
-    def __init__(self, utilization, slowdown):
+    def __init__(self, utilization, slowdown, drop_rate=0.0):
         self.utilization = utilization
-        self.summary = FakeSummary(slowdown)
+        self.summary = FakeSummary(slowdown, drop_rate)
 
 
 def metric(result):
@@ -63,3 +65,69 @@ class TestFigureResult:
         result.add_sweep("short", [FakeResult(0.2, 1.0)])
         text = result.render_metric(metric, "x")
         assert "-" in text  # padded with NaN cell
+
+
+def build_replicated(drop_rate=0.0):
+    result = FigureResult("Figure X", [0.2, 0.5])
+    result.add_replicated(
+        "A",
+        {
+            1: [FakeResult(0.2, 1.0), FakeResult(0.5, 2.0)],
+            2: [FakeResult(0.2, 3.0), FakeResult(0.5, 4.0, drop_rate)],
+            3: [FakeResult(0.2, 5.0), FakeResult(0.5, 6.0)],
+        },
+    )
+    return result
+
+
+class TestReplicatedFigureResult:
+    def test_add_replicated_fills_legacy_sweep(self):
+        result = build_replicated()
+        assert result.n_replicates == 3
+        # The first replicate doubles as the legacy single-seed sweep.
+        assert [r.summary.overall_tail_slowdown for r in result.sweeps["A"]] == [
+            1.0, 2.0,
+        ]
+
+    def test_add_replicated_rejects_empty(self):
+        with pytest.raises(ValueError, match="no replicates"):
+            FigureResult("F", [0.5]).add_replicated("A", {})
+
+    def test_series_is_replicate_mean(self):
+        assert build_replicated().series(metric)["A"] == [3.0, 4.0]
+
+    def test_series_ci_has_honest_n(self):
+        stats = build_replicated().series_ci(metric)["A"]
+        assert [s.n for s in stats] == [3, 3]
+        assert stats[0].mean == pytest.approx(3.0)
+        assert stats[0].half_width > 0
+
+    def test_single_seed_sweeps_degenerate_n1(self):
+        stats = build().series_ci(metric)["A"]
+        assert [s.n for s in stats] == [1, 1, 1]
+        assert all(s.half_width == 0.0 for s in stats)
+
+    def test_capacities_use_replicate_mean(self):
+        # Means are 3.0 and 4.0: an SLO of 3.5 passes only the first point.
+        caps = build_replicated().capacities(3.5, metric)
+        assert caps["A"] == 0.2
+        caps = build_replicated().capacities(10.0, metric)
+        assert caps["A"] == 0.5
+
+    def test_any_replicate_drop_disqualifies(self):
+        caps = build_replicated(drop_rate=0.01).capacities(10.0, metric)
+        assert caps["A"] == 0.2
+
+    def test_render_metric_labels_ci(self):
+        text = build_replicated().render_metric(metric, "slowdown (x)")
+        assert "mean±95% CI, 3 seeds" in text
+        assert "±" in text
+
+    def test_mixed_replicated_and_plain_systems(self):
+        result = build_replicated()
+        result.add_sweep("B", [FakeResult(0.2, 9.0), FakeResult(0.5, 9.0)])
+        stats = result.series_ci(metric)
+        assert [s.n for s in stats["A"]] == [3, 3]
+        assert [s.n for s in stats["B"]] == [1, 1]
+        text = result.render_metric(metric, "x")
+        assert "A" in text and "B" in text

@@ -5,6 +5,9 @@ import pytest
 
 from repro.experiments.common import run_once
 from repro.lint.determinism import check_all, check_system, digest_run
+from repro.sweep.executor import execute_cells
+from repro.sweep.orchestrator import run_plan
+from repro.sweep.planner import plan_experiment
 from repro.systems.persephone import PersephoneSystem
 from repro.systems.shenango import ShenangoSystem
 from repro.systems.shinjuku import ShinjukuSystem
@@ -98,3 +101,77 @@ class TestHotPathFixesBitIdentical:
             SYSTEM_FACTORIES[name](), high_bimodal(), n_requests=800, seed=seed
         ).digest
         assert digest == self.PRE_OPTIMIZATION_DIGESTS[(name, seed)]
+
+
+@pytest.fixture(scope="module")
+def sweep_plan():
+    """One small real figure5 grid: 2 workloads × 3 systems × 2 seeds."""
+    return plan_experiment(
+        "figure5", seeds=(1, 2), n_requests=300, utilizations=(0.5,)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_digests(sweep_plan):
+    outcomes = execute_cells(sweep_plan.cells, jobs=1)
+    assert all(o.ok for o in outcomes)
+    return {o.cell.cell_id: o.result.digest for o in outcomes}
+
+
+class TestSweepPlacementIndependence:
+    """The sweep executor's core guarantee: a cell's digest is a pure
+    function of the cell, never of where or when it ran.  Serial,
+    2-worker-pool, and killed-then-resumed executions of the same
+    figure5 grid must produce bit-identical per-cell digests."""
+
+    #: Captured from the serial executor; placement-independence means no
+    #: execution strategy may ever produce anything else for this cell.
+    PINNED_CELL = (
+        "figure5_rho-0.5_system-Persephone_workload-high-bimodal_r1-2c792a2d58"
+    )
+    PINNED_DIGEST = (
+        "d7d283945aa115109ae234d494fcb4ebf9b5d5648efe1edb9600601da1bd6c92"
+    )
+
+    def test_two_worker_pool_matches_serial(self, sweep_plan, serial_digests):
+        outcomes = execute_cells(sweep_plan.cells, jobs=2)
+        assert all(o.ok for o in outcomes)
+        pooled = {o.cell.cell_id: o.result.digest for o in outcomes}
+        assert pooled == serial_digests
+
+    def test_killed_then_resumed_matches_serial(
+        self, sweep_plan, serial_digests, tmp_path
+    ):
+        root = str(tmp_path / "ckpt")
+        # "Kill" mid-sweep: the first invocation stops after 5 of 12
+        # cells, leaving a durable-but-incomplete checkpoint.
+        first = run_plan(sweep_plan, root, jobs=2, max_cells=5)
+        assert first.merged is None
+        assert len(first.outcomes) == 5
+        # Resume completes only the remainder, then merges.
+        second = run_plan(sweep_plan, root, jobs=2, resume=True)
+        assert second.merged is not None
+        assert len(second.outcomes) == len(sweep_plan.cells) - 5
+        resumed = {
+            r.cell_id: r.digest for r in second.store.load_results()
+        }
+        assert resumed == serial_digests
+        # The merged document carries the same digests as evidence.
+        merged_digests = {
+            d for g in second.merged.groups for _, d in g.digests
+        }
+        assert merged_digests == set(serial_digests.values())
+
+    def test_replicates_differ(self, sweep_plan, serial_digests):
+        by_cell = {c.cell_id: c for c in sweep_plan.cells}
+        for cell_id, digest in serial_digests.items():
+            cell = by_cell[cell_id]
+            sibling = next(
+                c
+                for c in sweep_plan.cells
+                if c.params == cell.params and c.replicate != cell.replicate
+            )
+            assert digest != serial_digests[sibling.cell_id]
+
+    def test_pinned_cell_digest(self, serial_digests):
+        assert serial_digests[self.PINNED_CELL] == self.PINNED_DIGEST

@@ -1,0 +1,138 @@
+"""Checkpoint store: atomicity, resume validation, durable completion."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep.checkpoint import CheckpointStore, read_json, write_json_atomic
+from repro.sweep.executor import CellOutcome
+from repro.sweep.planner import plan_selftest
+from repro.sweep.runner import run_cell
+
+
+def _store(tmp_path, n_cells=3, seeds=(1,)):
+    plan = plan_selftest(n_cells, seeds=seeds, mode="ok")
+    store = CheckpointStore(str(tmp_path / "ckpt"))
+    store.init(plan)
+    return plan, store
+
+
+def _ok(cell):
+    return CellOutcome(cell, run_cell(cell), "ok")
+
+
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_json_atomic(path, {"b": 2, "a": 1})
+        assert read_json(path) == {"a": 1, "b": 2}
+
+    def test_no_tmp_residue(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_json_atomic(path, {"x": 1})
+        assert os.listdir(tmp_path) == ["doc.json"]
+
+    def test_overwrite_replaces(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert read_json(path)["v"] == 2
+
+
+class TestInit:
+    def test_creates_layout(self, tmp_path):
+        plan, store = _store(tmp_path)
+        assert store.exists()
+        assert os.path.isdir(store.cells_dir)
+        assert read_json(store.plan_path)["kind"] == "repro-sweep-plan"
+        assert store.manifest() == {}
+        assert store.load_plan() == plan
+
+    def test_existing_without_resume_rejected(self, tmp_path):
+        plan, store = _store(tmp_path)
+        with pytest.raises(ConfigurationError, match="--resume"):
+            store.init(plan, resume=False)
+
+    def test_resume_same_grid_ok(self, tmp_path):
+        plan, store = _store(tmp_path)
+        assert store.init(plan, resume=True) == plan
+
+    def test_resume_different_grid_rejected(self, tmp_path):
+        plan, store = _store(tmp_path, n_cells=3)
+        other = plan_selftest(5, seeds=(1,), mode="ok")
+        with pytest.raises(ConfigurationError, match="different grid"):
+            store.init(other, resume=True)
+
+    def test_load_plan_missing(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "nowhere"))
+        with pytest.raises(ConfigurationError, match="no sweep plan"):
+            store.load_plan()
+
+
+class TestRecord:
+    def test_record_completes_cell(self, tmp_path):
+        plan, store = _store(tmp_path)
+        cell = plan.cells[0]
+        store.record(_ok(cell))
+        assert store.completed_ids() == [cell.cell_id]
+        assert [c.cell_id for c in store.pending_cells(plan)] == [
+            c.cell_id for c in plan.cells[1:]
+        ]
+        loaded = store.load_result(cell.cell_id)
+        assert loaded.digest == store.manifest()[cell.cell_id]["digest"]
+
+    def test_failed_cell_stays_pending(self, tmp_path):
+        plan, store = _store(tmp_path)
+        cell = plan.cells[0]
+        store.record(CellOutcome(cell, None, "error", "boom"))
+        assert store.completed_ids() == []
+        assert len(store.pending_cells(plan)) == len(plan.cells)
+        assert store.manifest()[cell.cell_id]["error"] == "boom"
+
+    def test_retry_after_failure_overwrites(self, tmp_path):
+        plan, store = _store(tmp_path)
+        cell = plan.cells[0]
+        store.record(CellOutcome(cell, None, "timeout", "too slow"))
+        store.record(_ok(cell))
+        assert store.completed_ids() == [cell.cell_id]
+        assert store.status()["failed"] == 0
+
+    def test_manifest_entry_without_result_file_not_complete(self, tmp_path):
+        # The kill window between result write and manifest write must
+        # resolve to "rerun", never "corrupt".
+        plan, store = _store(tmp_path)
+        cell = plan.cells[0]
+        store.record(_ok(cell))
+        os.remove(os.path.join(store.cells_dir, f"{cell.cell_id}.json"))
+        assert store.completed_ids() == []
+
+    def test_load_results_ordered(self, tmp_path):
+        plan, store = _store(tmp_path)
+        for cell in reversed(plan.cells):
+            store.record(_ok(cell))
+        results = store.load_results()
+        assert [r.cell_id for r in results] == sorted(r.cell_id for r in results)
+        assert len(results) == len(plan.cells)
+
+
+class TestStatus:
+    def test_counts(self, tmp_path):
+        plan, store = _store(tmp_path, n_cells=3)
+        store.record(_ok(plan.cells[0]))
+        store.record(CellOutcome(plan.cells[1], None, "crash", "worker died"))
+        status = store.status()
+        assert status["total"] == 3
+        assert status["completed"] == 1
+        assert status["failed"] == 1
+        assert status["pending"] == 2
+        assert list(status["failures"].values()) == ["worker died"]
+        assert status["merged"] is False
+
+    def test_bad_manifest_kind_rejected(self, tmp_path):
+        plan, store = _store(tmp_path)
+        with open(store.manifest_path, "w") as fp:
+            json.dump({"kind": "other"}, fp)
+        with pytest.raises(ConfigurationError, match="not a sweep manifest"):
+            store.manifest()

@@ -1,0 +1,139 @@
+"""Merge layer: grouping, per-metric CIs, capacities and findings."""
+
+import pytest
+
+from repro.sweep.cells import Cell, CellResult
+from repro.sweep.executor import execute_cells
+from repro.sweep.merge import merge_results
+from repro.sweep.planner import SELFTEST, experiment_spec, plan_selftest
+
+WORKLOAD = "high_bimodal"
+RHOS = (0.5, 0.85)
+
+
+def _result(system, rho, replicate, slowdown, drop_rate=0.0):
+    cell = Cell.make(
+        "figure3",
+        {"system": system, "workload": WORKLOAD, "rho": rho, "n_requests": 1000},
+        replicate,
+    )
+    return CellResult.build(
+        cell,
+        {
+            "overall_tail_slowdown": slowdown,
+            "overall_tail_latency": slowdown * 20.0,
+            "throughput": 1.0,
+            "drop_rate": drop_rate,
+        },
+        digest=f"{system}-{rho}-{replicate}",
+        sim_time_us=1e6,
+    )
+
+
+def _grid(slowdowns, drop_rate=0.0, seeds=(1, 2, 3)):
+    """slowdowns: {(system, rho): mean slowdown}; replicates jittered."""
+    results = []
+    for (system, rho), value in slowdowns.items():
+        for index, replicate in enumerate(seeds):
+            jitter = 0.1 * (index - 1)
+            results.append(
+                _result(system, rho, replicate, value + jitter, drop_rate)
+            )
+    return results
+
+
+class TestGrouping:
+    def test_replicates_collapse_to_groups(self):
+        slo = experiment_spec("figure3").slo[WORKLOAD]
+        results = _grid({("Persephone", 0.5): slo / 2, ("Persephone", 0.85): slo / 2})
+        merged = merge_results("figure3", results)
+        assert merged.n_cells == 6
+        assert len(merged.groups) == 2
+        group = merged.groups[0]
+        assert group.n_replicates == 3
+        assert [r for r, _ in group.digests] == [1, 2, 3]
+
+    def test_metric_cis(self):
+        results = _grid({("Persephone", 0.5): 2.0})
+        merged = merge_results("figure3", results, confidence=0.95)
+        stat = merged.groups[0].metric("overall_tail_slowdown")
+        assert stat.n == 3
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.half_width > 0
+        assert merged.groups[0].metric("no_such_metric").n == 0
+
+    def test_missing_metric_in_one_replicate_drops_to_nan(self):
+        results = _grid({("Persephone", 0.5): 2.0})
+        # Strip one replicate's metric: n stays honest at 2.
+        short = results[0]._replace(
+            metrics=tuple(
+                (k, v) for k, v in results[0].metrics if k != "throughput"
+            )
+        )
+        merged = merge_results("figure3", [short] + results[1:])
+        assert merged.groups[0].metric("throughput").n == 2
+
+
+class TestCapacitiesAndFindings:
+    def test_capacity_is_best_passing_load(self):
+        slo = experiment_spec("figure3").slo[WORKLOAD]
+        merged = merge_results(
+            "figure3",
+            _grid({
+                ("Persephone", 0.5): slo / 2,
+                ("Persephone", 0.85): slo / 2,
+                ("c-FCFS", 0.5): slo / 2,
+                ("c-FCFS", 0.85): slo * 10,
+            }),
+        )
+        caps = merged.capacities
+        assert caps[f"capacity@{slo:g} [{WORKLOAD}/Persephone]"] == 0.85
+        assert caps[f"capacity@{slo:g} [{WORKLOAD}/c-FCFS]"] == 0.5
+        ratio = merged.findings[f"DARC vs c-FCFS capacity [{WORKLOAD}]"]
+        assert ratio == pytest.approx(0.85 / 0.5)
+
+    def test_drops_disqualify_a_point(self):
+        slo = experiment_spec("figure3").slo[WORKLOAD]
+        merged = merge_results(
+            "figure3",
+            _grid({("Persephone", 0.5): slo / 2}, drop_rate=0.01),
+        )
+        assert merged.capacities[
+            f"capacity@{slo:g} [{WORKLOAD}/Persephone]"
+        ] is None
+
+    def test_no_slo_no_capacities(self):
+        merged = merge_results("figure9", _grid({("Persephone", 0.5): 2.0}))
+        assert merged.capacities == {}
+        assert merged.findings == {}
+
+
+class TestRenderAndDoc:
+    def test_load_table_mentions_ci(self):
+        slo = experiment_spec("figure3").slo[WORKLOAD]
+        merged = merge_results(
+            "figure3", _grid({("Persephone", 0.5): slo / 2})
+        )
+        text = merged.render()
+        assert "figure3" in text
+        assert "mean±95% CI over 3 seeds" in text
+        assert "±" in text
+
+    def test_doc_shape(self):
+        merged = merge_results("figure3", _grid({("Persephone", 0.5): 2.0}))
+        doc = merged.to_doc()
+        assert doc["kind"] == "repro-sweep-merged"
+        assert doc["n_cells"] == 3
+        (group,) = doc["groups"]
+        assert group["replicates"] == 3
+        stat = group["metrics"]["overall_tail_slowdown"]
+        assert set(stat) == {"n", "mean", "std", "half_width", "low", "high"}
+
+    def test_selftest_end_to_end(self):
+        plan = plan_selftest(2, seeds=(1, 2, 3), mode="ok")
+        outcomes = execute_cells(plan.cells)
+        merged = merge_results(SELFTEST, [o.result for o in outcomes])
+        assert merged.n_cells == 6
+        assert len(merged.groups) == 2
+        text = merged.render()
+        assert "replicated metrics" in text

@@ -1,0 +1,91 @@
+"""Student-t confidence intervals: hand-checked values and edge cases."""
+
+import math
+
+import pytest
+
+from repro.sweep.stats import SUPPORTED_CONFIDENCES, mean_ci, t_critical
+
+
+class TestTCritical:
+    def test_tabulated_values(self):
+        assert t_critical(1, 0.95) == pytest.approx(12.7062)
+        assert t_critical(2, 0.95) == pytest.approx(4.3027)
+        assert t_critical(4, 0.90) == pytest.approx(2.1318)
+        assert t_critical(10, 0.99) == pytest.approx(3.1693)
+
+    def test_monotone_decreasing_in_df(self):
+        for confidence in SUPPORTED_CONFIDENCES:
+            values = [t_critical(df, confidence) for df in range(1, 31)]
+            assert values == sorted(values, reverse=True)
+
+    def test_normal_fallback_past_table(self):
+        assert t_critical(31, 0.95) == pytest.approx(1.96)
+        assert t_critical(1000, 0.99) == pytest.approx(2.5758)
+
+    def test_fallback_close_to_last_tabulated(self):
+        # df=30 -> df=31 must be a small step, not a cliff.
+        assert abs(t_critical(30, 0.95) - t_critical(31, 0.95)) < 0.1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="degrees of freedom"):
+            t_critical(0)
+        with pytest.raises(ValueError, match="confidence"):
+            t_critical(5, 0.42)
+
+
+class TestMeanCI:
+    def test_hand_computed_interval(self):
+        # values 10, 12, 14: mean 12, std 2, half = t_{2,.975} * 2/sqrt(3)
+        stat = mean_ci([10.0, 12.0, 14.0], confidence=0.95)
+        assert stat.n == 3
+        assert stat.mean == pytest.approx(12.0)
+        assert stat.std == pytest.approx(2.0)
+        expected_half = 4.3027 * 2.0 / math.sqrt(3)
+        assert stat.half_width == pytest.approx(expected_half)
+        assert stat.low == pytest.approx(12.0 - expected_half)
+        assert stat.high == pytest.approx(12.0 + expected_half)
+        assert stat.confidence == 0.95
+
+    def test_wider_at_higher_confidence(self):
+        values = [3.0, 5.0, 9.0, 4.0]
+        assert (
+            mean_ci(values, 0.99).half_width
+            > mean_ci(values, 0.95).half_width
+            > mean_ci(values, 0.90).half_width
+        )
+
+    def test_nans_dropped_but_n_honest(self):
+        stat = mean_ci([1.0, float("nan"), 3.0])
+        assert stat.n == 2
+        assert stat.mean == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        stat = mean_ci([])
+        assert stat.n == 0
+        assert math.isnan(stat.mean) and math.isnan(stat.half_width)
+
+    def test_all_nan_is_nan(self):
+        assert mean_ci([float("nan")] * 3).n == 0
+
+    def test_single_value_degenerate(self):
+        stat = mean_ci([7.5])
+        assert stat.n == 1
+        assert stat.mean == 7.5
+        assert stat.std == 0.0 and stat.half_width == 0.0
+        assert stat.low == stat.high == 7.5
+
+    def test_identical_values_zero_width(self):
+        stat = mean_ci([4.0, 4.0, 4.0])
+        assert stat.half_width == 0.0
+
+
+class TestFormat:
+    def test_multi_replicate(self):
+        assert mean_ci([10.0, 12.0, 14.0]).format(1) == "12.0±5.0"
+
+    def test_single_replicate_bare(self):
+        assert mean_ci([3.25]).format(2) == "3.25"
+
+    def test_empty_dash(self):
+        assert mean_ci([]).format() == "-"

@@ -106,12 +106,30 @@ class TestDirections:
             ("peak_heap_bytes", -1),
             ("events_per_sec", 1),
             ("samples_per_sec", 1),
+            ("pool_speedup", 1),
+            ("speedup_vs_serial", 1),
             ("windows", 0),
             ("events", 0),
         ],
     )
     def test_metric_direction(self, metric, expected):
         assert metric_direction(metric) == expected
+
+    def test_falling_speedup_regresses(self):
+        baseline = {
+            "kind": BASELINE_KIND,
+            "tolerance": 0.25,
+            "benchmarks": {"sweep": {"pool_speedup": 2.6667}},
+        }
+        # 2.6667 * (1 - 0.25) ≈ 2.0: the ≥2× pool-speedup floor.
+        ok, _ = compare(
+            {"benchmarks": {"sweep": {"pool_speedup": 2.1}}}, baseline
+        )
+        assert ok == []
+        regressions, _ = compare(
+            {"benchmarks": {"sweep": {"pool_speedup": 1.9}}}, baseline
+        )
+        assert [r["metric"] for r in regressions] == ["pool_speedup"]
 
 
 class TestCompare:
