@@ -29,6 +29,7 @@ from .experiments import (
     figure8,
     figure9,
     figure10,
+    rack,
     tables,
 )
 from .experiments.export import figure_to_csv, findings_to_csv
@@ -146,6 +147,17 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
             seeds=seeds,
         ),
         figure10.render,
+    ),
+    "rack": (
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: rack.run(
+            n_requests=n,
+            seed=seed,
+            sanitize=sanitize,
+            trace_dir=trace_dir,
+            metrics_dir=metrics_dir,
+            seeds=seeds,
+        ),
+        rack.render,
     ),
     "tables": (
         lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: None,

@@ -17,9 +17,13 @@ Balancer policies:
   dedicated replicas).
 
 Every policy routes around *dead* replicas (all cores crashed,
-:attr:`~repro.server.server.Server.alive` False): the candidate set
-shrinks to the live replicas, and only when the whole cluster is down
-does routing fall back to the full set (the request then queues at a
+:attr:`~repro.server.server.Server.alive` False) and *unreachable*
+ones (partitioned away from the front end, see
+:meth:`Balancer.set_reachable`): the candidate set shrinks to the
+available replicas.  Only when the whole cluster is down does routing
+fall back — to the **least-loaded** dead replica, so the queued
+backlog is spread rather than piled onto whatever arbitrary index the
+policy's ``pick`` would have returned (the request then queues at a
 dead replica rather than vanishing, keeping request conservation
 intact for when cores recover).
 """
@@ -27,7 +31,7 @@ intact for when cores recover).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -44,20 +48,63 @@ class Balancer(ABC):
             raise ConfigurationError("need at least one server")
         self.servers = list(servers)
         self.routed = 0
+        #: Requests routed to each replica index (telemetry view).
+        self.route_counts: List[int] = [0] * len(self.servers)
+        #: Replica indices currently partitioned away from this front
+        #: end (``repro.rack`` partition faults); never routed to while
+        #: any reachable replica exists.
+        self.unreachable: Set[int] = set()
 
     @abstractmethod
     def pick(self, request: Request) -> int:
         """Index of the replica that should serve ``request``."""
 
+    def available(self, index: int) -> bool:
+        """True when replica ``index`` is alive and reachable."""
+        return self.servers[index].alive and index not in self.unreachable
+
+    def set_reachable(self, index: int, reachable: bool) -> None:
+        """Mark a replica (un)reachable from this front end."""
+        if not 0 <= index < len(self.servers):
+            raise ConfigurationError(f"replica index {index} out of range")
+        if reachable:
+            self.unreachable.discard(index)
+        else:
+            self.unreachable.add(index)
+
     def live_indices(self, candidates: Sequence[int]) -> List[int]:
-        """``candidates`` minus dead replicas; all of them if none live."""
-        live = [i for i in candidates if self.servers[i].alive]
+        """``candidates`` minus dead/unreachable replicas; all of them
+        if none is available."""
+        live = [i for i in candidates if self.available(i)]
         return live if live else list(candidates)
+
+    def dead_fallback(self, request: Request) -> int:
+        """Replica to queue at when *every* replica is down.
+
+        The least-loaded dead replica (ties to the lowest index): its
+        queue drains first once cores recover, so it is the best proxy
+        for "recovers soonest" without peeking at the fault plan.
+        Subclasses with recovery knowledge may override.
+        """
+        servers = self.servers
+        best = 0
+        best_load = None
+        for i in range(len(servers)):
+            load = servers[i].pending + servers[i].in_flight
+            if best_load is None or load < best_load:
+                best_load = load
+                best = i
+        return best
 
     def ingress(self, request: Request) -> None:
         """The cluster's single entry point (the generator's sink)."""
         self.routed += 1
-        self.servers[self.pick(request)].ingress(request)
+        if any(self.available(i) for i in range(len(self.servers))):
+            index = self.pick(request)
+        else:
+            index = self.dead_fallback(request)
+        self.route_counts[index] += 1
+        self.servers[index].ingress(request)
 
 
 class RandomBalancer(Balancer):
@@ -83,11 +130,11 @@ class RoundRobinBalancer(Balancer):
         n = len(self.servers)
         idx = self._next
         self._next = (self._next + 1) % n
-        if self.servers[idx].alive:
+        if self.available(idx):
             return idx
         for offset in range(1, n):
             j = (idx + offset) % n
-            if self.servers[j].alive:
+            if self.available(j):
                 return j
         return idx
 
@@ -106,12 +153,12 @@ class JoinShortestQueue(Balancer):
 
     def pick(self, request: Request) -> int:
         n = len(self.servers)
-        any_live = any(server.alive for server in self.servers)
+        any_live = any(self.available(i) for i in range(n))
         best_idx = self._start
         best_load = None
         for offset in range(n):
             i = (self._start + offset) % n
-            if any_live and not self.servers[i].alive:
+            if any_live and not self.available(i):
                 continue
             load = self.servers[i].pending + self.servers[i].in_flight
             if best_load is None or load < best_load:

@@ -24,6 +24,18 @@ from .balancer import Balancer
 BalancerFactory = Callable[[Sequence[Server], RngRegistry], Balancer]
 
 
+def _tee(cluster_sink: Callable, replica_sink: Callable) -> Callable:
+    """Sink forwarding each request to the cluster-level recorder first
+    (so cluster digests stay bit-identical to the shared-recorder era)
+    and then to the replica's own recorder."""
+
+    def sink(request) -> None:
+        cluster_sink(request)
+        replica_sink(request)
+
+    return sink
+
+
 class ClusterResult:
     """Cluster-level and per-replica views of one run."""
 
@@ -33,15 +45,43 @@ class ClusterResult:
         servers: List[Server],
         balancer: Balancer,
         utilization: float,
+        replica_recorders: Optional[List[Recorder]] = None,
+        duration_us: float = 0.0,
+        spec: Optional[WorkloadSpec] = None,
     ):
         self.summary = summary
         self.servers = servers
         self.balancer = balancer
         self.utilization = utilization
+        self.replica_recorders = replica_recorders or []
+        self.duration_us = duration_us
+        self.spec = spec
 
     @property
     def n_replicas(self) -> int:
         return len(self.servers)
+
+    def replica_summaries(
+        self, warmup_frac: float = 0.10, pct: float = 99.9
+    ) -> List[RunSummary]:
+        """Per-replica :class:`RunSummary` views (one per server).
+
+        Available only for runs that teed completions into per-replica
+        recorders (:func:`run_cluster` and ``repro.rack`` always do).
+        """
+        if not self.replica_recorders:
+            raise ConfigurationError("run recorded no per-replica completions")
+        type_specs = self.spec.type_specs() if self.spec is not None else None
+        return [
+            RunSummary(
+                recorder,
+                duration_us=self.duration_us,
+                type_specs=type_specs,
+                warmup_frac=warmup_frac,
+                pct=pct,
+            )
+            for recorder in self.replica_recorders
+        ]
 
     def replica_loads(self) -> List[int]:
         """Requests each replica received."""
@@ -82,10 +122,20 @@ def run_cluster(
     loop = EventLoop()
     recorder = Recorder()
     servers: List[Server] = []
+    replica_recorders: List[Recorder] = []
     for i in range(n_replicas):
+        replica_rec = Recorder()
+        replica_recorders.append(replica_rec)
         scheduler = system.make_scheduler(spec, rngs.fork(i))
         servers.append(
-            Server(loop, scheduler, config=system.make_config(), recorder=recorder)
+            Server(
+                loop,
+                scheduler,
+                config=system.make_config(),
+                recorder=recorder,
+                completion_sink=_tee(recorder.on_complete, replica_rec.on_complete),
+                drop_sink=_tee(recorder.on_drop, replica_rec.on_drop),
+            )
         )
     balancer = balancer_factory(servers, rngs)
     per_server_peak = spec.peak_load(system.make_config().n_workers)
@@ -109,4 +159,12 @@ def run_cluster(
         warmup_frac=warmup_frac,
         pct=pct,
     )
-    return ClusterResult(summary, servers, balancer, utilization)
+    return ClusterResult(
+        summary,
+        servers,
+        balancer,
+        utilization,
+        replica_recorders=replica_recorders,
+        duration_us=loop.now,
+        spec=spec,
+    )

@@ -543,8 +543,11 @@ class TracePurityRule(Rule):
     _ENTROPY_PREFIXES = NondeterministicSourceRule._FORBIDDEN_PREFIXES
     _RNG_PREFIXES = ("random.", "numpy.random.")
 
-    #: Packages bound by the pure-observer contract.
-    _OBSERVER_PACKAGES = ("trace", "telemetry", "sweep")
+    #: Packages bound by the pure-observer contract.  ``rack`` is held
+    #: to the same bar: its balancers draw only from named registry
+    #: streams, so any wall-clock read or direct ``random``/
+    #: ``numpy.random`` module call there is a determinism bug.
+    _OBSERVER_PACKAGES = ("trace", "telemetry", "sweep", "rack")
 
     @classmethod
     def _observer_package(cls, ctx: ModuleContext) -> Optional[str]:

@@ -1,0 +1,56 @@
+"""Two-level rack-scale scheduling (RackSched-style).
+
+Composes inter-server balancing (:mod:`repro.rack.balancers`, driven by
+the stale/sampled information model in :mod:`repro.rack.views`) with
+intra-server µs-scale scheduling — each replica runs its own complete
+SystemModel.  :func:`repro.rack.rack.run_rack` is the entry point;
+:mod:`repro.rack.load` shapes rack-scale load (diurnal, flash crowd)
+and :mod:`repro.rack.faults` crashes whole servers and partitions the
+rack.  See ``docs/rack.md``.
+"""
+
+from .balancers import (
+    BALANCER_NAMES,
+    PowerOfD,
+    RackBalancer,
+    SessionAffinity,
+    ShortestExpectedDelay,
+    StaleJSQ,
+    TypeAffinity,
+    affinity_assignment,
+    make_balancer,
+)
+from .faults import (
+    RackFaultInjector,
+    RackFaultPlan,
+    RackPartition,
+    ServerCrash,
+    ServerRecover,
+)
+from .load import diurnal_phases, flash_crowd_phases
+from .rack import DEFAULT_N_USERS, Rack, RackResult, run_rack
+from .views import QueueViews
+
+__all__ = [
+    "BALANCER_NAMES",
+    "DEFAULT_N_USERS",
+    "PowerOfD",
+    "QueueViews",
+    "Rack",
+    "RackBalancer",
+    "RackFaultInjector",
+    "RackFaultPlan",
+    "RackPartition",
+    "RackResult",
+    "ServerCrash",
+    "ServerRecover",
+    "SessionAffinity",
+    "ShortestExpectedDelay",
+    "StaleJSQ",
+    "TypeAffinity",
+    "affinity_assignment",
+    "diurnal_phases",
+    "flash_crowd_phases",
+    "make_balancer",
+    "run_rack",
+]

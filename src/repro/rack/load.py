@@ -1,0 +1,80 @@
+"""Rack-scale load shapes: diurnal curves and flash crowds.
+
+A rack serving millions of users sees load that *moves*: the slow
+day/night swing of a user population across time zones, and sudden
+flash crowds when an event goes hot.  Both are expressible with the
+existing phased-workload machinery (:mod:`repro.workload.phases`) —
+these helpers just build the phase lists, shaped deterministically
+(cosine for the diurnal swing, a square pulse for the crowd; no
+randomness, so the load curve itself is part of the experiment spec).
+
+Utilizations here are *per-core* targets: ``PhaseSchedule`` multiplies
+by ``spec.peak_load(n_workers)`` where ``n_workers`` is the whole
+rack's core count, so the same curve scales from one server to a rack
+of 32 by changing only the worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import WorkloadError
+from ..workload.phases import Phase
+from ..workload.spec import WorkloadSpec
+
+
+def diurnal_phases(
+    spec: WorkloadSpec,
+    base_utilization: float = 0.45,
+    peak_utilization: float = 0.85,
+    n_phases: int = 12,
+    total_duration_us: float = 1_200_000.0,
+) -> List[Phase]:
+    """A one-"day" cosine load curve discretized into ``n_phases`` steps.
+
+    Starts and ends at ``base_utilization`` with the peak in the middle
+    (phase ``n/2``), like a user population's local afternoon.
+    """
+    if n_phases < 2:
+        raise WorkloadError(f"need >= 2 phases, got {n_phases}")
+    if not 0.0 < base_utilization <= peak_utilization:
+        raise WorkloadError(
+            f"need 0 < base <= peak, got base={base_utilization} "
+            f"peak={peak_utilization}"
+        )
+    duration = total_duration_us / n_phases
+    amplitude = (peak_utilization - base_utilization) / 2.0
+    mid = (peak_utilization + base_utilization) / 2.0
+    phases: List[Phase] = []
+    for i in range(n_phases):
+        # Phase centers sweep one full cosine period; the minimum sits
+        # at the endpoints and the maximum at the middle of the "day".
+        angle = 2.0 * math.pi * (i + 0.5) / n_phases
+        utilization = mid - amplitude * math.cos(angle)
+        phases.append(Phase(spec, duration, utilization))
+    return phases
+
+
+def flash_crowd_phases(
+    spec: WorkloadSpec,
+    base_utilization: float = 0.55,
+    spike_utilization: float = 1.2,
+    base_duration_us: float = 300_000.0,
+    spike_duration_us: float = 120_000.0,
+) -> List[Phase]:
+    """Steady load, a sudden overload spike, then back to steady.
+
+    ``spike_utilization`` may exceed 1.0 (that is the point — the rack
+    is briefly offered more than it can serve) but must stay under the
+    1.5 phase-validation cap.
+    """
+    if spike_utilization <= base_utilization:
+        raise WorkloadError(
+            f"spike ({spike_utilization}) must exceed base ({base_utilization})"
+        )
+    return [
+        Phase(spec, base_duration_us, base_utilization),
+        Phase(spec, spike_duration_us, spike_utilization),
+        Phase(spec, base_duration_us, base_utilization),
+    ]

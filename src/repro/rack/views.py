@@ -1,0 +1,80 @@
+"""Stale/sampled queue views — the balancer's *information model*.
+
+RackSched-style balancers do not see instantaneous per-server queue
+depths: they work from counters piggybacked on replies or from periodic
+probes.  SWP (PAPERS.md) shows the interesting regime is exactly this
+imperfect-knowledge one, so :class:`QueueViews` models it explicitly:
+
+* ``staleness_us <= 0`` — oracle mode, every read returns the actual
+  instantaneous load (pending + in-flight);
+* ``staleness_us > 0``  — each server's view is a snapshot refreshed at
+  most every ``staleness_us`` of virtual time; reads in between return
+  the cached value and the absolute error vs. the true load is
+  accumulated so experiments can report *how wrong* the balancer was.
+
+The class is purely observational: it never mutates servers, draws no
+randomness and reads only virtual time, so metered/unmetered runs stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..server.server import Server
+from ..sim.engine import EventLoop
+
+
+class QueueViews:
+    """Per-server load views with configurable staleness."""
+
+    def __init__(self, loop: EventLoop, servers: Sequence[Server], staleness_us: float = 0.0):
+        if not servers:
+            raise ConfigurationError("need at least one server")
+        if staleness_us < 0:
+            raise ConfigurationError(f"staleness_us must be >= 0, got {staleness_us}")
+        self.loop = loop
+        self.servers = list(servers)
+        self.staleness_us = staleness_us
+        n = len(self.servers)
+        self._view: List[int] = [0] * n
+        self._refreshed_at: List[float] = [float("-inf")] * n
+        #: Reads served from a stale snapshot (telemetry counter).
+        self.stale_reads = 0
+        #: Reads that hit a fresh snapshot (refresh happened this read).
+        self.fresh_reads = 0
+        #: Sum over stale reads of |view - actual|; mean_error() divides.
+        self.error_sum = 0.0
+
+    def _actual(self, index: int) -> int:
+        server = self.servers[index]
+        return server.pending + server.in_flight
+
+    def load(self, index: int) -> int:
+        """The balancer-visible load of server ``index``."""
+        if self.staleness_us <= 0:
+            return self._actual(index)
+        now = self.loop.now
+        if now - self._refreshed_at[index] >= self.staleness_us:
+            self._view[index] = self._actual(index)
+            self._refreshed_at[index] = now
+            self.fresh_reads += 1
+        else:
+            self.stale_reads += 1
+            self.error_sum += abs(self._view[index] - self._actual(index))
+        return self._view[index]
+
+    def mean_error(self) -> float:
+        """Mean absolute error of stale reads vs. the true load."""
+        if self.stale_reads == 0:
+            return 0.0
+        return self.error_sum / self.stale_reads
+
+    def counters(self) -> dict:
+        """Flat summary for telemetry/export."""
+        return {
+            "stale_reads": self.stale_reads,
+            "fresh_reads": self.fresh_reads,
+            "mean_view_error": self.mean_error(),
+        }

@@ -31,10 +31,12 @@ import re
 from typing import Any, Dict, Mapping, NamedTuple, Optional, Tuple
 
 #: Parameter keys excluded from seed derivation.  Cells that differ only
-#: in these keys share a seed: comparisons across systems at the same
-#: point stay paired (common random numbers), exactly as the serial
-#: figure drivers have always run them.
-PAIRED_KEYS = ("system",)
+#: in these keys share a seed: comparisons across systems — and, for
+#: rack grids, across balancers — at the same point stay paired (common
+#: random numbers), exactly as the serial figure drivers have always
+#: run them.  (Pre-rack experiments carry no "balancer" param, so their
+#: derived seeds are unchanged by its presence here.)
+PAIRED_KEYS = ("system", "balancer")
 
 #: Length of the hexadecimal cell-id suffix (collision guard for slugs).
 ID_HASH_LEN = 10

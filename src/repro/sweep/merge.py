@@ -234,6 +234,7 @@ def merge_results(
         )
     capacities = _capacities(spec, groups)
     findings = _findings(spec, capacities)
+    findings.update(_rack_findings(spec, groups))
     return MergedSweep(
         experiment=experiment,
         confidence=confidence,
@@ -281,6 +282,56 @@ def _capacities(
                     best = rho
         capacities[f"capacity@{slo:g} [{workload}/{system}]"] = best
     return capacities
+
+
+def _rack_findings(
+    spec: ExperimentSpec, groups: Sequence[GroupStat]
+) -> Dict[str, float]:
+    """Rack headline: DARC-vs-baseline tail slowdown, per balancer.
+
+    Mirrors :func:`repro.experiments.rack._findings` — at the highest
+    swept load point, the ratio of each baseline's mean tail slowdown
+    (``spec.capacity_metric``) to Persephone's, computed separately for
+    every balancer so the two-level composition's effect is visible.
+    """
+    if spec.kind != "rack":
+        return {}
+    metric = spec.capacity_metric
+    rhos = sorted(
+        {
+            g.params_dict["rho"]
+            for g in groups
+            if g.params_dict.get("rho") is not None
+        }
+    )
+    if not rhos:
+        return {}
+    rho = rhos[-1]
+    findings: Dict[str, float] = {}
+    balancers: List[str] = []
+    for g in groups:
+        b = g.params_dict.get("balancer")
+        if b is not None and b not in balancers:
+            balancers.append(b)
+    for balancer in balancers:
+        by_system: Dict[str, float] = {}
+        for g in groups:
+            p = g.params_dict
+            if p.get("balancer") != balancer or p.get("rho") != rho:
+                continue
+            stat = g.metric(metric)
+            if stat.n and stat.mean == stat.mean:
+                by_system[p.get("system")] = stat.mean
+        darc = by_system.get("Persephone")
+        if not darc or darc <= 0:
+            continue
+        for system, value in sorted(by_system.items()):
+            if system == "Persephone":
+                continue
+            findings[f"DARC vs {system} slowdown [{balancer}] @{rho:g}"] = (
+                value / darc
+            )
+    return findings
 
 
 def _findings(

@@ -26,7 +26,8 @@ class ExperimentSpec(NamedTuple):
     """Everything the planner and merger need to know about one experiment."""
 
     name: str
-    #: "load_sweep" | "reserved_grid" | "phased" | "chaos" | "selftest"
+    #: "load_sweep" | "reserved_grid" | "phased" | "chaos" | "rack" |
+    #: "selftest"
     kind: str
     #: Workload tokens the experiment iterates over ("" when implicit).
     workloads: Tuple[str, ...]
@@ -85,6 +86,7 @@ def _registry() -> Dict[str, ExperimentSpec]:
         figure8,
         figure9,
         figure10,
+        rack,
     )
     from ..workload.presets import (
         extreme_bimodal,
@@ -173,6 +175,23 @@ def _registry() -> Dict[str, ExperimentSpec]:
         slo={},
         capacity_metric="overall_tail_slowdown",
         table_metrics=("ttr_us", "violation_us", "failures", "throughput"),
+    )
+    registry["rack"] = ExperimentSpec(
+        name="rack",
+        kind="rack",
+        workloads=(rack.WORKLOAD,),
+        spec_for=bimodal_spec,
+        systems_for=lambda w: rack.default_systems(),
+        utilizations=rack.DEFAULT_UTILIZATIONS,
+        n_requests=20_000,
+        slo={},
+        capacity_metric="overall_tail_slowdown",
+        table_metrics=(
+            "overall_tail_slowdown",
+            "overall_tail_latency",
+            "throughput",
+            "load_imbalance",
+        ),
     )
     registry[SELFTEST] = ExperimentSpec(
         name=SELFTEST,
@@ -359,6 +378,29 @@ def plan_experiment(
                             seed,
                         )
                     )
+    elif spec.kind == "rack":
+        from ..experiments import rack as rack_mod
+
+        for workload in spec.workloads:
+            names = [s.name for s in spec.systems_for(workload)]
+            for balancer in rack_mod.DEFAULT_BALANCERS:
+                for rho in utils:
+                    for name in names:
+                        for seed in seeds:
+                            cells.append(
+                                Cell.make(
+                                    experiment,
+                                    {
+                                        "system": name,
+                                        "workload": workload,
+                                        "balancer": balancer,
+                                        "rho": rho,
+                                        "n_requests": n,
+                                        "n_servers": rack_mod.N_SERVERS,
+                                    },
+                                    seed,
+                                )
+                            )
     else:
         raise ConfigurationError(f"experiment {experiment!r} is not plannable")
     return SweepPlan(

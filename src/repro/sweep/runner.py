@@ -233,6 +233,46 @@ def _run_chaos_cell(cell, spec, artifact_dir, observe) -> CellResult:
     )
 
 
+def _run_rack_cell(cell, spec, artifact_dir, observe) -> CellResult:
+    from ..lint.determinism import digest_outcome
+    from ..rack.rack import run_rack
+
+    params = cell.params_dict
+    workload = params["workload"]
+    systems = {s.name: s for s in spec.systems_for(workload)}
+    system = systems.get(params["system"])
+    if system is None:
+        raise ConfigurationError(
+            f"cell {cell.cell_id}: system {params['system']!r} is not one of "
+            f"{sorted(systems)} for rack"
+        )
+    _trace_path, metrics_path, artifacts = _cell_paths(cell, artifact_dir, observe)
+    if metrics_path is None:
+        artifacts = ()
+    result = run_rack(
+        system,
+        spec.spec_for(workload),
+        balancer=params["balancer"],
+        n_servers=params["n_servers"],
+        utilization=params["rho"],
+        n_requests=params["n_requests"],
+        seed=cell.seed,
+        metrics_path=metrics_path,
+    )
+    metrics = _summary_metrics(result.summary)
+    metrics["load_imbalance"] = float(result.load_imbalance())
+    metrics["spills"] = float(getattr(result.balancer, "spills", 0))
+    metrics["stale_reads"] = float(result.views.stale_reads)
+    metrics["view_error"] = float(result.views.mean_error())
+    return CellResult.build(
+        cell,
+        metrics,
+        digest_outcome(result.recorder, result.loop),
+        result.loop.now,
+        artifacts=artifacts,
+    )
+
+
 def _run_selftest_cell(cell: Cell) -> CellResult:
     """Executor-infrastructure cells: deterministic toy work.
 
@@ -289,6 +329,8 @@ def run_cell(
         return _run_phased_cell(cell, spec, artifact_dir, observe)
     if spec.kind == "chaos":
         return _run_chaos_cell(cell, spec, artifact_dir, observe)
+    if spec.kind == "rack":
+        return _run_rack_cell(cell, spec, artifact_dir, observe)
     if spec.kind == "selftest":
         return _run_selftest_cell(cell)
     raise ConfigurationError(

@@ -62,6 +62,7 @@ class TelemetryProbe:
         self._loop = None
         self._server = None
         self._injector = None
+        self._rack = None
         self._netstack_nics: List[Any] = []
         self._last_scrape_at: Optional[float] = None
         self._finalized = False
@@ -78,10 +79,13 @@ class TelemetryProbe:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def install(self, loop, server, injector=None) -> None:
+    def install(self, loop, server=None, injector=None) -> None:
         """Attach this probe to a loop + server (+ optional injector).
 
-        One probe observes exactly one run.
+        One probe observes exactly one run.  ``server=None`` supports
+        multi-server (rack) runs: attach the loop here, then forward the
+        probe to each replica with ``server.attach_telemetry(probe)``
+        and register the rack via :meth:`register_rack`.
         """
         if self._loop is not None:
             raise TelemetryError("probe already installed; use one probe per run")
@@ -90,13 +94,20 @@ class TelemetryProbe:
         self._injector = injector
         self._last_scrape_at = loop.now
         loop.attach_telemetry(self)
-        server.attach_telemetry(self)
+        if server is not None:
+            server.attach_telemetry(self)
         self.tail_monitor.register_gauges(self.registry)
         self.scrape(loop.now)
 
     def register_netstack(self, nic) -> None:
         """Add a NIC whose in-flight packet count is sampled each scrape."""
         self._netstack_nics.append(nic)
+
+    def register_rack(self, rack) -> None:
+        """Sample a ``repro.rack`` rack every scrape: per-replica queue
+        depth / in-flight / routing counts, balancer spill and staleness
+        counters, and the stale-view error gauge."""
+        self._rack = rack
 
     @property
     def now(self) -> float:
@@ -236,6 +247,7 @@ class TelemetryProbe:
         self._pull_recorder(now)
         self._pull_faults(now)
         self._pull_netstack(now)
+        self._pull_rack(now)
         self.registry.collect(now)
         self.timeline.record(now, self.registry)
         self.scrapes += 1
@@ -354,6 +366,55 @@ class TelemetryProbe:
                 nic=index,
             ).set(nic.pending())
 
+    def _pull_rack(self, now: float) -> None:
+        rack = self._rack
+        if rack is None:
+            return
+        registry = self.registry
+        balancer = rack.balancer
+        for index, server in enumerate(rack.servers):
+            registry.gauge(
+                "repro_rack_replica_pending",
+                "Requests queued at the replica's scheduler, by server.",
+                server=index,
+            ).set(server.pending)
+            registry.gauge(
+                "repro_rack_replica_in_flight",
+                "Requests being served on the replica, by server.",
+                server=index,
+            ).set(server.in_flight)
+            registry.counter(
+                "repro_rack_replica_received_total",
+                "Requests the replica's ingress accepted, by server.",
+                server=index,
+            ).set_total(server.received)
+            registry.counter(
+                "repro_rack_routes_total",
+                "Requests the balancer routed to the replica, by server.",
+                server=index,
+            ).set_total(balancer.route_counts[index])
+        registry.counter(
+            "repro_rack_routed_total",
+            "Requests the rack balancer routed in total.",
+        ).set_total(balancer.routed)
+        registry.counter(
+            "repro_rack_spills_total",
+            "Requests routed outside their preferred replica set.",
+        ).set_total(getattr(balancer, "spills", 0))
+        registry.gauge(
+            "repro_rack_unreachable_replicas",
+            "Replicas currently partitioned away from the balancer.",
+        ).set(len(balancer.unreachable))
+        views = rack.views
+        registry.counter(
+            "repro_rack_view_stale_reads_total",
+            "Balancer load reads served from a stale snapshot.",
+        ).set_total(views.stale_reads)
+        registry.gauge(
+            "repro_rack_view_error",
+            "Mean absolute error of stale load views vs. the true load.",
+        ).set(views.mean_error())
+
     # ------------------------------------------------------------------
     # reconciliation
     # ------------------------------------------------------------------
@@ -381,7 +442,12 @@ class TelemetryProbe:
         The registry's per-type counter families must agree with the
         aggregate push counters (they are incremented at the same sites).
         """
-        dispatcher_drops = self._server.dispatcher_drops if self._server else 0
+        if self._server is not None:
+            dispatcher_drops = self._server.dispatcher_drops
+        elif self._rack is not None:
+            dispatcher_drops = sum(s.dispatcher_drops for s in self._rack.servers)
+        else:
+            dispatcher_drops = 0
         expected_complete = recorder.completed + recorder.late_completions
         family_completions = self.registry.family_total(
             "repro_requests_completed_total"

@@ -58,6 +58,7 @@ class Request:
         "retry_of",
         "attempt",
         "first_attempt_time",
+        "session",
     )
 
     def __init__(
@@ -91,6 +92,10 @@ class Request:
         #: Arrival time of attempt 1; end-to-end client latency spans
         #: retries, so metrics prefer this over ``arrival_time`` when set.
         self.first_attempt_time: Optional[float] = None
+        #: Session key for rack-level affinity routing (``repro.rack``):
+        #: requests of one user session pin to a home server.  ``None``
+        #: outside rack runs.
+        self.session: Optional[int] = None
 
     @property
     def completed(self) -> bool:

@@ -112,6 +112,83 @@ def sweep_plan():
 
 
 @pytest.fixture(scope="module")
+def rack_plan():
+    """A reduced rack grid: 2 balancers × 3 systems × 2 seeds at one
+    load point (16 servers each — the full two-level composition)."""
+    plan = plan_experiment(
+        "rack", seeds=(1, 2), n_requests=400, utilizations=(0.7,)
+    )
+    cells = tuple(
+        c
+        for c in plan.cells
+        if c.params_dict["balancer"] in ("pow2", "type-affinity")
+    )
+    return plan._replace(cells=cells)
+
+
+@pytest.fixture(scope="module")
+def rack_serial_digests(rack_plan):
+    outcomes = execute_cells(rack_plan.cells, jobs=1)
+    assert all(o.ok for o in outcomes)
+    return {o.cell.cell_id: o.result.digest for o in outcomes}
+
+
+class TestRackSweepPlacementIndependence:
+    """Rack cells carry the full two-level machinery (per-replica RNG
+    forks, ``rack.*`` balancer streams, session stamping) — their
+    digests must be just as placement-independent as single-server
+    cells, and pinned so a behavior change cannot land silently."""
+
+    PINNED_CELL = (
+        "rack_balancer-pow2_n-servers-16_rho-0.7_system-Persephone_"
+        "workload-high-bimodal_r1-8051d0d158"
+    )
+    PINNED_DIGEST = (
+        "c009b698fbecd35fdc8d0fa2d03b46400028b74e5a92222968617ca4316e1218"
+    )
+
+    def test_two_worker_pool_matches_serial(self, rack_plan, rack_serial_digests):
+        outcomes = execute_cells(rack_plan.cells, jobs=2)
+        assert all(o.ok for o in outcomes)
+        pooled = {o.cell.cell_id: o.result.digest for o in outcomes}
+        assert pooled == rack_serial_digests
+
+    def test_replicates_differ(self, rack_plan, rack_serial_digests):
+        by_cell = {c.cell_id: c for c in rack_plan.cells}
+        for cell_id, digest in rack_serial_digests.items():
+            cell = by_cell[cell_id]
+            sibling = next(
+                c
+                for c in rack_plan.cells
+                if c.params == cell.params and c.replicate != cell.replicate
+            )
+            assert digest != rack_serial_digests[sibling.cell_id]
+
+    def test_balancers_differ_at_shared_seed(self, rack_plan, rack_serial_digests):
+        # Paired seeds (PAIRED_KEYS) give every balancer the same request
+        # stream — yet placement differs, so outcomes must too.
+        by_cell = {c.cell_id: c for c in rack_plan.cells}
+        for cell_id, cell in by_cell.items():
+            params = cell.params_dict
+            if params["balancer"] != "pow2":
+                continue
+            sibling = next(
+                c
+                for c in rack_plan.cells
+                if c.replicate == cell.replicate
+                and c.params_dict["system"] == params["system"]
+                and c.params_dict["balancer"] == "type-affinity"
+            )
+            assert cell.seed == sibling.seed
+            assert rack_serial_digests[cell_id] != rack_serial_digests[
+                sibling.cell_id
+            ]
+
+    def test_pinned_cell_digest(self, rack_serial_digests):
+        assert rack_serial_digests[self.PINNED_CELL] == self.PINNED_DIGEST
+
+
+@pytest.fixture(scope="module")
 def serial_digests(sweep_plan):
     outcomes = execute_cells(sweep_plan.cells, jobs=1)
     assert all(o.ok for o in outcomes)
