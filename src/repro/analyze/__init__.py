@@ -2,7 +2,7 @@
 
 Where :mod:`repro.lint` checks one module at a time, this package parses
 the entire tree into a symbol table and call graph
-(:mod:`repro.analyze.model`) and runs four interprocedural analyses
+(:mod:`repro.analyze.model`) and runs seven interprocedural analyses
 over it:
 
 * :mod:`repro.analyze.eventflow` — simulated-time race detection
@@ -24,6 +24,19 @@ over it:
   and trivial delegation inside the set of functions transitively
   reachable from event dispatch, optionally ranked by measured handler
   cost from a ``BENCH_profile.json``.
+* :mod:`repro.analyze.unitsflow` — virtual-time unit checking
+  (A501–A505): an abstract interpretation over the unit lattice in
+  :mod:`repro.analyze.dataflow` (``Duration_us`` / ``Timestamp_us`` /
+  ``Rate_per_us`` / ``Fraction`` / ``Bytes``) that catches mixed units
+  at scheduler sinks, rate-vs-duration confusion, percent-scaled
+  fractions, unclamped timestamp subtractions, and unit-less big
+  literals at time sites.
+* :mod:`repro.analyze.forksafety` — process-boundary determinism
+  checks (A601–A604) for the sweep/rack multiprocessing era:
+  unpicklable spawn payloads, worker reads of runtime-mutated
+  module-level state, unprefixed RNG streams in fork-adjacent
+  packages, and checkpoint writes that bypass the single-writer
+  store.
 
 Findings share :mod:`repro.lint`'s severity and pragma model
 (``# repro-analyze: disable=A102``), serialize to text, JSON and SARIF
@@ -35,8 +48,17 @@ is the tie-break shadow check in :class:`repro.lint.sanitizer.SimSanitizer`.
 
 from .baseline import BaselineDiff, diff_baseline, load_baseline, write_baseline
 from .contracts import analyze_contracts
+from .dataflow import (
+    AbstractValue,
+    FunctionSummary,
+    analyze_function,
+    compute_summaries,
+    join,
+    transfer_binop,
+)
 from .eventflow import analyze_eventflow, collect_schedule_sites
 from .findings import ANALYSIS_RULES, AnalysisFinding, RuleMeta, fingerprint, make_finding
+from .forksafety import analyze_forksafety
 from .hotpath import (
     analyze_hotpath,
     function_weights,
@@ -50,22 +72,29 @@ from .purity import analyze_purity
 from .rngflow import analyze_rngflow
 from .runner import analyze_paths, analyze_program, has_errors
 from .sarif import findings_from_sarif, sarif_text, to_sarif
+from .unitsflow import analyze_unitsflow
 
 __all__ = [
     "ANALYSIS_RULES",
+    "AbstractValue",
     "AnalysisFinding",
     "BaselineDiff",
+    "FunctionSummary",
     "Program",
     "RuleMeta",
     "analyze_contracts",
     "analyze_eventflow",
+    "analyze_forksafety",
+    "analyze_function",
     "analyze_hotpath",
     "analyze_paths",
     "analyze_program",
     "analyze_purity",
     "analyze_rngflow",
+    "analyze_unitsflow",
     "build_program",
     "collect_schedule_sites",
+    "compute_summaries",
     "diff_baseline",
     "findings_from_sarif",
     "fingerprint",
@@ -73,11 +102,13 @@ __all__ = [
     "has_errors",
     "hot_functions",
     "hot_roots",
+    "join",
     "load_baseline",
     "load_profile",
     "make_finding",
     "rank_findings",
     "sarif_text",
     "to_sarif",
+    "transfer_binop",
     "write_baseline",
 ]

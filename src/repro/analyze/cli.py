@@ -15,6 +15,8 @@ Usage::
     repro-analyze hotpath src/repro --profile BENCH_profile.json
                                                       # A401-A406 only,
                                                       # cost-ranked output
+    repro-analyze units src/repro --strict            # A501-A505 only
+    repro-analyze forksafety src/repro --strict       # A601-A604 only
     repro-analyze selfcheck                           # scan this package's
                                                       # own source tree
     repro-analyze list-rules                          # finding catalogue
@@ -42,6 +44,12 @@ from .sarif import sarif_text
 
 #: The rule ids the ``hotpath`` subcommand restricts itself to.
 HOTPATH_SELECT = ["A000", "A401", "A402", "A403", "A404", "A405", "A406"]
+
+#: The rule ids the ``units`` subcommand restricts itself to.
+UNITS_SELECT = ["A000", "A501", "A502", "A503", "A504", "A505"]
+
+#: The rule ids the ``forksafety`` subcommand restricts itself to.
+FORKSAFETY_SELECT = ["A000", "A601", "A602", "A603", "A604"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     hot.add_argument(
         "--strict", action="store_true", help="warnings also fail the run"
     )
+
+    for name, help_text in (
+        ("units", "virtual-time unit-flow scan (A501-A505 only)"),
+        ("forksafety", "process-boundary determinism scan (A601-A604 only)"),
+    ):
+        family = sub.add_parser(name, help=help_text)
+        add_scan_args(family)
+        family.add_argument(
+            "--format", choices=("text", "json"), default="text", help="findings format"
+        )
+        family.add_argument(
+            "--baseline",
+            default=None,
+            help="baseline JSON; findings in it are tolerated, new ones fail",
+        )
+        family.add_argument("--sarif", default=None, help="also write SARIF 2.1.0 here")
+        family.add_argument(
+            "--strict", action="store_true", help="warnings also fail the run"
+        )
 
     self_p = sub.add_parser(
         "selfcheck", help="scan the installed repro package's own source"
@@ -270,6 +297,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 args.strict,
                 emit=emit_ranked,
             )
+        if args.command in ("units", "forksafety"):
+            family = UNITS_SELECT if args.command == "units" else FORKSAFETY_SELECT
+            select = _split_select(args.select) or family
+            findings = analyze_paths(args.paths, select=select, root=args.root)
+            return _gate(findings, args.baseline, args.format, args.sarif, args.strict)
         select = _split_select(args.select)
         findings = analyze_paths(args.paths, select=select, root=args.root)
         if args.command == "scan":

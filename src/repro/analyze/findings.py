@@ -36,7 +36,8 @@ class RuleMeta(NamedTuple):
 
 #: The finding-id catalogue.  A0xx — analyzer hygiene; A1xx — RNG-stream
 #: flow; A2xx — policy/system/balancer contracts; A3xx — observer
-#: purity; A4xx — hot-path performance; A001/A002 — event-flow.
+#: purity; A4xx — hot-path performance; A5xx — units flow; A6xx —
+#: fork safety; A001/A002 — event-flow.
 ANALYSIS_RULES: Dict[str, RuleMeta] = {
     meta.id: meta
     for meta in (
@@ -219,6 +220,113 @@ ANALYSIS_RULES: Dict[str, RuleMeta] = {
             "with pass-through arguments.  The indirection costs one "
             "Python call frame per event and buys nothing; inline the "
             "callee or bind the target directly where it is called.",
+        ),
+        RuleMeta(
+            "A501",
+            "unit-mixing-at-time-sink",
+            "error",
+            "unitsflow",
+            "A value of the wrong unit — or one tainted by an ill-typed "
+            "arithmetic mix (timestamp+timestamp, duration-timestamp, "
+            "duration+rate) — reaches a time-typed parameter.  Virtual "
+            "time is float microseconds everywhere; a unit slip here "
+            "does not crash, it silently reschedules the simulation and "
+            "corrupts every µs-scale figure downstream.",
+        ),
+        RuleMeta(
+            "A502",
+            "rate-duration-confusion",
+            "error",
+            "unitsflow",
+            "A rate (req/µs) flows where a duration/timestamp is "
+            "expected, or vice versa.  The two are reciprocals: at "
+            "rate 0.5 the confusion books 0.5 µs gaps instead of 2 µs "
+            "ones, quietly quadrupling offered load.",
+        ),
+        RuleMeta(
+            "A503",
+            "fraction-percent-confusion",
+            "error",
+            "unitsflow",
+            "A percent-scale constant (85) or a unit-bearing value "
+            "reaches a fraction parameter (utilization, probability, "
+            "warmup share).  Fractions here are of 1.0; the cutoff is "
+            "1.5 — matching the phase-validation cap — so deliberate "
+            "overload fractions like 1.2 stay legal.",
+        ),
+        RuleMeta(
+            "A504",
+            "unclamped-subtraction-at-scheduler",
+            "warning",
+            "unitsflow",
+            "A subtraction-derived time reaches a scheduling sink "
+            "(call_at/call_after/schedule_service_event) without "
+            "passing through a clamping max().  When the operands "
+            "cross — an event fires later than assumed — the delay "
+            "goes negative or the absolute time lands in the past, and "
+            "the engine raises only at the instant the bug fires.",
+        ),
+        RuleMeta(
+            "A505",
+            "unitless-literal-at-time-site",
+            "warning",
+            "unitsflow",
+            "A bare numeric literal of run-length scale (>= 0.1 "
+            "simulated seconds) sits directly at a time-typed call "
+            "site or parameter default.  Big raw literals are where "
+            "dropped *US_PER_S conversions hide; name the constant "
+            "via repro.sim.units so the unit is visible and checkable.",
+        ),
+        RuleMeta(
+            "A601",
+            "unpicklable-spawn-payload",
+            "error",
+            "forksafety",
+            "A lambda or nested function is shipped as a worker target "
+            "or buried in a spawn args payload.  Closures pickle under "
+            "the fork start method by accident and fail under spawn — "
+            "the sweep works on Linux and crashes on macOS/Windows CI. "
+            "Worker entry points must be module top-level functions "
+            "taking plain documents.",
+        ),
+        RuleMeta(
+            "A602",
+            "worker-reads-mutable-module-state",
+            "warning",
+            "forksafety",
+            "Code reachable from a pool-worker entry point reads a "
+            "module-level dict/list/set that is mutated at runtime. "
+            "Spawned workers never see the parent's mutations and "
+            "fork-inherited copies go stale; pass the state through "
+            "the cell document, or make the table import-time-only. "
+            "Import-time registration patterns are exempt — every "
+            "process rebuilds those identically.",
+        ),
+        RuleMeta(
+            "A603",
+            "unprefixed-stream-in-fork-package",
+            "error",
+            "forksafety",
+            "An RNG stream is acquired inside a fork-sensitive package "
+            "(rack/sweep/faults) without its owning dotted prefix. "
+            "Cross-process determinism audits trace draws by stream "
+            "name; an unprefixed stream created on the worker side is "
+            "invisible to the ownership checks that keep one "
+            "subsystem's draws from perturbing another's.  The one "
+            "sanctioned pattern — handing a workload-shared stream "
+            "directly into a foreign constructor — is exempt.",
+        ),
+        RuleMeta(
+            "A604",
+            "checkpoint-write-outside-store",
+            "error",
+            "forksafety",
+            "A raw open(..., 'w')/os.replace write occurs in the sweep "
+            "package outside checkpoint.py, or a checkpoint-store path "
+            "(plan_path/manifest_path/merged_path/cells_dir) is "
+            "written anywhere outside the single-writer store.  Every "
+            "resumable byte must go through write_json_atomic so a "
+            "crash mid-write cannot corrupt a sweep.",
         ),
     )
 }

@@ -1,0 +1,543 @@
+"""Fork-safety analysis (findings A601–A604).
+
+The sweep executor (PR 7) and the rack composition it drives (PR 8)
+moved the reproduction across process boundaries: cells run in spawned
+workers, results cross pipes as documents, and checkpoints make sweeps
+resumable.  Every one of those mechanisms carries a determinism hazard
+the single-process analyses cannot see:
+
+* **A601 — unpicklable capture in a spawn payload.**  A ``lambda`` or
+  nested function passed as a worker ``target`` (or buried in its
+  ``args``) pickles under the ``fork`` start method by accident and
+  fails under ``spawn`` — i.e. it works on the machine it was written
+  on and crashes on macOS/Windows CI.  Worker entry points must be
+  module top-level functions taking plain documents.
+* **A602 — module-level mutable state read on a worker path.**  A
+  module-level dict/list/set that is *mutated at runtime* and *read by
+  code reachable from a worker entry point* silently forks into
+  per-process copies: the parent's mutations never reach spawned
+  workers, and fork-inherited copies go stale.  Tables populated only
+  at import time are exempt — every process reconstructs those
+  identically.
+* **A603 — unprefixed RNG stream in a fork-sensitive package.**  The
+  flow-based upgrade of the A10x name checks: inside ``rack``/``sweep``/
+  ``faults``, streams must carry their owning ``rack.*``/``sweep.*``/
+  ``faults.*`` prefix so cross-process draw schedules stay auditable.
+  Unlike A101 this follows the name through locals, f-string heads and
+  literal concatenation, and it exempts the one sanctioned pattern:
+  a workload-shared stream (``"arrivals"``) passed *directly* into a
+  foreign package's constructor, which is the owner handing the stream
+  over, not acquiring it.
+* **A604 — checkpoint write outside the single-writer store.**  All
+  sweep state on disk goes through
+  :func:`repro.sweep.checkpoint.write_json_atomic` (temp file +
+  ``os.replace``) so a crash mid-write can never corrupt a resumable
+  sweep.  A raw ``open(..., "w")``/``os.replace`` in the sweep package
+  outside ``checkpoint.py`` — or a raw write anywhere to a store path
+  attribute (``plan_path``/``manifest_path``/``merged_path``/
+  ``cells_dir``) — bypasses that guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .findings import AnalysisFinding, make_finding
+from .model import FunctionInfo, ModuleInfo, Program
+from .rngflow import _is_registry_receiver
+
+#: Terminal callee names that ship work to another process.
+SPAWN_CALLS = {"Process", "submit", "apply_async"}
+
+#: Packages whose RNG streams must be prefix-audited (they run on both
+#: sides of the process boundary).
+FORK_PACKAGES = ("faults", "rack", "sweep")
+
+#: The single-writer checkpoint store: its module, and the path
+#: attributes that name files it owns.
+STORE_MODULE = "repro.sweep.checkpoint"
+STORE_PATH_ATTRS = {"plan_path", "manifest_path", "merged_path", "cells_dir"}
+
+#: Mutating method names that mark a module-level container as
+#: runtime-mutable when called outside module top level.
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "setdefault",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "pop",
+    "popitem",
+    "clear",
+}
+
+#: Constructors whose module-level result is a mutable container.
+_MUTABLE_CALLS = {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+
+
+def _call_terminal(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+# ----------------------------------------------------------------------
+# worker-path closure
+# ----------------------------------------------------------------------
+def _spawn_sites(fn: FunctionInfo) -> List[ast.Call]:
+    return [
+        node
+        for node in ast.walk(fn.node)
+        if isinstance(node, ast.Call) and _call_terminal(node) in SPAWN_CALLS
+    ]
+
+
+def _spawn_target(call: ast.Call) -> Optional[ast.AST]:
+    """The callable an ``SPAWN_CALLS`` site ships across the boundary."""
+    terminal = _call_terminal(call)
+    for kw in call.keywords:
+        if kw.arg == "target":
+            return kw.value
+    if terminal in ("submit", "apply_async") and call.args:
+        return call.args[0]
+    return None
+
+
+def _resolve_target(program: Program, fn: FunctionInfo, target: ast.AST) -> Optional[FunctionInfo]:
+    module = fn.module
+    if isinstance(target, ast.Name):
+        local = program.functions.get(f"{module.name}.{target.id}")
+        if local is not None:
+            return local
+        dotted = module.aliases.get(target.id)
+        if dotted is not None:
+            return program.functions.get(dotted)
+        return None
+    if isinstance(target, ast.Attribute):
+        dotted = module.dotted_name(target)
+        if dotted is not None:
+            return program.functions.get(dotted)
+    return None
+
+
+def worker_functions(program: Program) -> List[FunctionInfo]:
+    """Every function statically reachable from a spawn target — the
+    code that executes inside pool workers."""
+    roots: List[FunctionInfo] = []
+    for fn in program.iter_functions():
+        for call in _spawn_sites(fn):
+            target = _spawn_target(call)
+            if target is None:
+                continue
+            resolved = _resolve_target(program, fn, target)
+            if resolved is not None:
+                roots.append(resolved)
+    seen: Dict[str, FunctionInfo] = {}
+    queue = list(roots)
+    while queue:
+        fn = queue.pop(0)
+        if fn.key in seen:
+            continue
+        seen[fn.key] = fn
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                callee = program.resolve_call(fn, node)
+                if callee is not None and callee.key not in seen:
+                    queue.append(callee)
+    return [seen[key] for key in sorted(seen)]
+
+
+# ----------------------------------------------------------------------
+# A601: unpicklable spawn payloads
+# ----------------------------------------------------------------------
+def _nested_def_names(fn: FunctionInfo) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node is not fn.node
+        ):
+            names.add(node.name)
+    return names
+
+
+def _check_spawn_payloads(fn: FunctionInfo, findings: List[AnalysisFinding]) -> None:
+    nested = _nested_def_names(fn)
+    for call in _spawn_sites(fn):
+        terminal = _call_terminal(call)
+        target = _spawn_target(call)
+        if target is not None:
+            bad = ""
+            if isinstance(target, ast.Lambda):
+                bad = "a lambda"
+            elif isinstance(target, ast.Name) and target.id in nested:
+                bad = f"the nested function {target.id}()"
+            if bad:
+                findings.append(
+                    make_finding(
+                        "A601",
+                        fn.module.path,
+                        call.lineno,
+                        call.col_offset,
+                        f"{fn.qualname}() ships {bad} as a {terminal} "
+                        "target; closures pickle under fork by accident "
+                        "and fail under spawn — use a module top-level "
+                        "function taking plain documents",
+                        symbol=f"{fn.key}:spawn-target",
+                    )
+                )
+        for kw in call.keywords:
+            if kw.arg != "args":
+                continue
+            for sub in ast.walk(kw.value):
+                if isinstance(sub, ast.Lambda):
+                    findings.append(
+                        make_finding(
+                            "A601",
+                            fn.module.path,
+                            sub.lineno,
+                            sub.col_offset,
+                            f"{fn.qualname}() buries a lambda in a "
+                            f"{terminal} args payload; it cannot cross a "
+                            "spawn boundary — pass plain data and resolve "
+                            "behaviour by name on the worker side",
+                            symbol=f"{fn.key}:spawn-args",
+                        )
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# A602: module-level mutable state on worker paths
+# ----------------------------------------------------------------------
+def _module_level_mutables(module: ModuleInfo) -> Set[str]:
+    """Names bound at module top level to a mutable container."""
+    out: Set[str] = set()
+    for stmt in module.tree.body:
+        targets: Iterable[ast.AST] = ()
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+            isinstance(value, ast.Call) and _call_terminal(value) in _MUTABLE_CALLS
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.add(target.id)
+    return out
+
+
+def _runtime_mutated(program: Program, module: ModuleInfo, names: Set[str]) -> Set[str]:
+    """The subset of ``names`` mutated *outside* module top level —
+    import-time registration patterns rebuild identically in every
+    process and are exempt."""
+    mutated: Set[str] = set()
+    for fn in program.functions.values():
+        if fn.module is not module:
+            continue
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Name) and base.id in names:
+                        mutated.add(base.id)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in names
+            ):
+                mutated.add(node.func.value.id)
+            elif isinstance(node, ast.Global):
+                mutated.update(n for n in node.names if n in names)
+    return mutated
+
+
+def _check_worker_state(
+    program: Program, workers: List[FunctionInfo], findings: List[AnalysisFinding]
+) -> None:
+    per_module: Dict[str, Set[str]] = {}
+    reported: Set[Tuple[str, str]] = set()
+    for fn in workers:
+        module = fn.module
+        if module.name not in per_module:
+            candidates = _module_level_mutables(module)
+            per_module[module.name] = _runtime_mutated(program, module, candidates)
+        hazards = per_module[module.name]
+        if not hazards:
+            continue
+        local_names = {
+            a.arg
+            for a in (
+                list(fn.node.args.posonlyargs)
+                + list(fn.node.args.args)
+                + list(fn.node.args.kwonlyargs)
+            )
+        }
+        reads: Dict[str, ast.Name] = {}
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in hazards
+                and node.id not in local_names
+            ):
+                best = reads.get(node.id)
+                if best is None or (node.lineno, node.col_offset) < (
+                    best.lineno,
+                    best.col_offset,
+                ):
+                    reads[node.id] = node
+        for name in sorted(reads):
+            node = reads[name]
+            key = (module.name, node.id)
+            if key in reported:
+                continue
+            reported.add(key)
+            findings.append(
+                make_finding(
+                    "A602",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{fn.qualname}() runs on a worker path and reads "
+                    f"module-level mutable {node.id}, which is mutated "
+                    "at runtime; spawned workers never see the "
+                    "parent's mutations (and forked copies go stale) "
+                    "— pass the state through the cell document, or "
+                    "make the table import-time-only",
+                    symbol=f"{module.name}.{node.id}:worker-read",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# A603: unprefixed streams in fork-sensitive packages
+# ----------------------------------------------------------------------
+def _stream_name(fn: FunctionInfo, call: ast.Call, env: Dict[str, str]) -> Optional[str]:
+    """The stream-name head of a registry ``.stream(...)`` call, flowed
+    through locals, f-string heads and literal concatenation.  Returns
+    the full literal when static, a ``"prefix."``-headed partial name
+    for dynamic tails, or None when nothing is known (A103's case)."""
+    if not call.args:
+        return None
+    return _literal_head(call.args[0], env)
+
+
+def _literal_head(node: ast.AST, env: Dict[str, str]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _literal_head(node.left, env)
+    return None
+
+
+def _string_env(fn: FunctionInfo) -> Dict[str, str]:
+    """Locals bound (once) to a string literal or literal-headed value."""
+    env: Dict[str, str] = {}
+    bound: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            name = node.targets[0].id
+            if name in bound:
+                env.pop(name, None)
+                continue
+            bound.add(name)
+            head = _literal_head(node.value, {})
+            if head is not None:
+                env[name] = head
+    return env
+
+
+def _parent_map(root: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _is_direct_handoff(
+    program: Program,
+    fn: FunctionInfo,
+    stream_call: ast.Call,
+    parents: Dict[int, ast.AST],
+) -> bool:
+    """True when the stream call sits in the argument list of a call
+    into a *different* package — the owner handing a shared stream to a
+    foreign component (the sanctioned generator-wiring pattern)."""
+    node: ast.AST = stream_call
+    while True:
+        parent = parents.get(id(node))
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Call) and node is not parent.func:
+            owner = program.resolve_callable_owner(fn, parent)
+            if owner is not None and owner != fn.module.package:
+                return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            return False
+        node = parent
+
+
+def _check_stream_prefixes(
+    program: Program, fn: FunctionInfo, findings: List[AnalysisFinding]
+) -> None:
+    pkg = fn.module.package
+    if pkg not in FORK_PACKAGES:
+        return
+    env = _string_env(fn)
+    parents: Optional[Dict[int, ast.AST]] = None
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream"
+            and _is_registry_receiver(node.func.value)
+        ):
+            continue
+        name = _stream_name(fn, node, env)
+        if name is None:
+            continue  # dynamic name: A103's finding, not ours
+        if "." in name:
+            continue  # prefixed: correct, or A101's cross-package case
+        if parents is None:
+            parents = _parent_map(fn.node)
+        if _is_direct_handoff(program, fn, node, parents):
+            continue
+        findings.append(
+            make_finding(
+                "A603",
+                fn.module.path,
+                node.lineno,
+                node.col_offset,
+                f"{fn.qualname}() acquires RNG stream '{name}' inside "
+                f"the fork-sensitive package '{pkg}' without its "
+                f"'{pkg}.' prefix; cross-process draw audits need the "
+                f"owner in the name — use '{pkg}.{name}'",
+                symbol=f"{fn.key}:stream:{name}",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# A604: writes bypassing the single-writer checkpoint store
+# ----------------------------------------------------------------------
+def _open_write_mode(call: ast.Call) -> bool:
+    if _call_terminal(call) != "open" or isinstance(call.func, ast.Attribute):
+        return False
+    mode: Optional[ast.AST] = call.args[1] if len(call.args) > 1 else None
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return False
+    return (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(ch in mode.value for ch in "wax")
+    )
+
+
+def _is_os_replace(call: ast.Call, module: ModuleInfo) -> bool:
+    if not isinstance(call.func, ast.Attribute) or call.func.attr != "replace":
+        return False
+    dotted = module.dotted_name(call.func)
+    return dotted == "os.replace"
+
+
+def _store_path_arg(call: ast.Call) -> Optional[str]:
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Attribute) and sub.attr in STORE_PATH_ATTRS:
+                return sub.attr
+    return None
+
+
+def _check_checkpoint_writes(
+    program: Program, fn: FunctionInfo, findings: List[AnalysisFinding]
+) -> None:
+    module = fn.module
+    in_store = module.name == STORE_MODULE
+    in_sweep = module.package == "sweep"
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        raw_write = _open_write_mode(node) or _is_os_replace(node, module)
+        if not raw_write:
+            continue
+        if in_store:
+            continue  # the store itself is the sanctioned writer
+        store_attr = _store_path_arg(node)
+        if in_sweep:
+            what = f"store path .{store_attr}" if store_attr else "a file"
+            findings.append(
+                make_finding(
+                    "A604",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{fn.qualname}() writes {what} directly inside the "
+                    "sweep package; all resumable state must go through "
+                    "checkpoint.write_json_atomic (temp + os.replace) so "
+                    "a crash mid-write cannot corrupt a sweep",
+                    symbol=f"{fn.key}:raw-write",
+                )
+            )
+        elif store_attr is not None:
+            findings.append(
+                make_finding(
+                    "A604",
+                    module.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"{fn.qualname}() writes the checkpoint store path "
+                    f".{store_attr} outside the single-writer store; use "
+                    "checkpoint.write_json_atomic or route the write "
+                    "through the orchestrator",
+                    symbol=f"{fn.key}:store-write:{store_attr}",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def analyze_forksafety(program: Program) -> List[AnalysisFinding]:
+    """Run the fork-safety checks over ``program``."""
+    findings: List[AnalysisFinding] = []
+    for fn in program.iter_functions():
+        _check_spawn_payloads(fn, findings)
+        _check_stream_prefixes(program, fn, findings)
+        _check_checkpoint_writes(program, fn, findings)
+    workers = worker_functions(program)
+    _check_worker_state(program, workers, findings)
+    return findings

@@ -19,10 +19,12 @@ from ..lint.runner import iter_python_files
 from .contracts import analyze_contracts
 from .eventflow import analyze_eventflow
 from .findings import ANALYSIS_RULES, AnalysisFinding, make_finding
+from .forksafety import analyze_forksafety
 from .hotpath import analyze_hotpath
 from .model import Program, build_program
 from .purity import analyze_purity
 from .rngflow import analyze_rngflow
+from .unitsflow import analyze_unitsflow
 
 #: analysis name -> callable; ``--select`` filters on rule ids, not on
 #: these names, but running only the analyses that can produce selected
@@ -33,6 +35,8 @@ ANALYSES = {
     "contracts": analyze_contracts,
     "purity": analyze_purity,
     "hotpath": analyze_hotpath,
+    "unitsflow": analyze_unitsflow,
+    "forksafety": analyze_forksafety,
 }
 
 

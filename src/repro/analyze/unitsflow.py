@@ -1,0 +1,334 @@
+"""Units-flow analysis (findings A501–A505).
+
+Consumes the abstract-value environments and function summaries from
+:mod:`repro.analyze.dataflow` and checks every call site (and parameter
+default) against the units its callee declares — via the engine-API
+annotation map for known entry points, and via name-heuristic summaries
+for in-program callees.
+
+Five findings:
+
+* **A501** — a value of the wrong unit (or one tainted by an ill-typed
+  arithmetic mix) reaches a time-typed parameter.  ``Duration`` and
+  ``Timestamp`` are mutually accepted at sinks: simulations anchor at
+  t=0, so "time since start" is both an absolute time and the run's
+  elapsed duration (``RunSummary(duration_us=loop.now)`` is the
+  pervasive sound idiom).  The *arithmetic* rules stay asymmetric —
+  ``duration - timestamp`` and ``timestamp + timestamp`` still taint.
+* **A502** — a rate flows where a duration/timestamp is expected, or
+  vice versa.  The classic instance: passing ``rate`` where the
+  inter-arrival ``gap`` (its reciprocal) belongs.
+* **A503** — a percent-scale constant (``85``) or unit-bearing value
+  reaches a fraction parameter (utilization, probability).  The cutoff
+  is 1.5, matching ``Phase``'s own validation cap, so deliberate
+  overload fractions like 1.2 stay legal.
+* **A504** — a subtraction-derived time value reaches a scheduling
+  sink without passing through a clamping ``max(...)``.  ``a - b`` of
+  two timestamps can be negative whenever event order is not what the
+  author assumed, and ``call_after`` raises on negative delays only at
+  the instant the bug fires.
+* **A505** — a bare numeric literal of at least :data:`LITERAL_FLOOR`
+  microseconds (0.1 simulated seconds) sits directly at a time-typed
+  call site or parameter default.  Big raw literals are where dropped
+  ``* US_PER_S`` conversions hide; name the constant
+  (:mod:`repro.sim.units`) and the intent becomes checkable.
+
+All five are conservative by construction: ``Top`` (unknown unit) never
+fires anything, so the pass under-reports rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .dataflow import (
+    BYTES,
+    DURATION,
+    FRACTION,
+    RATE,
+    SCALAR,
+    TAINTED,
+    TIMESTAMP,
+    TIME_KINDS,
+    TOP,
+    FunctionAnalysis,
+    analyze_function,
+    compute_summaries,
+    resolve_annotation,
+    resolve_summary,
+)
+from .findings import AnalysisFinding, make_finding
+from .model import FunctionInfo, Program
+
+#: Smallest bare literal (µs) that triggers A505 — 0.1 simulated
+#: seconds.  Small delays (poll intervals, service times) are idiomatic
+#: as literals; run-length-scale numbers are where a missing
+#: ``US_PER_S`` hides.
+LITERAL_FLOOR = 100_000.0
+
+#: Modules that define the unit vocabulary itself and legitimately
+#: traffic in raw conversion constants.
+_EXEMPT_MODULES = ("repro.sim.units",)
+
+
+def _call_terminal(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_big_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and abs(float(node.value)) >= LITERAL_FLOOR
+    )
+
+
+def _kind_label(kind: str) -> str:
+    return {
+        DURATION: "a duration (µs)",
+        TIMESTAMP: "an absolute time (µs)",
+        RATE: "a rate (req/µs)",
+        FRACTION: "a fraction",
+        BYTES: "a byte count",
+    }.get(kind, kind)
+
+
+class _SiteChecker:
+    """Applies the A501–A505 decision table to one function's calls."""
+
+    def __init__(self, program: Program, fn: FunctionInfo, analysis: FunctionAnalysis):
+        self.program = program
+        self.fn = fn
+        self.analysis = analysis
+        self.findings: List[AnalysisFinding] = []
+        #: (rule, symbol) already reported — one finding per site even
+        #: when the fixpoint visits an expression more than once.
+        self._seen: Set[Tuple[str, str]] = set()
+
+    def _emit(
+        self, rule_id: str, node: ast.AST, message: str, symbol: str
+    ) -> None:
+        key = (rule_id, symbol)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            make_finding(
+                rule_id,
+                self.fn.module.path,
+                getattr(node, "lineno", self.fn.lineno),
+                getattr(node, "col_offset", 0),
+                message,
+                symbol=symbol,
+            )
+        )
+
+    def check_argument(
+        self,
+        call: ast.Call,
+        arg: ast.AST,
+        expected: str,
+        param: str,
+        is_sink: bool,
+    ) -> None:
+        terminal = _call_terminal(call) or "<call>"
+        symbol = f"{self.fn.key}:{terminal}:{param}"
+        where = f"{terminal}({param}=...)" if param else f"{terminal}(...)"
+        value = self.analysis.eval(arg)
+        if expected in TIME_KINDS:
+            if value.kind == RATE:
+                self._emit(
+                    "A502",
+                    arg,
+                    f"{self.fn.qualname}() passes a rate (req/µs) to "
+                    f"{where}, which expects {_kind_label(expected)}; a "
+                    "rate's reciprocal is the matching duration",
+                    symbol,
+                )
+            elif value.kind == TAINTED:
+                self._emit(
+                    "A501",
+                    arg,
+                    f"{self.fn.qualname}() passes a value from the "
+                    f"unit-mixing operation [{value.taint}] to {where}, "
+                    f"which expects {_kind_label(expected)}",
+                    symbol,
+                )
+            elif value.kind in (FRACTION, BYTES):
+                self._emit(
+                    "A501",
+                    arg,
+                    f"{self.fn.qualname}() passes {_kind_label(value.kind)} "
+                    f"to {where}, which expects {_kind_label(expected)}",
+                    symbol,
+                )
+            elif is_sink and value.from_sub:
+                self._emit(
+                    "A504",
+                    arg,
+                    f"{self.fn.qualname}() schedules {where} with a "
+                    "subtraction-derived time that is never clamped; if "
+                    "the operands can cross, the delay goes negative (or "
+                    "the absolute time lands in the past) — wrap the "
+                    "subtraction in max(0.0, ...) or justify why it "
+                    "cannot",
+                    symbol,
+                )
+            elif _is_big_literal(arg):
+                self._emit(
+                    "A505",
+                    arg,
+                    f"{self.fn.qualname}() passes the bare literal "
+                    f"{ast.unparse(arg)} to {where}; run-length-scale "
+                    "times should name their unit via repro.sim.units "
+                    "(US_PER_S / US_PER_MS / seconds())",
+                    symbol,
+                )
+        elif expected == RATE:
+            if value.kind in TIME_KINDS:
+                self._emit(
+                    "A502",
+                    arg,
+                    f"{self.fn.qualname}() passes {_kind_label(value.kind)} "
+                    f"to {where}, which expects a rate (req/µs); a "
+                    "duration's reciprocal is the matching rate",
+                    symbol,
+                )
+        elif expected == FRACTION:
+            if value.literal is not None and value.literal > 1.5:
+                self._emit(
+                    "A503",
+                    arg,
+                    f"{self.fn.qualname}() passes {value.literal:g} to "
+                    f"{where}, which expects a fraction of 1.0; "
+                    f"{value.literal:g} looks percent-scaled — divide by "
+                    "100",
+                    symbol,
+                )
+            elif value.kind in (DURATION, TIMESTAMP, RATE, BYTES):
+                self._emit(
+                    "A503",
+                    arg,
+                    f"{self.fn.qualname}() passes {_kind_label(value.kind)} "
+                    f"to {where}, which expects a dimensionless fraction",
+                    symbol,
+                )
+
+
+def analyze_unitsflow(program: Program) -> List[AnalysisFinding]:
+    """Run the units-flow checks over every function in ``program``."""
+    result = compute_summaries(program)
+    findings: List[AnalysisFinding] = []
+    for fn in program.iter_functions():
+        if fn.module.name in _EXEMPT_MODULES:
+            continue
+        analysis = analyze_function(program, fn, result.summaries)
+        checker = _SiteChecker(program, fn, analysis)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                _check_call(program, fn, result.summaries, checker, node)
+        _check_defaults(fn, result.summaries, checker)
+        findings.extend(checker.findings)
+    return findings
+
+
+def _check_call(
+    program: Program,
+    fn: FunctionInfo,
+    summaries,
+    checker: _SiteChecker,
+    call: ast.Call,
+) -> None:
+    annotation = resolve_annotation(program, fn, call)
+    if annotation is not None:
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            expected = annotation.positional.get(index)
+            if expected in (None, TOP, SCALAR):
+                continue
+            param = _positional_param_name(annotation, index)
+            checker.check_argument(call, arg, expected, param, annotation.sink)
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            expected = annotation.params.get(kw.arg)
+            if expected in (None, TOP, SCALAR):
+                continue
+            checker.check_argument(call, kw.value, expected, kw.arg, annotation.sink)
+        return
+    summary = resolve_summary(program, summaries, fn, call)
+    if summary is None:
+        return
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        expected = summary.expected_for(index, None)
+        if expected is None:
+            continue
+        param = _summary_param_name(summary, index) or f"arg{index}"
+        checker.check_argument(call, arg, expected, param, False)
+    for kw in call.keywords:
+        if kw.arg is None:
+            continue
+        expected = summary.expected_for(None, kw.arg)
+        if expected is None:
+            continue
+        checker.check_argument(call, kw.value, expected, kw.arg, False)
+
+
+def _positional_param_name(annotation, index: int) -> str:
+    """Best-effort display name for a positional slot: the unique param
+    with that unit when unambiguous, else the index."""
+    unit = annotation.positional.get(index)
+    names = [name for name, u in annotation.params.items() if u == unit]
+    if len(names) == 1:
+        return names[0]
+    return f"arg{index}"
+
+
+def _summary_param_name(summary, index: int) -> Optional[str]:
+    unit = summary.positional_units.get(index)
+    names = [name for name, u in summary.param_units.items() if u == unit]
+    if len(names) == 1:
+        return names[0]
+    return None
+
+
+def _check_defaults(fn: FunctionInfo, summaries, checker: _SiteChecker) -> None:
+    """A505 on parameter defaults: a raw run-length-scale literal as the
+    default of a time-typed parameter."""
+    summary = summaries.get(fn.key)
+    if summary is None:
+        return
+    args = fn.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    pairs: List[Tuple[str, ast.AST]] = []
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        pairs.append((arg.arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            pairs.append((arg.arg, default))
+    for name, default in pairs:
+        expected = summary.param_units.get(name)
+        if expected not in TIME_KINDS:
+            continue
+        if _is_big_literal(default):
+            checker._emit(
+                "A505",
+                default,
+                f"{fn.qualname}() defaults {name}= to the bare literal "
+                f"{ast.unparse(default)}; run-length-scale times should "
+                "name their unit via repro.sim.units (US_PER_S / "
+                "US_PER_MS / seconds())",
+                f"{fn.key}:{name}:default",
+            )

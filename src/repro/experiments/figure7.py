@@ -33,6 +33,7 @@ from ..server.config import ServerConfig
 from ..server.server import Server
 from ..sim.engine import EventLoop
 from ..sim.randomness import RngRegistry
+from ..sim.units import US_PER_MS
 from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
 from ..workload.arrivals import PoissonArrivals
@@ -46,7 +47,7 @@ N_WORKERS = 14
 UTILIZATION = 0.80
 TYPE_A = 0
 TYPE_B = 1
-DEFAULT_PHASE_US = 150_000.0
+DEFAULT_PHASE_US = 150.0 * US_PER_MS
 SHORT_US = 1.0
 LONG_US = 100.0
 
@@ -198,7 +199,7 @@ def _run_system(
 def run(
     phases: Optional[List[Phase]] = None,
     seed: int = 1,
-    window_us: float = 10_000.0,
+    window_us: float = 10.0 * US_PER_MS,
     systems: Optional[List[SystemModel]] = None,
     sanitize: bool = False,
     trace_dir: Optional[str] = None,

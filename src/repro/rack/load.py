@@ -20,6 +20,7 @@ import math
 from typing import List
 
 from ..errors import WorkloadError
+from ..sim.units import US_PER_S
 from ..workload.phases import Phase
 from ..workload.spec import WorkloadSpec
 
@@ -29,7 +30,7 @@ def diurnal_phases(
     base_utilization: float = 0.45,
     peak_utilization: float = 0.85,
     n_phases: int = 12,
-    total_duration_us: float = 1_200_000.0,
+    total_duration_us: float = 1.2 * US_PER_S,
 ) -> List[Phase]:
     """A one-"day" cosine load curve discretized into ``n_phases`` steps.
 
@@ -60,8 +61,8 @@ def flash_crowd_phases(
     spec: WorkloadSpec,
     base_utilization: float = 0.55,
     spike_utilization: float = 1.2,
-    base_duration_us: float = 300_000.0,
-    spike_duration_us: float = 120_000.0,
+    base_duration_us: float = 0.3 * US_PER_S,
+    spike_duration_us: float = 0.12 * US_PER_S,
 ) -> List[Phase]:
     """Steady load, a sudden overload spike, then back to steady.
 

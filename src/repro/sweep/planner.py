@@ -234,7 +234,11 @@ _SPECS: Dict[str, ExperimentSpec] = {}
 
 
 def _specs() -> Dict[str, ExperimentSpec]:
-    if not _SPECS:
+    # Worker-path read of a lazily-filled module cache: fork-safe by
+    # construction — _registry() is a pure function of the code, so any
+    # process (parent, forked, or spawned) that misses the cache rebuilds
+    # the identical table.  Nothing in it reflects parent runtime state.
+    if not _SPECS:  # repro-analyze: disable=A602
         _SPECS.update(_registry())
     return _SPECS
 

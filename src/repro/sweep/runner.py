@@ -22,6 +22,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..sim.units import US_PER_MS
 from .cells import Cell, CellResult
 from .planner import SELFTEST, experiment_spec
 
@@ -156,7 +157,7 @@ def _run_phased_cell(cell, spec, artifact_dir, observe) -> CellResult:
         system,
         figure7.default_phases(),
         cell.seed,
-        window_us=10_000.0,
+        window_us=10.0 * US_PER_MS,
         trace_path=trace_path,
         metrics_path=metrics_path,
     )

@@ -253,6 +253,70 @@ class TestHotpathCommand:
         ) == 0
 
 
+UNITS_TREE = {
+    "sched/timer.py": """
+    def arm(loop, rate):
+        loop.call_after(rate)
+    """,
+}
+
+FORK_TREE = {
+    "repro/sweep/report.py": """
+    def dump(path, text):
+        with open(path, "w") as fp:
+            fp.write(text)
+    """,
+}
+
+
+class TestUnitsCommand:
+    def test_error_finding_fails(self, tree, capsys):
+        root = tree(UNITS_TREE)
+        assert main(["units", root, "--root", root]) == 1
+        assert "A502" in capsys.readouterr().out
+
+    def test_shipped_tree_is_clean(self, capsys):
+        """The acceptance gate: after this PR's unit fixes, the shipped
+        tree has zero unsuppressed A5xx findings."""
+        assert main(["units", SRC_REPRO, "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_select_narrows_rules(self, tree):
+        root = tree(UNITS_TREE)
+        assert main(["units", root, "--root", root, "--select", "A505"]) == 0
+
+    def test_sarif_side_output(self, tree, tmp_path):
+        root = tree(UNITS_TREE)
+        sarif = tmp_path / "units.sarif"
+        assert main(["units", root, "--root", root, "--sarif", str(sarif)]) == 1
+        doc = json.loads(sarif.read_text())
+        assert doc["runs"][0]["results"][0]["ruleId"] == "A502"
+
+
+class TestForksafetyCommand:
+    def test_error_finding_fails(self, tree, capsys):
+        root = tree(FORK_TREE)
+        assert main(["forksafety", root, "--root", root]) == 1
+        assert "A604" in capsys.readouterr().out
+
+    def test_shipped_tree_is_clean(self, capsys):
+        """The acceptance gate: the shipped sweep/rack/faults tree has
+        zero unsuppressed A6xx findings."""
+        assert main(["forksafety", SRC_REPRO, "--strict"]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_baseline_gates(self, tree, tmp_path, capsys):
+        root = tree(FORK_TREE)
+        baseline = str(tmp_path / "fork-baseline.json")
+        select = "A601,A602,A603,A604"
+        assert main(
+            ["baseline", root, "--root", root, "--select", select, "-o", baseline]
+        ) == 0
+        capsys.readouterr()
+        assert main(["forksafety", root, "--root", root, "--baseline", baseline]) == 0
+        assert "clean against baseline" in capsys.readouterr().out
+
+
 class TestListRules:
     def test_catalogue_complete(self, capsys):
         assert main(["list-rules"]) == 0

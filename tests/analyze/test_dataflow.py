@@ -1,0 +1,418 @@
+"""The unit/taint dataflow engine: lattice joins, the binop transfer
+algebra, name heuristics, intraprocedural environments, and the
+interprocedural return-unit fixpoint (including recursion and cycles)."""
+
+import ast
+
+import pytest
+
+from repro.analyze.dataflow import (
+    BYTES,
+    DURATION,
+    FRACTION,
+    RATE,
+    SCALAR,
+    TAINTED,
+    TIMESTAMP,
+    TOP,
+    AbstractValue,
+    VAL_SCALAR,
+    VAL_TOP,
+    analyze_function,
+    compute_summaries,
+    join,
+    join_all,
+    make_tainted,
+    summary_from_signature,
+    transfer_binop,
+    unit_for_name,
+)
+
+
+def binop(op, left, right):
+    return transfer_binop(op(), left, right)
+
+
+D = AbstractValue(DURATION)
+T = AbstractValue(TIMESTAMP)
+R = AbstractValue(RATE)
+F = AbstractValue(FRACTION)
+B = AbstractValue(BYTES)
+
+
+# ----------------------------------------------------------------------
+# the lattice
+# ----------------------------------------------------------------------
+class TestJoin:
+    def test_identity(self):
+        for v in (D, T, R, F, B, VAL_SCALAR):
+            assert join(v, v).kind == v.kind
+
+    def test_taint_is_sticky(self):
+        tainted = make_tainted("Timestamp_us + Timestamp_us")
+        assert join(tainted, D).kind == TAINTED
+        assert join(D, tainted).kind == TAINTED
+        assert join(D, tainted).taint == "Timestamp_us + Timestamp_us"
+
+    def test_scalar_adopts_the_other_side(self):
+        assert join(VAL_SCALAR, D).kind == DURATION
+        assert join(R, VAL_SCALAR).kind == RATE
+
+    def test_duration_timestamp_join_to_timestamp(self):
+        assert join(D, T).kind == TIMESTAMP
+        assert join(T, D).kind == TIMESTAMP
+
+    def test_distinct_units_join_to_top(self):
+        assert join(D, R).kind == TOP
+        assert join(F, B).kind == TOP
+
+    def test_equal_literals_survive_distinct_do_not(self):
+        a = AbstractValue(SCALAR, literal=85.0)
+        assert join(a, AbstractValue(SCALAR, literal=85.0)).literal == 85.0
+        assert join(a, AbstractValue(SCALAR, literal=2.0)).literal is None
+
+    def test_from_sub_survives_joins(self):
+        sub = AbstractValue(DURATION, from_sub=True)
+        assert join(sub, D).from_sub is True
+        assert join(D, sub).from_sub is True
+        assert join(sub, T).from_sub is True
+
+    def test_join_all_empty_is_top(self):
+        assert join_all([]) is VAL_TOP
+
+    def test_widen_drops_bookkeeping(self):
+        v = AbstractValue(DURATION, literal=5.0, from_sub=True)
+        assert v.widen() == AbstractValue(DURATION)
+
+
+# ----------------------------------------------------------------------
+# transfer functions
+# ----------------------------------------------------------------------
+class TestTransferAddSub:
+    def test_elapsed_time_identity(self):
+        out = binop(ast.Sub, T, T)
+        assert out.kind == DURATION
+        assert out.from_sub is True
+
+    def test_timestamp_plus_duration(self):
+        assert binop(ast.Add, T, D).kind == TIMESTAMP
+        assert binop(ast.Add, D, T).kind == TIMESTAMP
+
+    def test_timestamp_minus_duration_stays_timestamp_and_marks_sub(self):
+        out = binop(ast.Sub, T, D)
+        assert out.kind == TIMESTAMP
+        assert out.from_sub is True
+
+    def test_adding_two_timestamps_taints(self):
+        out = binop(ast.Add, T, T)
+        assert out.kind == TAINTED
+        assert "Timestamp_us + Timestamp_us" in out.taint
+
+    def test_duration_minus_timestamp_taints(self):
+        assert binop(ast.Sub, D, T).kind == TAINTED
+
+    def test_cross_unit_sum_taints(self):
+        assert binop(ast.Add, D, R).kind == TAINTED
+        assert binop(ast.Add, B, F).kind == TAINTED
+
+    def test_scalar_addend_adopts_the_unit(self):
+        assert binop(ast.Add, D, VAL_SCALAR).kind == DURATION
+        assert binop(ast.Sub, VAL_SCALAR, VAL_SCALAR).kind == SCALAR
+
+    def test_taint_propagates_through_further_arithmetic(self):
+        tainted = make_tainted("Duration_us - Timestamp_us")
+        assert binop(ast.Add, tainted, D).taint == "Duration_us - Timestamp_us"
+
+    def test_top_absorbs(self):
+        assert binop(ast.Add, VAL_TOP, T).kind == TOP
+
+
+class TestTransferMulDiv:
+    def test_rate_times_duration_is_a_count(self):
+        assert binop(ast.Mult, R, D).kind == SCALAR
+        assert binop(ast.Mult, D, R).kind == SCALAR
+
+    def test_fraction_scales_any_unit(self):
+        assert binop(ast.Mult, F, R).kind == RATE
+        assert binop(ast.Mult, D, F).kind == DURATION
+
+    def test_scalar_multiplier_keeps_the_unit(self):
+        assert binop(ast.Mult, VAL_SCALAR, D).kind == DURATION
+
+    def test_squared_duration_is_top_not_a_finding(self):
+        assert binop(ast.Mult, D, D).kind == TOP
+
+    def test_count_over_rate_is_a_duration(self):
+        assert binop(ast.Div, VAL_SCALAR, R).kind == DURATION
+
+    def test_count_over_duration_is_a_rate(self):
+        assert binop(ast.Div, VAL_SCALAR, D).kind == RATE
+
+    def test_same_unit_ratio_is_a_fraction(self):
+        assert binop(ast.Div, D, D).kind == FRACTION
+        assert binop(ast.Div, B, B).kind == FRACTION
+        assert binop(ast.Div, R, R).kind == FRACTION
+
+    def test_throughput_has_no_kind(self):
+        assert binop(ast.Div, B, D).kind == TOP
+
+    def test_dividing_by_scalar_or_fraction_keeps_the_unit(self):
+        assert binop(ast.Div, D, VAL_SCALAR).kind == DURATION
+        assert binop(ast.Div, R, F).kind == RATE
+
+    def test_mod_floordiv_pow_are_top(self):
+        for op in (ast.Mod, ast.FloorDiv, ast.Pow):
+            assert binop(op, D, D).kind == TOP
+
+
+# ----------------------------------------------------------------------
+# name heuristics
+# ----------------------------------------------------------------------
+class TestUnitForName:
+    @pytest.mark.parametrize(
+        "name,unit",
+        [
+            ("window_us", DURATION),
+            ("staleness_us", DURATION),
+            ("total_duration_us", DURATION),
+            ("at_us", TIMESTAMP),
+            ("start_us", TIMESTAMP),
+            ("deadline_us", TIMESTAMP),
+            ("now", TIMESTAMP),
+            ("crash_at", TIMESTAMP),
+            ("utilization", FRACTION),
+            ("warmup_frac", FRACTION),
+            ("probability", FRACTION),
+            ("rate", RATE),
+            ("arrival_rate", RATE),
+            ("payload_bytes", BYTES),
+            ("n_requests", TOP),
+            ("seed", TOP),
+        ],
+    )
+    def test_convention_vocabulary(self, name, unit):
+        assert unit_for_name(name) == unit
+
+
+# ----------------------------------------------------------------------
+# intraprocedural environments
+# ----------------------------------------------------------------------
+class TestFunctionAnalysis:
+    def _analysis(self, build, source, key):
+        program = build({"repro/mod.py": source})
+        fn = program.functions[key]
+        return analyze_function(
+            program, fn, compute_summaries(program).summaries
+        )
+
+    def test_params_seed_from_names(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(window_us, utilization, rate):
+                pass
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["window_us"].kind == DURATION
+        assert analysis.env["utilization"].kind == FRACTION
+        assert analysis.env["rate"].kind == RATE
+
+    def test_assignment_chain_and_elapsed_identity(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(loop, start_us):
+                elapsed = loop.now - start_us
+                return elapsed
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["elapsed"].kind == DURATION
+        assert analysis.env["elapsed"].from_sub is True
+
+    def test_max_clamp_clears_the_subtraction_marker(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(loop, start_us):
+                backlog = max(0.0, loop.now - start_us)
+                return backlog
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["backlog"].kind in (DURATION, TIMESTAMP)
+        assert analysis.env["backlog"].from_sub is False
+
+    def test_loop_carried_assignment_converges(self, build):
+        # ``total`` is used (line order) before the assignment that
+        # gives it a unit; the iterated pass must still converge it.
+        analysis = self._analysis(
+            build,
+            """
+            def f(items, window_us):
+                total = 0.0
+                for _ in items:
+                    doubled = total + window_us
+                    total = doubled
+                return total
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["total"].kind == DURATION
+
+    def test_taint_sites_record_the_mix(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(loop, deadline):
+                wrong = loop.now + deadline
+                return wrong
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["wrong"].kind == TAINTED
+        assert "Timestamp_us + Timestamp_us" in set(
+            analysis.taint_sites.values()
+        ).pop()
+
+    def test_ifexp_joins_branches(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(flag, window_us, start_us):
+                x = window_us if flag else start_us
+                return x
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["x"].kind == TIMESTAMP  # D | T -> T
+
+    def test_passthrough_builtins_keep_the_unit(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(window_us):
+                y = float(window_us)
+                return y
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["y"].kind == DURATION
+
+    def test_annotation_map_return_units(self, build):
+        analysis = self._analysis(
+            build,
+            """
+            def f(spec, n):
+                load = spec.peak_load(n)
+                return load
+            """,
+            "repro.mod.f",
+        )
+        assert analysis.env["load"].kind == RATE
+
+
+# ----------------------------------------------------------------------
+# interprocedural summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def test_signature_summary_strips_self(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                class C:
+                    def m(self, window_us, n):
+                        pass
+                """
+            }
+        )
+        summary = summary_from_signature(program.functions["repro.mod.C.m"])
+        assert summary.param_units == {"window_us": DURATION}
+        assert summary.positional_units == {0: DURATION}
+
+    def test_expected_for_hides_top_and_scalar(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                def f(window_us, n):
+                    pass
+                """
+            }
+        )
+        summary = compute_summaries(program).summaries["repro.mod.f"]
+        assert summary.expected_for(0, None) == DURATION
+        assert summary.expected_for(1, None) is None
+        assert summary.expected_for(None, "window_us") == DURATION
+        assert summary.expected_for(None, "n") is None
+
+    def test_return_units_propagate_through_the_call_graph(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                def base(window_us):
+                    return window_us
+
+
+                def middle(window_us):
+                    return base(window_us)
+
+
+                def outer(window_us):
+                    return middle(window_us)
+                """
+            }
+        )
+        summaries = compute_summaries(program).summaries
+        assert summaries["repro.mod.base"].return_unit == DURATION
+        assert summaries["repro.mod.middle"].return_unit == DURATION
+        assert summaries["repro.mod.outer"].return_unit == DURATION
+
+    def test_recursion_converges(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                def countdown(window_us, n):
+                    if n == 0:
+                        return window_us
+                    return countdown(window_us / 2.0, n - 1)
+                """
+            }
+        )
+        result = compute_summaries(program)
+        assert result.passes <= 8
+        # A self-recursive return joins the unknown recursive call in —
+        # the documented design is to stabilize at Top, not to guess.
+        assert result.summaries["repro.mod.countdown"].return_unit == TOP
+
+    def test_mutual_cycle_converges(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                def ping(window_us):
+                    return pong(window_us)
+
+
+                def pong(window_us):
+                    return ping(window_us)
+                """
+            }
+        )
+        result = compute_summaries(program)
+        # Neither function has a non-call return, so the cycle must
+        # settle (at Top or a consistent unit) within the pass bound.
+        assert result.passes <= 8
+
+    def test_conflicting_returns_stay_top(self, build):
+        program = build(
+            {
+                "repro/mod.py": """
+                def f(flag, window_us, rate):
+                    if flag:
+                        return window_us
+                    return rate
+                """
+            }
+        )
+        summaries = compute_summaries(program).summaries
+        assert summaries["repro.mod.f"].return_unit == TOP

@@ -1,0 +1,423 @@
+"""The fork-safety rules (A601–A604): worker-path closure, each rule on
+a seeded known-bad fixture firing exactly once, each exemption pattern
+(top-level targets, import-time registries, direct stream handoff, the
+single-writer store itself), and the shipped-tree cleanliness gate."""
+
+import os
+
+from repro.analyze.forksafety import worker_functions
+from repro.analyze.runner import analyze_paths
+
+FORK_SELECT = ["A601", "A602", "A603", "A604"]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# worker-path closure
+# ----------------------------------------------------------------------
+class TestWorkerClosure:
+    def test_spawn_target_and_transitive_callees_are_workers(self, build):
+        program = build(
+            {
+                "repro/sweep/executor.py": """
+                from multiprocessing import get_context
+
+
+                def _helper(doc):
+                    return doc
+
+
+                def _worker_main(doc):
+                    return _helper(doc)
+
+
+                def launch(ctx, doc):
+                    proc = ctx.Process(target=_worker_main, args=(doc,))
+                    proc.start()
+
+
+                def parent_only():
+                    return 1
+                """
+            }
+        )
+        keys = {fn.key for fn in worker_functions(program)}
+        assert "repro.sweep.executor._worker_main" in keys
+        assert "repro.sweep.executor._helper" in keys
+        assert "repro.sweep.executor.parent_only" not in keys
+        assert "repro.sweep.executor.launch" not in keys
+
+    def test_submit_first_argument_is_a_root(self, build):
+        program = build(
+            {
+                "repro/sweep/pool.py": """
+                def task(doc):
+                    return doc
+
+
+                def launch(pool, doc):
+                    return pool.submit(task, doc)
+                """
+            }
+        )
+        keys = {fn.key for fn in worker_functions(program)}
+        assert keys == {"repro.sweep.pool.task"}
+
+
+# ----------------------------------------------------------------------
+# A601: unpicklable spawn payloads
+# ----------------------------------------------------------------------
+class TestA601:
+    def test_lambda_target_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/executor.py": """
+                def launch(ctx, doc):
+                    return ctx.Process(target=lambda: doc)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A601")
+        assert len(found) == 1
+        assert "lambda" in found[0].message
+        assert found[0].symbol.endswith(":spawn-target")
+
+    def test_nested_function_target_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/executor.py": """
+                def launch(ctx, doc):
+                    def inner():
+                        return doc
+
+                    return ctx.Process(target=inner)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A601")
+        assert len(found) == 1
+        assert "inner()" in found[0].message
+
+    def test_lambda_buried_in_args_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/executor.py": """
+                def work(doc, fn):
+                    return fn(doc)
+
+
+                def launch(ctx, doc):
+                    return ctx.Process(target=work, args=(doc, lambda d: d))
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A601")
+        assert len(found) == 1
+        assert found[0].symbol.endswith(":spawn-args")
+
+    def test_top_level_target_with_plain_documents_is_the_fix(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/executor.py": """
+                def _worker_main(doc):
+                    return doc
+
+
+                def launch(ctx, doc):
+                    return ctx.Process(target=_worker_main, args=(doc,))
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A602: module-level mutable state on worker paths
+# ----------------------------------------------------------------------
+class TestA602:
+    BAD = {
+        "repro/sweep/registry.py": """
+        _CACHE = {}
+
+
+        def register(name, value):
+            _CACHE[name] = value
+
+
+        def _worker_main(doc):
+            return _CACHE.get(doc)
+
+
+        def launch(ctx, doc):
+            return ctx.Process(target=_worker_main, args=(doc,))
+        """
+    }
+
+    def test_runtime_mutated_table_read_by_worker_fires_once(self, analyze):
+        found = by_rule(analyze(self.BAD, select=FORK_SELECT), "A602")
+        assert len(found) == 1
+        assert "_CACHE" in found[0].message
+        assert found[0].symbol == "repro.sweep.registry._CACHE:worker-read"
+
+    def test_import_time_only_registry_is_exempt(self, analyze):
+        # The table is filled by calls *at module top level*: every
+        # process reconstructs it identically, so reads are safe.
+        findings = analyze(
+            {
+                "repro/sweep/registry.py": """
+                _TABLE = {"a": 1, "b": 2}
+
+
+                def _worker_main(doc):
+                    return _TABLE.get(doc)
+
+
+                def launch(ctx, doc):
+                    return ctx.Process(target=_worker_main, args=(doc,))
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_mutation_without_a_worker_read_is_silent(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/registry.py": """
+                _CACHE = {}
+
+
+                def register(name, value):
+                    _CACHE[name] = value
+
+
+                def _worker_main(doc):
+                    return doc
+
+
+                def launch(ctx, doc):
+                    return ctx.Process(target=_worker_main, args=(doc,))
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_parameter_shadowing_the_name_is_silent(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/registry.py": """
+                _CACHE = {}
+
+
+                def register(name, value):
+                    _CACHE[name] = value
+
+
+                def _worker_main(_CACHE):
+                    return _CACHE.get("x")
+
+
+                def launch(ctx, doc):
+                    return ctx.Process(target=_worker_main, args=(doc,))
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A603: unprefixed streams in fork-sensitive packages
+# ----------------------------------------------------------------------
+class TestA603:
+    def test_unprefixed_stream_fires_once_with_the_fix_in_message(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/cells.py": """
+                def seed_cell(rngs):
+                    return rngs.stream("cells")
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A603")
+        assert len(found) == 1
+        assert "'sweep.cells'" in found[0].message
+
+    def test_name_flows_through_a_local(self, analyze):
+        findings = analyze(
+            {
+                "repro/rack/balancer.py": """
+                def seed(rngs):
+                    name = "balancer"
+                    return rngs.stream(name)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A603")
+        assert len(found) == 1
+        assert "'rack.balancer'" in found[0].message
+
+    def test_prefixed_stream_is_silent(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/cells.py": """
+                def seed_cell(rngs):
+                    return rngs.stream("sweep.cells")
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_fstring_head_carries_the_prefix(self, analyze):
+        findings = analyze(
+            {
+                "repro/faults/runner.py": """
+                def seed(rngs, worker):
+                    return rngs.stream(f"faults.worker{worker}")
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_direct_handoff_to_a_foreign_package_is_exempt(self, analyze):
+        # The sanctioned generator-wiring pattern: the owner hands a
+        # workload-shared stream straight into a foreign constructor.
+        findings = analyze(
+            {
+                "repro/workload/generator.py": """
+                class OpenLoopGenerator:
+                    def __init__(self, loop, type_rng=None):
+                        self.type_rng = type_rng
+                """,
+                "repro/rack/compose.py": """
+                from repro.workload.generator import OpenLoopGenerator
+
+
+                def wire(loop, rngs):
+                    return OpenLoopGenerator(loop, type_rng=rngs.stream("types"))
+                """,
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_outside_fork_packages_is_not_our_finding(self, analyze):
+        findings = analyze(
+            {
+                "repro/workload/generator.py": """
+                def seed(rngs):
+                    return rngs.stream("arrivals")
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A604: writes bypassing the single-writer checkpoint store
+# ----------------------------------------------------------------------
+class TestA604:
+    def test_raw_open_write_in_sweep_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/report.py": """
+                def dump(path, text):
+                    with open(path, "w") as fp:
+                        fp.write(text)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A604")
+        assert len(found) == 1
+        assert "write_json_atomic" in found[0].message
+
+    def test_raw_os_replace_in_sweep_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/report.py": """
+                import os
+
+
+                def promote(src, dst):
+                    os.replace(src, dst)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert len(by_rule(findings, "A604")) == 1
+
+    def test_the_store_module_is_the_sanctioned_writer(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/checkpoint.py": """
+                import os
+
+
+                def write_json_atomic(path, text):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fp:
+                        fp.write(text)
+                    os.replace(tmp, path)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+    def test_store_path_write_outside_sweep_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/rack/export.py": """
+                def clobber(store, text):
+                    with open(store.manifest_path, "w") as fp:
+                        fp.write(text)
+                """
+            },
+            select=FORK_SELECT,
+        )
+        found = by_rule(findings, "A604")
+        assert len(found) == 1
+        assert ".manifest_path" in found[0].message
+        assert found[0].symbol.endswith(":store-write:manifest_path")
+
+    def test_reads_are_silent_everywhere(self, analyze):
+        findings = analyze(
+            {
+                "repro/sweep/report.py": """
+                def load(store):
+                    with open(store.manifest_path) as fp:
+                        return fp.read()
+                """
+            },
+            select=FORK_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the acceptance gate
+# ----------------------------------------------------------------------
+class TestShippedTreeClean:
+    def test_no_unsuppressed_forksafety_findings(self):
+        """The shipped sweep/rack/faults tree carries zero unsuppressed
+        A6xx findings (and the A602 pragma it does carry is live, not
+        stale — A000 runs in the same pass)."""
+        findings = analyze_paths([SRC_REPRO], select=FORK_SELECT + ["A000"])
+        assert findings == [], [f.format() for f in findings]

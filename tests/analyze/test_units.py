@@ -1,0 +1,313 @@
+"""The units-flow rules (A501–A505): each on a seeded known-bad fixture
+firing exactly once, each with a known-good counterpart that must stay
+silent, plus the sink-coercion idiom, the exempt units module, and the
+shipped-tree cleanliness gate."""
+
+import os
+
+from repro.analyze.runner import analyze_paths
+
+UNITS_SELECT = ["A501", "A502", "A503", "A504", "A505"]
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def by_rule(findings, rule_id):
+    return [f for f in findings if f.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# A501: unit mixing at a time sink
+# ----------------------------------------------------------------------
+class TestA501:
+    def test_tainted_sum_reaching_a_sink_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, deadline):
+                    wrong = loop.now + deadline
+                    loop.call_after(wrong)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A501")
+        assert len(found) == 1
+        assert "Timestamp_us + Timestamp_us" in found[0].message
+        assert found[0].symbol.endswith("call_after:delay")
+
+    def test_fraction_to_a_time_parameter_fires(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, utilization):
+                    loop.call_after(utilization)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A501")
+        assert len(found) == 1
+        assert "fraction" in found[0].message
+
+    def test_clean_duration_to_sink_is_silent(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, window_us):
+                    loop.call_after(window_us)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+    def test_timestamp_coerces_to_duration_at_sinks(self, analyze):
+        """The RunSummary(duration_us=loop.now) idiom: sims anchor at
+        t=0, so elapsed-so-far is both a timestamp and a duration."""
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def summarize(recorder, duration_us):
+                    return recorder, duration_us
+
+
+                def f(loop, recorder):
+                    return summarize(recorder, duration_us=loop.now)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A502: rate/duration confusion
+# ----------------------------------------------------------------------
+class TestA502:
+    def test_rate_scheduled_as_a_delay_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, rate):
+                    loop.call_after(rate)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A502")
+        assert len(found) == 1
+        assert "reciprocal" in found[0].message
+
+    def test_duration_passed_as_a_rate_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(window_us):
+                    return PoissonArrivals(window_us)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A502")
+        assert len(found) == 1
+        assert "rate (req/µs)" in found[0].message
+
+    def test_reciprocal_is_the_fix_and_is_silent(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, rate):
+                    gap = 1.0 / rate
+                    loop.call_after(gap)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A503: fraction/percent confusion
+# ----------------------------------------------------------------------
+class TestA503:
+    def test_percent_scale_literal_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(spec, window_us):
+                    return Phase(spec, window_us, 85)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A503")
+        assert len(found) == 1
+        assert "percent-scaled" in found[0].message
+
+    def test_unit_bearing_value_as_fraction_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(spec, window_us, staleness_us):
+                    return Phase(spec, window_us, utilization=staleness_us)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A503")
+        assert len(found) == 1
+        assert "dimensionless fraction" in found[0].message
+
+    def test_deliberate_overload_fraction_is_legal(self, analyze):
+        # 1.2 is under the 1.5 phase-validation cap: flash crowds
+        # deliberately offer more than the rack can serve.
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(spec, window_us):
+                    return Phase(spec, window_us, 1.2)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A504: unclamped subtraction at a scheduling sink
+# ----------------------------------------------------------------------
+class TestA504:
+    def test_unclamped_elapsed_delay_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, deadline):
+                    delay = deadline - loop.now
+                    loop.call_after(delay)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A504")
+        assert len(found) == 1
+        assert "max(0.0, ...)" in found[0].message
+
+    def test_max_clamp_is_the_sanctioned_fix(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, deadline):
+                    delay = max(0.0, deadline - loop.now)
+                    loop.call_after(delay)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+    def test_subtraction_away_from_a_sink_is_silent(self, analyze):
+        # Only scheduling sinks key on from_sub; summaries of in-program
+        # callees do not (a negative elapsed is their own business).
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def record(window_us):
+                    return window_us
+
+
+                def f(loop, deadline):
+                    return record(deadline - loop.now)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# A505: bare run-length-scale literals
+# ----------------------------------------------------------------------
+class TestA505:
+    def test_big_literal_at_a_sink_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, stop):
+                    loop.call_at(2_000_000, stop)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A505")
+        assert len(found) == 1
+        assert "repro.sim.units" in found[0].message
+
+    def test_big_literal_default_fires_once(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def run(total_duration_us=1_200_000.0):
+                    return total_duration_us
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        found = by_rule(findings, "A505")
+        assert len(found) == 1
+        assert found[0].symbol.endswith("total_duration_us:default")
+
+    def test_small_literals_are_idiomatic(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                def f(loop, stop, window_us=5_000.0):
+                    loop.call_after(99_999.0)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+    def test_named_constant_is_the_fix(self, analyze):
+        findings = analyze(
+            {
+                "repro/mod.py": """
+                US_PER_S = 1_000_000.0
+
+
+                def run(loop, total_duration_us=1.2 * US_PER_S):
+                    loop.call_after(2.0 * US_PER_S)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+    def test_units_module_is_exempt(self, analyze):
+        findings = analyze(
+            {
+                "repro/sim/units.py": """
+                def seconds(value):
+                    return value * 1_000_000.0
+
+
+                def f(loop):
+                    loop.call_after(3_000_000.0)
+                """
+            },
+            select=UNITS_SELECT,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the acceptance gate
+# ----------------------------------------------------------------------
+class TestShippedTreeClean:
+    def test_no_unsuppressed_units_findings(self):
+        """After this PR's fixes, the shipped tree carries zero
+        unsuppressed A5xx findings (and zero stale pragmas)."""
+        findings = analyze_paths([SRC_REPRO], select=UNITS_SELECT + ["A000"])
+        assert findings == [], [f.format() for f in findings]

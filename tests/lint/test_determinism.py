@@ -86,10 +86,13 @@ class TestHotPathFixesBitIdentical:
 
     PRE_OPTIMIZATION_DIGESTS = {
         ("persephone", 1): "b7bbf24038ca981e2dede5b6f78efdb933319370d3fe9eb4d8849ed6220b5b9f",
+        ("persephone", 7): "c8badc9242abc75145ef6238d28f46fec30ac12de1f9c702b8726db208812a01",
         ("persephone", 42): "3ed6c37d0096f45566803c7668327e9d876c1a6d8404ea5a7d78ae37e040a71b",
         ("shenango", 1): "8b2612c764dffe754c725f10809761c7cdf292eb346a066069ae6676cbe4c7b8",
+        ("shenango", 7): "33b62181cf844302125425e3330e89ff2e380487c07e7050a8cc5bd0ff0bb476",
         ("shenango", 42): "22e8b0393e298d20f50c0f2c595c7eb820fa0e7f15b41bd1d90971b1ba574282",
         ("shinjuku", 1): "81c2c5b944e228c0049bbaa3b9257970a89258fda8910041c42b0522b95ed8b1",
+        ("shinjuku", 7): "45ca845926bf8c5b4c9aae8d763de68e36e292b3a16c7fb9470533ae4bee19d2",
         ("shinjuku", 42): "aa860bb0627dd6b0151cfd63e39bb508ec42d03519f8a1ce70c4a8a9f6d84e57",
     }
 
@@ -101,6 +104,40 @@ class TestHotPathFixesBitIdentical:
             SYSTEM_FACTORIES[name](), high_bimodal(), n_requests=800, seed=seed
         ).digest
         assert digest == self.PRE_OPTIMIZATION_DIGESTS[(name, seed)]
+
+
+class TestUnitConstantRewritesBitIdentical:
+    """The A505 fixes replaced bare run-length literals with
+    ``US_PER_S``/``US_PER_MS`` expressions.  Bit-identity of every run
+    that flows through those defaults follows from two facts asserted
+    here: the rewritten expressions evaluate float-exactly to the old
+    literals, and the engine itself reproduces the 3-system x 3-seed
+    digests above unchanged."""
+
+    def test_rack_load_defaults_are_the_old_literals(self):
+        import inspect
+
+        from repro.rack.load import diurnal_phases, flash_crowd_phases
+
+        diurnal = inspect.signature(diurnal_phases).parameters
+        assert diurnal["total_duration_us"].default == 1_200_000.0
+        crowd = inspect.signature(flash_crowd_phases).parameters
+        assert crowd["base_duration_us"].default == 300_000.0
+        assert crowd["spike_duration_us"].default == 120_000.0
+
+    def test_figure7_defaults_are_the_old_literals(self):
+        import inspect
+
+        from repro.experiments import figure7
+
+        assert figure7.DEFAULT_PHASE_US == 150_000.0
+        assert inspect.signature(figure7.run).parameters["window_us"].default == 10_000.0
+
+    def test_unit_constants_are_exact(self):
+        from repro.sim.units import US_PER_MS, US_PER_S, US_PER_SECOND
+
+        assert US_PER_S == US_PER_SECOND == 1_000_000.0
+        assert US_PER_MS == 1_000.0
 
 
 @pytest.fixture(scope="module")
