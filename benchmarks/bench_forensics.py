@@ -1,0 +1,81 @@
+"""Forensics throughput: blame attribution over a traced run.
+
+The blame analyzer is post-hoc, so it can never slow a simulation —
+but a forensics pass that takes longer than the run it explains is
+still a broken tool.  The gated number is blocking-set construction
+throughput (trace slices indexed per second of analysis) over a
+figure-5-shaped traced run, plus the end-to-end collect path (trace
+file -> registry record) that ``--forensics`` adds to every driver.
+"""
+
+import time
+
+import pytest
+from conftest import run_single
+
+from repro.experiments.common import run_once
+from repro.forensics.blame import analyze_blame
+from repro.forensics.collect import analyze_trace_file
+from repro.systems.persephone import PersephoneSystem
+from repro.trace import Tracer
+from repro.workload.presets import high_bimodal
+
+N_WORKERS = 14
+UTILIZATION = 0.70
+
+
+@pytest.fixture(scope="module")
+def traced_run(bench_n_requests, tmp_path_factory):
+    """One traced figure-5 load point shared by both benchmarks."""
+    path = str(tmp_path_factory.mktemp("bench-traces") / "darc.trace.json")
+    tracer = Tracer()
+    run_once(
+        PersephoneSystem(n_workers=N_WORKERS, oracle=False),
+        high_bimodal(),
+        UTILIZATION,
+        n_requests=bench_n_requests,
+        seed=1,
+        tracer=tracer,
+        trace_path=path,
+    )
+    return tracer, path
+
+
+def test_blame_attribution(benchmark, traced_run):
+    """Blame analysis of every tail victim; slices/sec is gated."""
+    tracer, _ = traced_run
+    spans = list(tracer.spans.values())
+
+    def run():
+        start = time.perf_counter()
+        report = analyze_blame(spans)
+        report.verify()
+        return report, time.perf_counter() - start
+
+    report, wall = run_single(benchmark, run)
+    rate = report.slices_indexed / wall
+    print()
+    print(f"blame attribution ({len(spans)} spans, "
+          f"{sum(report.n_victims(t) for t in report.victim_types())} victims):")
+    print(f"  {report.slices_indexed} slices indexed in {wall:.2f}s "
+          f"= {rate:,.0f} slices/s")
+    benchmark.extra_info["slices_per_sec"] = rate
+    benchmark.extra_info["slices_indexed"] = float(report.slices_indexed)
+
+
+def test_collect_trace_file(benchmark, traced_run):
+    """The full --forensics per-trace path: load, blame, summarize."""
+    _, path = traced_run
+
+    def run():
+        start = time.perf_counter()
+        record = analyze_trace_file(path)
+        return record, time.perf_counter() - start
+
+    record, wall = run_single(benchmark, run)
+    n = record["summary"]["completed"]
+    print()
+    print(f"collect: {n} spans -> registry record in {wall:.2f}s "
+          f"= {n / wall:,.0f} spans/s")
+    benchmark.extra_info["spans_per_sec"] = n / wall
+    assert record["digests"]["reconciliation_ok"] is True

@@ -7,6 +7,8 @@ Usage::
     repro-analyze scan src/repro --sarif out.sarif    # also write SARIF 2.1.0
     repro-analyze scan src/repro --baseline analyze-baseline.json
                                                       # gate: new findings fail
+    repro-analyze scan src/repro --purity-audit       # + sanctioned-impurity
+                                                      # ledger (R009/A301)
     repro-analyze baseline src/repro -o analyze-baseline.json
                                                       # (re)write the baseline
     repro-analyze diff src/repro --baseline analyze-baseline.json
@@ -88,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--sarif", default=None, help="also write SARIF 2.1.0 here")
     scan.add_argument(
         "--strict", action="store_true", help="warnings also fail the run"
+    )
+    scan.add_argument(
+        "--purity-audit",
+        action="store_true",
+        help="also print the sanctioned-impurity ledger: every R009/A301 "
+        "suppression pragma with its file:line and code",
     )
 
     base = sub.add_parser("baseline", help="write the current findings as baseline")
@@ -191,6 +199,20 @@ def _emit(findings: Sequence[AnalysisFinding], fmt: str) -> None:
     errors = sum(1 for f in findings if f.severity == "error")
     warnings = len(findings) - errors
     print(f"repro-analyze: {errors} error(s), {warnings} warning(s)")
+
+
+def _print_purity_audit(paths: Sequence[str]) -> None:
+    """The sanctioned-impurity ledger (``scan --purity-audit``)."""
+    from .purity import purity_pragma_ledger
+
+    entries = purity_pragma_ledger(paths)
+    print("Sanctioned observer impurities (R009/A301 suppression pragmas):")
+    for entry in entries:
+        print(
+            f"  {entry['path']}:{entry['line']} "
+            f"[{entry['tool']}:{entry['rule']}] {entry['code']}"
+        )
+    print(f"repro-analyze: {len(entries)} sanctioned impurity pragma(s)")
 
 
 def _print_rules() -> None:
@@ -305,7 +327,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
         select = _split_select(args.select)
         findings = analyze_paths(args.paths, select=select, root=args.root)
         if args.command == "scan":
-            return _gate(findings, args.baseline, args.format, args.sarif, args.strict)
+            code = _gate(findings, args.baseline, args.format, args.sarif, args.strict)
+            if args.purity_audit:
+                _print_purity_audit(args.paths)
+            return code
         if args.command == "baseline":
             _write(args.output, write_baseline(findings))
             print(

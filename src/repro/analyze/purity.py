@@ -11,8 +11,9 @@ perf_counter as clock`` does not slip past a textual check.
 One finding:
 
 * **A301** — an observer module (``repro/trace/``, ``repro/telemetry/``,
-  ``repro/sweep/``) calls a wall clock, a host-entropy source, a direct
-  RNG constructor, or a ``tracemalloc`` heap-tracking function.
+  ``repro/sweep/``, ``repro/rack/``, ``repro/forensics/``) calls a wall
+  clock, a host-entropy source, a direct RNG constructor, or a
+  ``tracemalloc`` heap-tracking function.
 
 The self-profiler (:mod:`repro.telemetry.profiler`) is one sanctioned
 exception — it deliberately measures the simulator's own wall time and
@@ -31,7 +32,7 @@ duplicated, so the two layers can never drift apart.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from ..lint.rules import NondeterministicSourceRule, TracePurityRule, WallClockRule
 from .findings import AnalysisFinding, make_finding
@@ -124,3 +125,55 @@ def analyze_purity(program: Program) -> List[AnalysisFinding]:
                 )
             )
     return findings
+
+
+#: (pragma tool token, purity rule id) pairs the audit looks for.
+_PURITY_PRAGMAS = (("repro-lint", "R009"), ("repro-analyze", "A301"))
+
+
+def purity_pragma_ledger(paths: Sequence[str]) -> List[Dict[str, object]]:
+    """Every sanctioned observer impurity, as an auditable ledger.
+
+    Walks the given trees for ``R009`` (lint) and ``A301`` (analyzer)
+    suppression pragmas — each one a line where an observer module is
+    *allowed* to touch the wall clock or host entropy — and returns
+    ``{path, line, tool, rule, code}`` entries sorted by location.  The
+    point is visibility: the purity contract is only as strong as its
+    exception list, so ``repro-analyze scan --purity-audit`` prints the
+    full list instead of letting exceptions hide in comments.
+    """
+    from ..lint.pragmas import _pragma_re, iter_comments
+    from ..lint.runner import iter_python_files
+
+    patterns = [(tool, rule, _pragma_re(tool)) for tool, rule in _PURITY_PRAGMAS]
+    entries: List[Dict[str, object]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fp:
+            source = fp.read()
+        lines = source.splitlines()
+        for lineno, comment in iter_comments(source):
+            for tool, rule, pattern in patterns:
+                match = pattern.search(comment)
+                if match is None:
+                    continue
+                ids = {
+                    part.strip().upper()
+                    for part in match.group("ids").split(",")
+                    if part.strip()
+                }
+                if rule not in ids:
+                    continue
+                code = ""
+                if 1 <= lineno <= len(lines):
+                    code = lines[lineno - 1].split("#", 1)[0].strip()
+                entries.append(
+                    {
+                        "path": path,
+                        "line": lineno,
+                        "tool": tool,
+                        "rule": rule,
+                        "code": code,
+                    }
+                )
+    entries.sort(key=lambda e: (e["path"], e["line"], e["tool"]))
+    return entries

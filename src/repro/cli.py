@@ -38,129 +38,157 @@ from .experiments.results import FigureResult
 #: Load-sweep request counts for --quick runs.
 QUICK_N = 8_000
 
-#: name -> (run(n, seed, sanitize, trace_dir, metrics_dir, seeds) ->
-#: result, render(result) -> str).  ``seeds`` is None for the legacy
-#: single-seed path or a sequence for replicated (CI-table) runs.
+def _tables_run(n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir):
+    """Tables are static text — no runs, so no run artifacts to honor."""
+    from .errors import UsageError
+
+    for flag, value in (
+        ("--trace", trace_dir),
+        ("--metrics", metrics_dir),
+        ("--forensics", forensics_dir),
+    ):
+        if value is not None:
+            raise UsageError(
+                f"tables cannot honor {flag}: it renders static summary "
+                "tables and runs no simulations"
+            )
+    return None
+
+
+#: name -> (run(n, seed, sanitize, trace_dir, metrics_dir, seeds,
+#: forensics_dir) -> result, render(result) -> str).  ``seeds`` is None
+#: for the legacy single-seed path or a sequence for replicated
+#: (CI-table) runs.
 EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "chaos": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: chaos.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: chaos.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         chaos.render,
     ),
     "figure1": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure1.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure1.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure1.render,
     ),
     "figure3": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure3.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure3.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure3.render,
     ),
     "figure4": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure4.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure4.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         lambda r: r.render(),
     ),
     "figure5": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure5.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure5.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure5.render,
     ),
     "figure6": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure6.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure6.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure6.render,
     ),
     "figure7": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure7.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure7.run(
             seed=seed, sanitize=sanitize, trace_dir=trace_dir,
-            metrics_dir=metrics_dir, seeds=seeds,
+            metrics_dir=metrics_dir, seeds=seeds, forensics_dir=forensics_dir,
         ),
         lambda r: r.render(),
     ),
     "figure8": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure8.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure8.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure8.render,
     ),
     "figure9": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure9.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure9.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure9.render,
     ),
     "figure10": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: figure10.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: figure10.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         figure10.render,
     ),
     "rack": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: rack.run(
+        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds, forensics_dir: rack.run(
             n_requests=n,
             seed=seed,
             sanitize=sanitize,
             trace_dir=trace_dir,
             metrics_dir=metrics_dir,
             seeds=seeds,
+            forensics_dir=forensics_dir,
         ),
         rack.render,
     ),
     "tables": (
-        lambda n, seed, sanitize, trace_dir, metrics_dir, seeds: None,
+        _tables_run,
         lambda r: tables.render_all(),
     ),
 }
@@ -248,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(Prometheus text, JSONL timeline, HTML dashboard; inspect "
         "with repro-metrics)",
     )
+    parser.add_argument(
+        "--forensics",
+        metavar="DIR",
+        default=None,
+        help="after the runs, fold every trace export into a forensics "
+        "store under DIR (blame attribution + herding detection + run "
+        "registry; requires --trace; inspect with repro-forensics)",
+    )
     return parser
 
 
@@ -294,8 +330,17 @@ def _run_pooled(name: str, n: int, seeds, jobs: int, sweep_dir: Optional[str]) -
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .errors import UsageError
+
     args = build_parser().parse_args(argv)
     n = QUICK_N if args.quick else args.n_requests
+    if args.forensics is not None and args.trace is None:
+        print(
+            "error: --forensics needs --trace (forensics analyzes the "
+            "per-request trace exports)",
+            file=sys.stderr,
+        )
+        return 2
     seeds = None
     if args.seeds is not None:
         from .sweep.cells import parse_seeds
@@ -315,7 +360,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
             continue
         sanitize = "shadow" if args.shadow else args.sanitize
-        result = run(n, args.seed, sanitize, args.trace, args.metrics, seeds)
+        try:
+            result = run(
+                n, args.seed, sanitize, args.trace, args.metrics, seeds,
+                args.forensics,
+            )
+        except UsageError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.time() - start
         print(f"=== {name} ({elapsed:.1f}s) ===")
         print(render(result))

@@ -50,6 +50,10 @@ class Balancer(ABC):
         self.routed = 0
         #: Requests routed to each replica index (telemetry view).
         self.route_counts: List[int] = [0] * len(self.servers)
+        #: Optional pure observer called as ``sink(request, index)``
+        #: after every routing decision, before the request is handed to
+        #: the chosen replica (rack tracing's balancer decision log).
+        self._decision_sink = None
         #: Replica indices currently partitioned away from this front
         #: end (``repro.rack`` partition faults); never routed to while
         #: any reachable replica exists.
@@ -96,6 +100,19 @@ class Balancer(ABC):
                 best = i
         return best
 
+    def attach_decision_sink(self, sink) -> None:
+        """Attach a pure routing-decision observer (one per balancer).
+
+        The sink must observe only — no event scheduling, no RNG draws,
+        no server mutation — so armed and unarmed runs stay
+        bit-identical.
+        """
+        if self._decision_sink is not None:
+            raise ConfigurationError(
+                "balancer already has a decision sink; use one per run"
+            )
+        self._decision_sink = sink
+
     def ingress(self, request: Request) -> None:
         """The cluster's single entry point (the generator's sink)."""
         self.routed += 1
@@ -104,6 +121,8 @@ class Balancer(ABC):
         else:
             index = self.dead_fallback(request)
         self.route_counts[index] += 1
+        if self._decision_sink is not None:
+            self._decision_sink(request, index)
         self.servers[index].ingress(request)
 
 

@@ -49,6 +49,24 @@ class TelemetryError(ReproError):
     conservation violation — never a scheduling decision gone wrong."""
 
 
+class ForensicsError(ReproError):
+    """Raised when the ``repro.forensics`` subsystem reaches an
+    inconsistent state: a blame report fails to reconcile against the
+    span stage partition, a registry store is malformed, or a trace
+    document lacks the sections an analysis needs.  Forensics is
+    post-hoc — it only ever reads exported artifacts — so a
+    ForensicsError always means a broken artifact or an analyzer bug,
+    never a scheduling decision gone wrong."""
+
+
+class UsageError(ReproError):
+    """Raised when a driver or CLI entry point is invoked with flags it
+    cannot honor (e.g. ``--forensics`` without ``--trace``).  Distinct
+    from :class:`ConfigurationError` — the *components* are fine; the
+    invocation asked for an unsupported combination — so callers can
+    map it to an exit-code-2 usage failure instead of a crash."""
+
+
 class LintError(ReproError):
     """Raised for fatal problems inside the ``repro.lint`` analyzer itself
     (unparseable source, unknown rule ids, bad suppression syntax) — *not*

@@ -33,7 +33,7 @@ from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import high_bimodal
 from ..workload.resilience import RetryPolicy
-from .common import metrics_target, trace_target
+from .common import collect_forensics, metrics_target, trace_target
 
 N_WORKERS = 8
 UTILIZATION = 0.70
@@ -167,6 +167,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> ChaosExperimentResult:
     """Run the crash/recover episode for every system.
 
@@ -242,6 +243,7 @@ def run(
                 result.findings[f"{metric} halfwidth [{system.name}]"] = (
                     stat.half_width
                 )
+    collect_forensics(forensics_dir, trace_dir, "chaos")
     return result
 
 

@@ -311,6 +311,24 @@ def metrics_target(metrics_dir: Optional[str], *parts: Any) -> Optional[str]:
     return os.path.join(metrics_dir, f"{slug}.metrics")
 
 
+def collect_forensics(
+    forensics_dir: Optional[str],
+    trace_dir: Optional[str],
+    experiment: str,
+) -> List[str]:
+    """Fold a driver's trace exports into its forensics store.
+
+    Drivers call this once, after their last simulated event — forensics
+    is post-hoc, so it cannot perturb results.  No-op when
+    ``forensics_dir`` is None; raises
+    :class:`~repro.errors.UsageError` when forensics was requested
+    without tracing.  Returns the registered run ids.
+    """
+    from ..forensics.collect import collect_directory
+
+    return collect_directory(forensics_dir, trace_dir, experiment=experiment)
+
+
 def run_sweep(
     system: SystemModel,
     spec: WorkloadSpec,

@@ -24,6 +24,7 @@ from ..systems.persephone import (
 )
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import figure1_workload
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 16
@@ -61,6 +62,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     """Run the Fig. 1 sweep and derive its headline capacities.
 
@@ -89,6 +91,7 @@ def run(
     ts_name = "TS (5us, 1us)"
     if caps.get("DARC") and caps.get(ts_name):
         result.findings["DARC vs TS capacity ratio"] = caps["DARC"] / caps[ts_name]
+    collect_forensics(forensics_dir, trace_dir, "figure1")
     return result
 
 

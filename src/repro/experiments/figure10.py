@@ -20,6 +20,7 @@ from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import figure1_workload
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 16
@@ -66,6 +67,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = figure1_workload()
     result = FigureResult("Figure 10 [preemption overheads]", utilizations)
@@ -84,6 +86,7 @@ def run(
     one_us = caps.get("TS 1us")
     if ideal and one_us:
         result.findings["load lost by TS 1us vs ideal"] = 1.0 - one_us / ideal
+    collect_forensics(forensics_dir, trace_dir, "figure10")
     return result
 
 

@@ -22,6 +22,7 @@ from ..systems.persephone import (
     PersephoneSystem,
 )
 from ..workload.presets import high_bimodal
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
@@ -49,6 +50,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = high_bimodal()
     result = FigureResult("Figure 3", utilizations)
@@ -89,6 +91,7 @@ def run(
             result.findings["DARC reserved cores for SHORT"] = float(
                 last_darc.scheduler.reserved_count(SHORT_TYPE)
             )
+    collect_forensics(forensics_dir, trace_dir, "figure3")
     return result
 
 

@@ -19,7 +19,13 @@ from ..sweep.stats import mean_ci
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneStaticSystem
 from ..workload.presets import extreme_bimodal, high_bimodal
 from ..workload.spec import WorkloadSpec
-from .common import RunResult, metrics_target, run_once, trace_target
+from .common import (
+    RunResult,
+    collect_forensics,
+    metrics_target,
+    run_once,
+    trace_target,
+)
 
 N_WORKERS = 14
 UTILIZATION = 0.95
@@ -132,6 +138,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> Figure4Result:
     if workloads is None:
         workloads = {
@@ -201,4 +208,5 @@ def run(
             result.findings[f"improvement over c-FCFS [{name}]"] = (
                 ref_value / best_val
             )
+    collect_forensics(forensics_dir, trace_dir, "figure4")
     return result

@@ -21,6 +21,7 @@ from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import extreme_bimodal, high_bimodal
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
@@ -81,9 +82,10 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> Dict[str, FigureResult]:
     """Both sub-figures."""
-    return {
+    results = {
         "high_bimodal": run_one_workload(
             "high_bimodal", utilizations, n_requests=n_requests, seed=seed,
             sanitize=sanitize, trace_dir=trace_dir, metrics_dir=metrics_dir,
@@ -95,6 +97,8 @@ def run(
             seeds=seeds,
         ),
     }
+    collect_forensics(forensics_dir, trace_dir, "figure5")
+    return results
 
 
 def render(results: Dict[str, FigureResult]) -> str:

@@ -23,6 +23,7 @@ from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import tpcc
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
@@ -47,6 +48,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = tpcc()
     result = FigureResult("Figure 6 [TPC-C]", utilizations)
@@ -97,6 +99,7 @@ def run(
                 result.findings[f"group {gi} reserved workers"] = float(
                     len(alloc.reserved)
                 )
+    collect_forensics(forensics_dir, trace_dir, "figure6")
     return result
 
 

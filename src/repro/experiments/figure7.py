@@ -41,7 +41,7 @@ from ..workload.generator import OpenLoopGenerator
 from ..workload.phases import Phase, PhaseSchedule
 from ..workload.spec import TypedClass, WorkloadSpec
 from ..workload.distributions import Fixed
-from .common import metrics_target, trace_target
+from .common import collect_forensics, metrics_target, trace_target
 
 N_WORKERS = 14
 UTILIZATION = 0.80
@@ -205,6 +205,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> Figure7Result:
     """Run the phased experiment; ``seeds`` replicates each system run.
 
@@ -279,4 +280,5 @@ def run(
                     for tid in (TYPE_A, TYPE_B)
                 }
                 result.reservation_updates[system.name] = updates
+    collect_forensics(forensics_dir, trace_dir, "figure7")
     return result

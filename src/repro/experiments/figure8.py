@@ -19,6 +19,7 @@ from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 14
@@ -43,6 +44,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     store = RocksDbLike()
     spec = store.workload_spec()
@@ -74,6 +76,7 @@ def run(
                 darc.reserved_count(GET_TYPE)
             )
             result.findings["DARC expected CPU waste (cores)"] = darc.expected_waste()
+    collect_forensics(forensics_dir, trace_dir, "figure8")
     return result
 
 

@@ -19,6 +19,7 @@ from ..core.classifier import RandomClassifier
 from ..systems.base import SystemModel
 from ..systems.persephone import PersephoneCfcfsSystem, PersephoneSystem
 from ..workload.presets import high_bimodal
+from .common import collect_forensics
 from .results import FigureResult, collect_sweep
 
 N_WORKERS = 8
@@ -51,6 +52,7 @@ def run(
     trace_dir: Optional[str] = None,
     metrics_dir: Optional[str] = None,
     seeds: Optional[Sequence[int]] = None,
+    forensics_dir: Optional[str] = None,
 ) -> FigureResult:
     spec = high_bimodal()
     result = FigureResult("Figure 9 [random classifier]", utilizations)
@@ -74,6 +76,7 @@ def run(
             result.findings["mean |log slowdown ratio| (DARC-random vs c-FCFS)"] = float(
                 np.mean(ratios)
             )
+    collect_forensics(forensics_dir, trace_dir, "figure9")
     return result
 
 

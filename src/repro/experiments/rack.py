@@ -8,10 +8,12 @@ the rack-level p99.9 slowdown plus DARC-vs-baseline ratios *per
 balancer* — the two-level composition RackSched argues for, with the
 balancer's information staleness fixed at :data:`STALENESS_US`.
 
-``trace_dir`` is accepted for CLI uniformity but ignored: per-request
-span tracing instruments a single server and has no rack hook points
-yet.  ``metrics_dir`` works normally (the probe has a rack pull
-source).
+``trace_dir`` records a full rack trace per grid point — every
+replica's spans (worker ids remapped to rack-global) plus the
+balancer's routing-decision log — via
+:class:`~repro.rack.tracing.RackTracer`; ``metrics_dir`` works as on
+single-server drivers (the probe has a rack pull source), and
+``forensics_dir`` folds the traces into a blame/herding store.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from ..systems.persephone import PersephoneSystem
 from ..systems.shenango import ShenangoSystem
 from ..systems.shinjuku import ShinjukuSystem
 from ..workload.presets import high_bimodal
-from .common import metrics_target
+from .common import collect_forensics, metrics_target, trace_target
 from .results import FigureResult
 
 #: Rack geometry: 16 replicas x 8 cores = 128 cores.
@@ -59,6 +61,7 @@ def _run_grid_point(
     staleness_us: float,
     sanitize: "bool | str",
     metrics_dir: Optional[str],
+    trace_dir: Optional[str] = None,
     seed_suffix: Optional[int] = None,
 ) -> RackResult:
     name_parts: List[object] = [
@@ -77,6 +80,8 @@ def _run_grid_point(
         staleness_us=staleness_us,
         sanitize=sanitize,
         metrics_path=metrics_target(metrics_dir, *name_parts),
+        trace_path=trace_target(trace_dir, *name_parts),
+        trace_meta={"experiment": "rack"},
     )
 
 
@@ -106,6 +111,7 @@ def run(
     balancers: Sequence[str] = DEFAULT_BALANCERS,
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
     staleness_us: float = STALENESS_US,
+    forensics_dir: Optional[str] = None,
 ) -> Dict[str, FigureResult]:
     """The full grid: one :class:`FigureResult` per balancer.
 
@@ -123,6 +129,7 @@ def run(
                     _run_grid_point(
                         system, balancer, rho, n_requests, seed, n_servers,
                         staleness_us, sanitize, metrics_dir,
+                        trace_dir=trace_dir,
                     )
                     for rho in utilizations
                 ]
@@ -148,13 +155,14 @@ def run(
                                 replicate,
                             ),
                             n_servers, staleness_us, sanitize, metrics_dir,
-                            seed_suffix=replicate,
+                            trace_dir=trace_dir, seed_suffix=replicate,
                         )
                         for rho in utilizations
                     ]
                 result.add_replicated(system.name, replicates)
         _findings(result, utilizations)
         results[balancer] = result
+    collect_forensics(forensics_dir, trace_dir, "rack")
     return results
 
 

@@ -1,0 +1,148 @@
+"""Collection glue: trace exports -> forensics records in a store.
+
+Experiment drivers thread a ``forensics_dir`` next to ``trace_dir``;
+after the runs finish, :func:`collect_directory` walks every
+``*.trace.json`` the driver wrote, runs the blame analyzer (and the
+herding detector, for rack traces carrying a ``route`` log), derives a
+span-level summary, and registers one run record per trace in the
+:class:`~repro.forensics.registry.RunRegistry` under ``forensics_dir``.
+
+Collection is post-hoc by construction — it starts only after the last
+simulated event — so ``--forensics`` cannot perturb results.  Asking
+for forensics without tracing is a contradiction (there would be
+nothing to analyze), reported as :class:`~repro.errors.UsageError`
+rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import UsageError
+from ..trace.span import COMPLETE, Span
+from .blame import (
+    DEFAULT_PCT,
+    DEFAULT_WARMUP_FRAC,
+    analyze_blame,
+    percentile_threshold,
+)
+from .herding import detect_herding
+from .registry import RECORD_KIND, STORE_VERSION, RunRegistry
+
+
+def span_summary(spans: Sequence[Span], pct: float = 99.9) -> Dict[str, Any]:
+    """Summary metrics re-derived from the spans themselves.
+
+    The exact post-hoc counterpart of
+    :class:`~repro.metrics.summary.RunSummary`: per-type and overall
+    completion counts, mean/tail latency, and tail slowdown
+    (latency / pure service time) at ``pct``, computed over completed
+    spans with no warmup discard (the trace carries every request).
+    """
+    per_type: Dict[int, Dict[str, List[float]]] = {}
+    dropped = 0
+    for span in spans:
+        if span.terminal == COMPLETE:
+            row = per_type.setdefault(span.type_id, {"lat": [], "slow": []})
+            latency = span.latency
+            row["lat"].append(latency)
+            if span.service_time > 0:
+                row["slow"].append(latency / span.service_time)
+        elif span.terminal is not None:
+            dropped += 1
+    all_lat = [v for row in per_type.values() for v in row["lat"]]
+    all_slow = [v for row in per_type.values() for v in row["slow"]]
+    summary: Dict[str, Any] = {
+        "pct": pct,
+        "completed": len(all_lat),
+        "dropped": dropped,
+        "overall": {
+            "mean_latency_us": sum(all_lat) / len(all_lat) if all_lat else None,
+            "tail_latency_us": percentile_threshold(all_lat, pct) if all_lat else None,
+            "tail_slowdown": percentile_threshold(all_slow, pct) if all_slow else None,
+        },
+        "per_type": {},
+    }
+    for type_id in sorted(per_type):
+        lat = per_type[type_id]["lat"]
+        slow = per_type[type_id]["slow"]
+        summary["per_type"][str(type_id)] = {
+            "completed": len(lat),
+            "mean_latency_us": sum(lat) / len(lat),
+            "tail_latency_us": percentile_threshold(lat, pct),
+            "tail_slowdown": percentile_threshold(slow, pct) if slow else None,
+        }
+    return summary
+
+
+def analyze_trace_file(
+    path: str,
+    pct: float = DEFAULT_PCT,
+    summary_pct: float = 99.9,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+) -> Dict[str, Any]:
+    """One trace file -> one registry-ready run record."""
+    from ..trace.export import load_trace
+
+    doc = load_trace(path)
+    blame = analyze_blame(doc.spans, pct=pct, warmup_frac=warmup_frac)
+    blame.verify()
+    herding = None
+    if any(
+        isinstance(d, (list, tuple)) and len(d) == 3 and d[1] == "route"
+        for d in doc.decisions
+    ):
+        herding = detect_herding(doc.decisions)
+    digests: Dict[str, Any] = {
+        "blame": blame.digest(),
+        "reconciliation_ok": blame.reconciliation()["ok"],
+    }
+    if herding is not None:
+        digests["herding"] = herding.digest()
+        digests["herding_flagged"] = herding.flagged
+    return {
+        "kind": RECORD_KIND,
+        "version": STORE_VERSION,
+        "meta": dict(doc.meta),
+        "summary": span_summary(doc.spans, pct=summary_pct),
+        "blame": blame.to_dict(),
+        "herding": None if herding is None else herding.to_dict(),
+        "digests": digests,
+    }
+
+
+def collect_directory(
+    forensics_dir: Optional[str],
+    trace_dir: Optional[str],
+    experiment: Optional[str] = None,
+    pct: float = DEFAULT_PCT,
+    warmup_frac: float = DEFAULT_WARMUP_FRAC,
+) -> List[str]:
+    """Collect every trace in ``trace_dir`` into the forensics store.
+
+    No-op returning ``[]`` when ``forensics_dir`` is None.  Raises
+    :class:`~repro.errors.UsageError` when forensics is requested
+    without tracing.  Returns the registered run ids (trace-filename
+    order, so collection is deterministic).
+    """
+    if forensics_dir is None:
+        return []
+    if trace_dir is None:
+        raise UsageError(
+            "--forensics needs --trace: forensics analyzes the per-request "
+            "trace exports, and no driver wrote any"
+        )
+    registry = RunRegistry(forensics_dir)
+    run_ids: List[str] = []
+    for name in sorted(os.listdir(trace_dir)):
+        if not name.endswith(".trace.json"):
+            continue
+        record = analyze_trace_file(
+            os.path.join(trace_dir, name), pct=pct, warmup_frac=warmup_frac
+        )
+        if experiment is not None:
+            record["meta"].setdefault("experiment", experiment)
+        record["source"] = name
+        run_ids.append(registry.register(record))
+    return run_ids

@@ -518,10 +518,11 @@ class TracePurityRule(Rule):
     run: spans, samples and metric scrapes are a pure function of
     simulated events.  Any wall-clock read, direct RNG draw, or
     host-entropy source inside ``repro/trace/``, ``repro/telemetry/``,
-    or ``repro/sweep/`` would break that promise (trace/metrics/merged
-    sweep files would differ between identical runs, and
-    ``--trace``/``--metrics``/``repro-sweep`` could no longer claim
-    bit-identical results).  Timestamps must come from ``EventLoop.now``
+    ``repro/sweep/``, or ``repro/forensics/`` would break that promise
+    (trace/metrics/merged sweep files and forensics stores would differ
+    between identical runs, and ``--trace``/``--metrics``/
+    ``--forensics``/``repro-sweep`` could no longer claim bit-identical
+    results).  Timestamps must come from ``EventLoop.now``
     and identifiers from request ids or deterministic counters.  The
     sweep package's cell results, checkpoints, and CI aggregation are
     covered because parallel and resumed sweeps must reproduce serial
@@ -547,7 +548,10 @@ class TracePurityRule(Rule):
     #: to the same bar: its balancers draw only from named registry
     #: streams, so any wall-clock read or direct ``random``/
     #: ``numpy.random`` module call there is a determinism bug.
-    _OBSERVER_PACKAGES = ("trace", "telemetry", "sweep", "rack")
+    #: ``forensics`` is post-hoc (it only reads exported artifacts) but
+    #: its stores must be byte-identical across re-collections, so it
+    #: carries the same purity bar.
+    _OBSERVER_PACKAGES = ("trace", "telemetry", "sweep", "rack", "forensics")
 
     @classmethod
     def _observer_package(cls, ctx: ModuleContext) -> Optional[str]:

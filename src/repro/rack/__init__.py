@@ -29,6 +29,7 @@ from .faults import (
 )
 from .load import diurnal_phases, flash_crowd_phases
 from .rack import DEFAULT_N_USERS, Rack, RackResult, run_rack
+from .tracing import RackTracer, write_rack_trace
 from .views import QueueViews
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "QueueViews",
     "Rack",
     "RackBalancer",
+    "RackTracer",
     "RackFaultInjector",
     "RackFaultPlan",
     "RackPartition",
@@ -53,4 +55,5 @@ __all__ = [
     "flash_crowd_phases",
     "make_balancer",
     "run_rack",
+    "write_rack_trace",
 ]

@@ -103,6 +103,8 @@ class RackResult:
         injector: Optional[RackFaultInjector] = None,
         telemetry=None,
         metrics_path: Optional[str] = None,
+        tracer=None,
+        trace_path: Optional[str] = None,
     ):
         self.summary = summary
         self.recorder = recorder
@@ -115,6 +117,10 @@ class RackResult:
         self.injector = injector
         self.telemetry = telemetry
         self.metrics_path = metrics_path
+        #: The run's :class:`~repro.rack.tracing.RackTracer`, when traced.
+        self.tracer = tracer
+        #: Where the merged rack trace was written, when requested.
+        self.trace_path = trace_path
 
     # -- convenience views ---------------------------------------------
     @property
@@ -231,6 +237,9 @@ def run_rack(
     phases: Optional[Sequence[Phase]] = None,
     trace=None,
     sanitize: "bool | str" = False,
+    tracer=None,
+    trace_path: Optional[str] = None,
+    trace_meta: Optional[Dict[str, object]] = None,
     telemetry=None,
     metrics_path: Optional[str] = None,
     max_sim_time_us: Optional[float] = None,
@@ -251,6 +260,12 @@ def run_rack(
     -server crashes, partitions).  ``sanitize`` attaches the runtime
     invariant sanitizer in loop-only mode (monotonic-time and shadow
     checks; server-specific invariants need a single server).
+    ``trace_path`` (or an explicit ``tracer``, a
+    :class:`~repro.rack.tracing.RackTracer`) turns on rack-scale span
+    tracing: one per-replica tracer tee plus the balancer decision log,
+    exported as a single merged trace document with globally unique
+    worker ids.  Like the single-server tracer it observes without
+    perturbing, so traced runs are bit-identical to untraced ones.
     ``metrics_path`` (or an explicit ``telemetry`` probe) turns on the
     virtual-time metrics plane with the rack pull source registered.
     """
@@ -302,6 +317,14 @@ def run_rack(
         session_rng=rngs.stream("rack.sessions"),
         n_users=n_users,
     )
+
+    rack_tracer = tracer
+    if trace_path is not None and rack_tracer is None:
+        from .tracing import RackTracer
+
+        rack_tracer = RackTracer()
+    if rack_tracer is not None:
+        rack_tracer.install(loop, servers, views, rack_balancer)
 
     injector = None
     if plan is not None and not plan.is_empty:
@@ -357,6 +380,21 @@ def run_rack(
         warmup_frac=warmup_frac,
         pct=pct,
     )
+    if rack_tracer is not None and trace_path is not None:
+        from .tracing import write_rack_trace
+
+        meta: Dict[str, object] = {
+            "system": system.name,
+            "workload": spec.name,
+            "balancer": balancer_name,
+            "n_servers": n_servers,
+            "utilization": utilization,
+            "staleness_us": staleness_us,
+            "seed": seed,
+        }
+        if trace_meta:
+            meta.update(trace_meta)
+        write_rack_trace(trace_path, rack_tracer, recorder=recorder, meta=meta)
     if telemetry is not None and metrics_path is not None:
         from ..telemetry.export import write_metrics
 
@@ -383,4 +421,6 @@ def run_rack(
         injector=injector,
         telemetry=telemetry,
         metrics_path=metrics_path,
+        tracer=rack_tracer,
+        trace_path=trace_path,
     )

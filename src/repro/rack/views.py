@@ -65,6 +65,23 @@ class QueueViews:
             self.error_sum += abs(self._view[index] - self._actual(index))
         return self._view[index]
 
+    def peek(self, index: int) -> tuple:
+        """Pure read of the current view state: ``(viewed_load, age_us)``.
+
+        Unlike :meth:`load` this never refreshes the snapshot and never
+        touches the fresh/stale counters, so observers (the rack
+        tracer's balancer decision log) can record what the balancer
+        saw without perturbing what it will see next.  ``age_us`` is
+        ``None`` when the snapshot has never been refreshed (oracle
+        mode always returns age 0).
+        """
+        if self.staleness_us <= 0:
+            return self._actual(index), 0.0
+        refreshed = self._refreshed_at[index]
+        if refreshed == float("-inf"):
+            return self._view[index], None
+        return self._view[index], self.loop.now - refreshed
+
     def mean_error(self) -> float:
         """Mean absolute error of stale reads vs. the true load."""
         if self.stale_reads == 0:

@@ -129,17 +129,24 @@ class Tracer:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def install(self, loop, server, injector=None) -> None:
+    def install(self, loop, server, injector=None, attach_loop: bool = True) -> None:
         """Attach this tracer to a loop + server (+ optional injector).
 
         Idempotent per run; a tracer observes exactly one run.
+
+        ``attach_loop=False`` wires the server hooks but leaves the
+        loop's single tracer slot free — for multiplexers like
+        :class:`repro.rack.tracing.RackTracer` that occupy the slot
+        themselves and forward :meth:`on_loop_event` to each replica's
+        tracer.
         """
         if self._loop is not None:
             raise TraceError("tracer already installed; use one tracer per run")
         self._loop = loop
         self._server = server
         self._last_sample_at = loop.now
-        loop.attach_tracer(self)
+        if attach_loop:
+            loop.attach_tracer(self)
         server.attach_tracer(self)
         if injector is not None:
             injector.attach_tracer(self)

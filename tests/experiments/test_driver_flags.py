@@ -1,0 +1,118 @@
+"""Every experiment driver honors (or loudly refuses) the run-artifact
+flags — no silent ``--trace``/``--metrics``/``--forensics`` no-ops.
+
+The rack driver once accepted ``trace_dir`` and dropped it on the
+floor; a user asking for traces got an empty directory and no hint.
+This suite closes that class of bug structurally: every driver behind
+``repro-experiments`` must either thread all three artifact directories
+into its runs or raise :class:`~repro.errors.UsageError` the moment one
+is passed.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _tables_run, main
+from repro.errors import UsageError
+
+#: Experiments whose run() simulates (everything except static tables).
+SIMULATING = sorted(set(EXPERIMENTS) - {"tables"})
+
+ARTIFACT_PARAMS = ("trace_dir", "metrics_dir", "forensics_dir")
+
+
+def driver_module(name):
+    return importlib.import_module(f"repro.experiments.{name}")
+
+
+class TestDriverSignatures:
+    def test_registry_covers_eleven_simulating_drivers(self):
+        assert len(SIMULATING) == 11
+
+    @pytest.mark.parametrize("name", SIMULATING)
+    def test_every_simulating_driver_accepts_artifact_dirs(self, name):
+        params = inspect.signature(driver_module(name).run).parameters
+        missing = [p for p in ARTIFACT_PARAMS if p not in params]
+        assert not missing, (
+            f"{name}.run() silently ignores {missing}: artifact flags "
+            "must be threaded into the runs or refused with UsageError"
+        )
+        for p in ARTIFACT_PARAMS:
+            assert params[p].default is None
+
+
+class TestTablesRefusesArtifacts:
+    @pytest.mark.parametrize(
+        "flag,kwargs",
+        [
+            ("--trace", dict(trace_dir="t")),
+            ("--metrics", dict(metrics_dir="m")),
+            ("--forensics", dict(forensics_dir="f")),
+        ],
+    )
+    def test_each_flag_is_a_usage_error(self, flag, kwargs):
+        args = dict(
+            n=100, seed=1, sanitize=False, trace_dir=None,
+            metrics_dir=None, seeds=None, forensics_dir=None,
+        )
+        args.update(kwargs)
+        with pytest.raises(UsageError, match=flag):
+            _tables_run(**args)
+
+    def test_without_artifacts_tables_run_is_a_noop(self):
+        assert _tables_run(100, 1, False, None, None, None, None) is None
+
+
+class TestCliExitCodes:
+    def test_tables_with_trace_exits_2(self, capsys, tmp_path):
+        assert main(["tables", "--trace", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--trace" in err and "tables" in err
+
+    def test_tables_with_forensics_exits_2(self, capsys, tmp_path):
+        # --forensics implies --trace first; give both so the tables
+        # driver itself is what refuses.
+        assert main(
+            ["tables", "--trace", str(tmp_path), "--forensics", str(tmp_path)]
+        ) == 2
+        assert "tables" in capsys.readouterr().err
+
+    def test_forensics_without_trace_exits_2(self, capsys, tmp_path):
+        assert main(["figure3", "--quick", "--forensics", str(tmp_path)]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_forensics_flag_parsed(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["figure3", "--trace", "t/", "--forensics", "f/"]
+        )
+        assert args.forensics == "f/"
+        assert build_parser().parse_args(["figure3"]).forensics is None
+
+
+class TestForensicsEndToEnd:
+    def test_figure_run_builds_a_forensics_store(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "QUICK_N", 400)
+        trace_dir = tmp_path / "traces"
+        store = tmp_path / "forensics"
+        assert main(
+            [
+                "figure3", "--quick",
+                "--trace", str(trace_dir),
+                "--forensics", str(store),
+            ]
+        ) == 0
+        from repro.forensics.registry import RunRegistry
+
+        registry = RunRegistry(str(store))
+        run_ids = registry.run_ids()
+        assert len(run_ids) == len(list(trace_dir.glob("*.trace.json")))
+        record = registry.load(run_ids[0])
+        assert record["digests"]["reconciliation_ok"] is True

@@ -1,0 +1,40 @@
+"""Shared traced-run fixtures for the forensics tests.
+
+One small DARC-static load point, exported twice under different seeds
+so collection, registry grouping, and diff all have real material
+without re-simulating per test.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import run_once
+from repro.systems.persephone import PersephoneStaticSystem
+from repro.workload.presets import high_bimodal
+
+
+@pytest.fixture(scope="session")
+def trace_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("forensics-traces"))
+    for seed in (1, 2):
+        run_once(
+            PersephoneStaticSystem(n_reserved=1, n_workers=8, name="DARC-static"),
+            high_bimodal(),
+            0.7,
+            n_requests=1200,
+            seed=seed,
+            trace_path=os.path.join(directory, f"darc_seed{seed}.trace.json"),
+            trace_meta={
+                "experiment": "forensics-test",
+                "system": "DARC-static",
+                "workload": "high_bimodal",
+                "seed": seed,
+            },
+        )
+    return directory
+
+
+@pytest.fixture(scope="session")
+def trace_path(trace_dir):
+    return os.path.join(trace_dir, "darc_seed1.trace.json")

@@ -1,0 +1,260 @@
+"""Blame-attribution unit tests over hand-built spans.
+
+Every scenario here is small enough to compute the expected attribution
+by hand, so the tests lock the *semantics* of the analyzer: exact
+reconciliation, occupancy-vs-idle splitting, service-weighted candidate
+shares, and the §5.1-style warmup discard.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ForensicsError
+from repro.forensics.blame import (
+    DEFAULT_WARMUP_FRAC,
+    IDLE,
+    analyze_blame,
+    percentile_threshold,
+)
+from repro.trace.span import COMPLETE, SLICE_COMPLETE, SLICE_PREEMPT, Span
+
+
+def make_span(rid, type_id, arrival, sched_at, slices, terminal=COMPLETE):
+    """A completed (or open) span with the given (worker, begin, end)
+    slices; ``service_time`` is total occupancy, like the live tracer."""
+    span = Span(rid, type_id, arrival, sched_at)
+    for i, (worker, begin, end) in enumerate(slices):
+        span.open_slice(worker, begin)
+        if end is not None:
+            kind = SLICE_COMPLETE if i == len(slices) - 1 else SLICE_PREEMPT
+            span.close_slice(end, kind)
+    span.service_time = sum(e - b for _, b, e in slices if e is not None)
+    if terminal is not None and (not span.slices or not span.slices[-1].open):
+        span.set_terminal(terminal, slices[-1][2])
+    return span
+
+
+class TestPercentileThreshold:
+    def test_max_is_always_a_victim(self):
+        assert percentile_threshold([1.0, 2.0, 3.0], 99.0) == 3.0
+
+    def test_median(self):
+        assert percentile_threshold([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ForensicsError, match="empty"):
+            percentile_threshold([], 99.0)
+
+
+class TestSingleBlocker:
+    """One short (type 0) queued behind one long (type 1) on worker 0."""
+
+    def spans(self):
+        return [
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, 10.0)]),
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 11.0)]),
+        ]
+
+    def test_hol_blame_is_exactly_the_overlap(self):
+        report = analyze_blame(self.spans(), pct=50.0)
+        report.verify()
+        victim = next(v for v in report.victims if v.rid == 1)
+        # queue_wait = 10 - 1 = 9, all of it under the long's occupancy.
+        assert victim.queue_wait == pytest.approx(9.0)
+        assert victim.hol == {1: pytest.approx(9.0)}
+
+    def test_blocking_set_names_the_concrete_request(self):
+        report = analyze_blame(self.spans(), pct=50.0)
+        victim = next(v for v in report.victims if v.rid == 1)
+        assert victim.blockers == {100: pytest.approx(9.0)}
+        assert victim.top_blockers() == [(100, pytest.approx(9.0))]
+
+    def test_reconciliation_is_exact(self):
+        report = analyze_blame(self.spans(), pct=50.0)
+        for victim in report.victims:
+            residuals = victim.reconcile()
+            assert abs(residuals["hol"]) < 1e-12
+            assert abs(residuals["preempt"]) < 1e-12
+
+
+class TestIdleSplit:
+    def test_unoccupied_candidate_time_books_as_idle(self):
+        spans = [
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, 5.0)]),
+            # Short waits [1, 10): 4us under the long, 5us idle.
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 11.0)]),
+        ]
+        report = analyze_blame(spans, pct=50.0)
+        report.verify()
+        victim = next(v for v in report.victims if v.rid == 1)
+        assert victim.hol[1] == pytest.approx(4.0)
+        assert victim.hol[IDLE] == pytest.approx(5.0)
+
+    def test_open_slices_count_as_idle(self):
+        spans = [
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, None)], terminal=None),
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 11.0)]),
+        ]
+        report = analyze_blame(spans, pct=50.0)
+        report.verify()
+        victim = next(v for v in report.victims if v.rid == 1)
+        assert victim.hol == {IDLE: pytest.approx(9.0)}
+
+
+class TestWeightedCandidates:
+    def test_shares_follow_service_time(self):
+        # Type 0 runs 9us on worker 0 and 1us on worker 1 -> 0.9 / 0.1.
+        spans = [
+            make_span(50, 0, 20.0, 20.0, [(0, 20.0, 29.0)]),
+            make_span(51, 0, 20.0, 20.0, [(1, 20.0, 21.0)]),
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, 10.0)]),
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 10.5)]),
+        ]
+        report = analyze_blame(spans, pct=1.0)
+        report.verify()
+        weights = report.candidate_weights[0]
+        assert weights[0] == pytest.approx((9.0 + 0.5) / 10.5)
+        assert weights[1] == pytest.approx(1.0 / 10.5)
+        assert math.fsum(weights.values()) == pytest.approx(1.0)
+        # Victim rid=1 waits [1, 10): worker 0 occupied by the long the
+        # whole window, worker 1 idle -> long blame weighted by w0.
+        victim = next(v for v in report.victims if v.rid == 1)
+        assert victim.hol[1] == pytest.approx(9.0 * weights[0])
+        assert victim.hol[IDLE] == pytest.approx(9.0 * weights[1])
+
+    def test_weights_serialize_per_type(self):
+        spans = [
+            make_span(1, 0, 0.0, 0.0, [(0, 0.0, 1.0)]),
+            make_span(2, 1, 0.0, 0.0, [(1, 0.0, 4.0)]),
+        ]
+        data = analyze_blame(spans, pct=50.0).to_dict()
+        assert data["candidate_weights"]["0"] == {"0": 1.0}
+        assert data["candidate_weights"]["1"] == {"1": 1.0}
+
+
+class TestPreemptWindows:
+    def test_gap_between_slices_is_preempt_blame(self):
+        spans = [
+            # Blocker occupies worker 0 during the victim's gap [3, 5).
+            make_span(100, 1, 0.0, 0.0, [(0, 3.0, 5.0)]),
+            make_span(1, 0, 0.0, 2.0, [(0, 2.0, 3.0), (0, 5.0, 6.0)]),
+        ]
+        report = analyze_blame(spans, pct=50.0)
+        report.verify()
+        victim = next(v for v in report.victims if v.rid == 1)
+        assert victim.preempt_wait == pytest.approx(2.0)
+        # Candidates for type 0 = {0} only (the long never enrolls it).
+        assert report.candidates[0] == [0]
+        assert victim.preempt == {1: pytest.approx(2.0)}
+        assert victim.hol == {}
+
+
+class TestWarmupDiscard:
+    def test_small_samples_keep_everything(self):
+        # int(2 * 0.1) == 0: hand-built pairs see no discard at all.
+        spans = [
+            make_span(1, 0, 0.0, 0.0, [(0, 0.0, 1.0)]),
+            make_span(2, 0, 5.0, 5.0, [(0, 5.0, 6.0)]),
+        ]
+        report = analyze_blame(spans)
+        assert report.warmup_frac == DEFAULT_WARMUP_FRAC
+        assert len(report.victims) >= 1
+        assert report.horizon_us == 0.0
+
+    def test_warmup_arrivals_are_not_victims(self):
+        spans = [
+            # One slow warmup-era short, then nine fast steady ones.
+            make_span(0, 0, 0.0, 0.0, [(5, 50.0, 51.0)])
+        ] + [
+            make_span(i, 0, 10.0 * i, 10.0 * i, [(0, 10.0 * i, 10.0 * i + 1.0)])
+            for i in range(1, 10)
+        ]
+        report = analyze_blame(spans, pct=99.0, warmup_frac=0.1)
+        assert report.horizon_us == pytest.approx(10.0)
+        assert all(v.rid != 0 for v in report.victims)
+
+    def test_candidates_come_from_steady_state(self):
+        # Type 0 only ever touched worker 5 during warmup; steady-state
+        # service is all on worker 0, so worker 5 must not dilute blame.
+        spans = [
+            make_span(0, 0, 0.0, 0.0, [(5, 0.0, 1.0)])
+        ] + [
+            make_span(i, 0, 10.0 * i, 10.0 * i, [(0, 10.0 * i, 10.0 * i + 1.0)])
+            for i in range(1, 10)
+        ]
+        report = analyze_blame(spans, pct=99.0, warmup_frac=0.1)
+        assert report.candidates[0] == [0]
+        assert report.candidate_weights[0] == {0: pytest.approx(1.0)}
+
+    def test_whole_run_fallback_for_warmup_only_types(self):
+        spans = [
+            make_span(0, 1, 0.0, 0.0, [(3, 0.0, 1.0)])
+        ] + [
+            make_span(i, 0, 10.0 * i, 10.0 * i, [(0, 10.0 * i, 10.0 * i + 1.0)])
+            for i in range(1, 10)
+        ]
+        report = analyze_blame(spans, pct=99.0, warmup_frac=0.1)
+        # Type 1's only service predates the horizon: fall back rather
+        # than leave the type with no candidate workers at all.
+        assert report.candidates[1] == [3]
+
+    def test_invalid_warmup_frac(self):
+        spans = [make_span(1, 0, 0.0, 0.0, [(0, 0.0, 1.0)])]
+        with pytest.raises(ForensicsError, match="warmup_frac"):
+            analyze_blame(spans, warmup_frac=1.0)
+        with pytest.raises(ForensicsError, match="warmup_frac"):
+            analyze_blame(spans, warmup_frac=-0.1)
+
+
+class TestValidation:
+    def test_bad_pct(self):
+        with pytest.raises(ForensicsError, match="pct"):
+            analyze_blame([], pct=0.0)
+        with pytest.raises(ForensicsError, match="pct"):
+            analyze_blame([], pct=100.0)
+
+    def test_no_completed_spans(self):
+        spans = [make_span(1, 0, 0.0, 0.0, [(0, 0.0, None)], terminal=None)]
+        with pytest.raises(ForensicsError, match="no completed"):
+            analyze_blame(spans)
+
+    def test_verify_catches_injected_drift(self):
+        spans = [
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, 10.0)]),
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 11.0)]),
+        ]
+        report = analyze_blame(spans, pct=50.0)
+        victim = next(v for v in report.victims if v.rid == 1)
+        victim.hol[1] += 1.0
+        with pytest.raises(ForensicsError, match="drifts"):
+            report.verify()
+
+
+class TestReportQueries:
+    def spans(self):
+        return [
+            make_span(100, 1, 0.0, 0.0, [(0, 0.0, 10.0)]),
+            make_span(1, 0, 0.0, 1.0, [(0, 10.0, 11.0)]),
+        ]
+
+    def test_short_long_labels_follow_mean_service(self):
+        report = analyze_blame(self.spans(), pct=50.0)
+        assert report.short_long_types() == (0, 1)
+
+    def test_total_blame_and_share(self):
+        report = analyze_blame(self.spans(), pct=50.0)
+        assert report.total_blame(0, 1) == pytest.approx(9.0)
+        assert report.blocker_share(0, 1) == pytest.approx(1.0)
+
+    def test_digest_is_deterministic(self):
+        a = analyze_blame(self.spans(), pct=50.0)
+        b = analyze_blame(self.spans(), pct=50.0)
+        assert a.digest() == b.digest()
+        assert analyze_blame(self.spans(), pct=60.0).digest() != a.digest()
+
+    def test_to_dict_carries_warmup_and_reconciliation(self):
+        data = analyze_blame(self.spans(), pct=50.0).to_dict()
+        assert data["warmup_frac"] == DEFAULT_WARMUP_FRAC
+        assert data["reconciliation"]["ok"] is True
+        assert data["slices_indexed"] == 2

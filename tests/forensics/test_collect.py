@@ -1,0 +1,87 @@
+"""Collection glue: trace exports -> registry records."""
+
+import os
+
+import pytest
+
+from repro.errors import ForensicsError, UsageError
+from repro.forensics.collect import (
+    analyze_trace_file,
+    collect_directory,
+    span_summary,
+)
+from repro.forensics.registry import RECORD_KIND, RunRegistry
+from repro.trace.span import COMPLETE, Span
+
+
+def _span(rid, type_id, arrival, latency, service):
+    span = Span(rid, type_id, arrival, arrival)
+    span.open_slice(0, arrival + latency - service)
+    span.close_slice(arrival + latency, "complete")
+    span.set_terminal(COMPLETE, arrival + latency)
+    span.service_time = service
+    return span
+
+
+class TestSpanSummary:
+    def test_counts_means_and_tails(self):
+        spans = [_span(i, 0, float(i), 10.0, 2.0) for i in range(10)]
+        summary = span_summary(spans, pct=50.0)
+        assert summary["completed"] == 10
+        assert summary["dropped"] == 0
+        assert summary["overall"]["mean_latency_us"] == pytest.approx(10.0)
+        assert summary["overall"]["tail_slowdown"] == pytest.approx(5.0)
+        assert summary["per_type"]["0"]["completed"] == 10
+
+    def test_dropped_spans_are_counted_not_summarized(self):
+        dropped = Span(99, 0, 0.0, 0.0)
+        dropped.set_terminal("drop", 1.0)
+        spans = [_span(1, 0, 0.0, 10.0, 2.0), dropped]
+        summary = span_summary(spans)
+        assert summary["completed"] == 1
+        assert summary["dropped"] == 1
+
+
+class TestAnalyzeTraceFile:
+    def test_record_is_registry_ready(self, trace_path):
+        record = analyze_trace_file(trace_path)
+        assert record["kind"] == RECORD_KIND
+        assert record["digests"]["reconciliation_ok"] is True
+        assert record["blame"]["reconciliation"]["ok"] is True
+        assert record["meta"]["experiment"] == "forensics-test"
+        # Single-server trace: no route log, so no herding section.
+        assert record["herding"] is None
+        assert "herding" not in record["digests"]
+
+
+class TestCollectDirectory:
+    def test_none_store_is_a_noop(self, trace_dir):
+        assert collect_directory(None, trace_dir) == []
+
+    def test_forensics_without_tracing_is_a_usage_error(self, tmp_path):
+        with pytest.raises(UsageError, match="--trace"):
+            collect_directory(str(tmp_path / "store"), None)
+
+    def test_collects_every_trace_deterministically(self, trace_dir, tmp_path):
+        store = str(tmp_path / "store")
+        run_ids = collect_directory(store, trace_dir, experiment="forensics-test")
+        assert len(run_ids) == 2
+        registry = RunRegistry(store)
+        assert sorted(registry.run_ids()) == sorted(run_ids)
+        # Re-collection of identical artifacts is idempotent.
+        again = collect_directory(store, trace_dir, experiment="forensics-test")
+        assert again == run_ids
+
+    def test_unreadable_trace_raises_forensics_error(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        (trace_dir / "bad.trace.json").write_text("{not json")
+        with pytest.raises((ForensicsError, Exception)):
+            collect_directory(str(tmp_path / "store"), str(trace_dir))
+
+    def test_non_trace_files_are_skipped(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        (trace_dir / "notes.txt").write_text("hello")
+        store = str(tmp_path / "store")
+        assert collect_directory(store, str(trace_dir)) == []

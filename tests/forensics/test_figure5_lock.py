@@ -1,0 +1,101 @@
+"""The Figure-5 story, told causally — the tentpole's acceptance lock.
+
+Persephone vs Shenango vs Shinjuku on the High Bimodal mix (50% x 1us,
+50% x 100us over 14 workers, Figure 5's geometry).  The blame analyzer
+must show *why* DARC wins: short-type victims carry near-zero long-type
+blame under Persephone (reserved cores fence the shorts off), while
+under Shenango (ws-FCFS) shorts inherit substantial long-type blame and
+under Shinjuku they pay the preemption-quantum tax.
+
+DARC here learns its reservation online (``oracle=False``) with
+``min_samples`` scaled to the test's run length exactly as Figure 5's
+2000-sample default is scaled to its full-size runs, so the learning
+phase ends inside the analyzer's §5.1 warmup discard.
+"""
+
+import pytest
+
+from repro.experiments.common import run_once
+from repro.forensics.blame import analyze_blame
+from repro.systems.persephone import PersephoneSystem
+from repro.systems.shenango import ShenangoSystem
+from repro.systems.shinjuku import ShinjukuSystem
+from repro.workload.presets import high_bimodal
+from repro.trace import Tracer
+
+N_WORKERS = 14
+RHO = 0.7
+N_REQUESTS = 6000
+QUANTUM_US = 5.0
+SHORT, LONG = 0, 1
+
+
+@pytest.fixture(scope="module")
+def blame_reports():
+    systems = {
+        "persephone": PersephoneSystem(
+            n_workers=N_WORKERS, oracle=False, min_samples=300, name="Persephone"
+        ),
+        "shenango": ShenangoSystem(
+            n_workers=N_WORKERS, work_stealing=True, name="Shenango"
+        ),
+        "shinjuku": ShinjukuSystem(
+            n_workers=N_WORKERS, quantum_us=QUANTUM_US, mode="multi", name="Shinjuku"
+        ),
+    }
+    reports = {}
+    for key, system in systems.items():
+        tracer = Tracer()
+        run_once(
+            system, high_bimodal(), RHO,
+            n_requests=N_REQUESTS, seed=1, tracer=tracer,
+        )
+        report = analyze_blame(tracer.spans.values())
+        report.verify()
+        reports[key] = report
+    return reports
+
+
+def long_blame(report):
+    """Total long-type blame (HOL + preempt) on short-type victims."""
+    return report.total_blame(SHORT, LONG)
+
+
+class TestFigure5Blame:
+    def test_blame_reconciles_exactly_for_all_systems(self, blame_reports):
+        for report in blame_reports.values():
+            recon = report.reconciliation()
+            assert recon["ok"], recon
+            assert recon["max_residual_us"] < 1e-6
+
+    def test_short_long_labels(self, blame_reports):
+        for report in blame_reports.values():
+            assert report.short_long_types() == (SHORT, LONG)
+
+    def test_persephone_shorts_carry_near_zero_long_blame(self, blame_reports):
+        report = blame_reports["persephone"]
+        per_victim = long_blame(report) / report.n_victims(SHORT)
+        assert per_victim < 1.0  # well under one short service time's worth
+
+    def test_darc_reservation_shows_in_candidate_weights(self, blame_reports):
+        # Post-learning, one reserved worker performs nearly all short
+        # service; work-conserving systems stay near-uniform (1/14).
+        weights = blame_reports["persephone"].candidate_weights[SHORT]
+        assert max(weights.values()) > 0.85
+        for key in ("shenango", "shinjuku"):
+            weights = blame_reports[key].candidate_weights[SHORT]
+            assert max(weights.values()) < 0.2
+
+    def test_shenango_shorts_blocked_substantially_by_longs(self, blame_reports):
+        shen = blame_reports["shenango"]
+        per_victim = long_blame(shen) / shen.n_victims(SHORT)
+        assert per_victim > 10.0  # many short service times lost to longs
+        assert long_blame(shen) > 20.0 * long_blame(blame_reports["persephone"])
+
+    def test_shinjuku_shorts_pay_the_quantum_tax(self, blame_reports):
+        shin = blame_reports["shinjuku"]
+        per_victim = long_blame(shin) / shin.n_victims(SHORT)
+        # Substantial next to Persephone, but bounded near the quantum:
+        # a short's wait is capped by in-progress slices, not whole longs.
+        assert long_blame(shin) > 5.0 * long_blame(blame_reports["persephone"])
+        assert QUANTUM_US / 10.0 < per_victim < 3.0 * QUANTUM_US

@@ -1,0 +1,97 @@
+"""Herding-detector unit tests over synthetic route logs."""
+
+import pytest
+
+from repro.errors import ForensicsError
+from repro.forensics.herding import (
+    DEFAULT_BURST_MIN,
+    DEFAULT_FLAG_FRACTION,
+    detect_herding,
+    render_herding,
+)
+
+
+def route(t, replica, stale=True):
+    return [t, "route", {"replica": replica, "stale": stale}]
+
+
+class TestBurstSegmentation:
+    def test_alternating_choices_never_flag(self):
+        decisions = [route(float(i), i % 4, stale=False) for i in range(100)]
+        report = detect_herding(decisions)
+        assert report.max_burst == 1
+        assert report.herding_fraction == 0.0
+        assert not report.flagged
+
+    def test_single_long_stampede_flags(self):
+        decisions = [route(float(i), 0) for i in range(50)] + [
+            route(50.0 + i, 1 + i % 3, stale=False) for i in range(50)
+        ]
+        report = detect_herding(decisions)
+        assert report.max_burst == 50
+        assert report.herding_fraction == pytest.approx(0.5)
+        assert report.flagged
+
+    def test_bursts_below_minimum_do_not_count(self):
+        # Runs of 4 < DEFAULT_BURST_MIN: herded fraction stays zero.
+        decisions = []
+        for block in range(20):
+            decisions.extend(route(block * 4.0 + i, block % 4) for i in range(4))
+        report = detect_herding(decisions)
+        assert report.max_burst == 4
+        assert report.herding_fraction == 0.0
+
+    def test_burst_records_window_and_staleness(self):
+        decisions = [route(10.0 + i, 2, stale=(i % 2 == 0)) for i in range(10)]
+        report = detect_herding(decisions)
+        (burst,) = report.bursts
+        assert burst.replica == 2
+        assert burst.length == 10
+        assert burst.start == 10.0 and burst.end == 19.0
+        assert burst.stale_count == 5
+        assert report.stale_fraction == pytest.approx(0.5)
+
+    def test_non_route_entries_are_ignored(self):
+        decisions = [[0.0, "reservation", {"reserved": {"0": 1}}]] + [
+            route(float(i), i % 2, stale=False) for i in range(10)
+        ]
+        assert detect_herding(decisions).n_routes == 10
+
+
+class TestValidation:
+    def test_no_route_decisions_raises(self):
+        with pytest.raises(ForensicsError, match="route"):
+            detect_herding([[0.0, "reservation", {}]])
+
+    def test_bad_burst_min(self):
+        with pytest.raises(ForensicsError, match="burst_min"):
+            detect_herding([route(0.0, 0)], burst_min=1)
+
+    def test_bad_flag_fraction(self):
+        with pytest.raises(ForensicsError, match="flag_fraction"):
+            detect_herding([route(0.0, 0)], flag_fraction=0.0)
+
+
+class TestSerialization:
+    def test_to_dict_carries_thresholds_and_verdict(self):
+        decisions = [route(float(i), 0) for i in range(20)]
+        data = detect_herding(decisions).to_dict()
+        assert data["burst_min"] == DEFAULT_BURST_MIN
+        assert data["flag_fraction"] == DEFAULT_FLAG_FRACTION
+        assert data["flagged"] is True
+        assert data["bursts"] == [[0.0, 19.0, 0, 20, 20]]
+
+    def test_digest_deterministic_and_sensitive(self):
+        decisions = [route(float(i), i % 3) for i in range(30)]
+        a = detect_herding(decisions).digest()
+        assert detect_herding(decisions).digest() == a
+        assert detect_herding(decisions[:-1]).digest() != a
+
+    def test_render_mentions_verdict(self):
+        flagged = detect_herding([route(float(i), 0) for i in range(20)])
+        text = render_herding(flagged, balancer="jsq-stale")
+        assert "HERDING" in text and "jsq-stale" in text
+        clean = detect_herding(
+            [route(float(i), i % 4, stale=False) for i in range(20)]
+        )
+        assert "no herding" in render_herding(clean)

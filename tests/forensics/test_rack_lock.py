@@ -1,0 +1,101 @@
+"""Rack-tracing acceptance lock: herding under stale views, not oracle.
+
+A four-replica Shenango rack routed by join-shortest-queue over a 50µs
+stale view herds: every arrival in a staleness window sees the same
+"shortest" replica, so the balancer log shows long same-replica bursts.
+The identical rack with a 0µs (oracle) view does not.  The detector
+must flag the former and stay quiet on the latter — the discriminating
+signal the herding satellite exists for.
+
+The same merged rack trace must also feed the blame analyzer unchanged
+(rack-global worker ids, exact reconciliation).
+"""
+
+import os
+
+import pytest
+
+from repro.forensics.collect import analyze_trace_file
+from repro.forensics.herding import detect_herding
+from repro.rack.rack import run_rack
+from repro.systems.shenango import ShenangoSystem
+from repro.trace.export import load_trace
+from repro.workload.presets import high_bimodal
+
+N_SERVERS = 4
+N_WORKERS = 4
+N_REQUESTS = 4000
+
+
+def traced_rack_run(directory, name, staleness_us):
+    path = os.path.join(directory, f"{name}.trace.json")
+    run_rack(
+        ShenangoSystem(n_workers=N_WORKERS, work_stealing=True, name="Shenango"),
+        high_bimodal(),
+        balancer="jsq-stale",
+        n_servers=N_SERVERS,
+        utilization=0.7,
+        n_requests=N_REQUESTS,
+        seed=1,
+        staleness_us=staleness_us,
+        trace_path=path,
+        trace_meta={"experiment": "rack-lock", "balancer": "jsq-stale"},
+    )
+    return path
+
+
+@pytest.fixture(scope="module")
+def stale_trace(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("rack-stale"))
+    return traced_rack_run(directory, "jsq_stale", staleness_us=50.0)
+
+
+@pytest.fixture(scope="module")
+def oracle_trace(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("rack-oracle"))
+    return traced_rack_run(directory, "jsq_oracle", staleness_us=0.0)
+
+
+class TestHerdingLock:
+    def test_stale_view_is_flagged(self, stale_trace):
+        report = detect_herding(load_trace(stale_trace).decisions)
+        assert report.flagged
+        assert report.herding_fraction > 0.5
+        # Nearly every decision used an aged view; the remainder landed
+        # exactly on refresh instants (age 0).
+        assert report.stale_fraction > 0.9
+        assert report.max_burst >= 8
+
+    def test_oracle_view_is_clean(self, oracle_trace):
+        report = detect_herding(load_trace(oracle_trace).decisions)
+        assert not report.flagged
+        assert report.herding_fraction < 0.1
+        assert report.stale_fraction == pytest.approx(0.0)
+
+    def test_route_log_covers_every_arrival(self, stale_trace):
+        doc = load_trace(stale_trace)
+        report = detect_herding(doc.decisions)
+        assert report.n_routes == N_REQUESTS
+        assert report.n_replicas == N_SERVERS
+        assert doc.meta["rack"]["n_routes"] == N_REQUESTS
+
+
+class TestMergedTraceForensics:
+    def test_worker_ids_are_rack_global(self, stale_trace):
+        doc = load_trace(stale_trace)
+        workers = {
+            s[0]
+            for span in doc.spans
+            for s in span.to_dict()["slices"]
+        }
+        assert workers
+        assert max(workers) >= N_WORKERS  # beyond one replica's id space
+        assert max(workers) < N_SERVERS * N_WORKERS
+        assert doc.meta["rack"]["n_workers"] == N_WORKERS
+
+    def test_blame_reconciles_on_rack_trace(self, stale_trace):
+        record = analyze_trace_file(stale_trace)
+        assert record["blame"]["reconciliation"]["ok"] is True
+        assert record["digests"]["reconciliation_ok"] is True
+        assert record["digests"]["herding_flagged"] is True
+        assert record["herding"]["flagged"] is True

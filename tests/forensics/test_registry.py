@@ -1,0 +1,146 @@
+"""Run-registry + cross-run diff tests over synthetic records."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ForensicsError
+from repro.forensics.registry import (
+    RECORD_KIND,
+    STORE_VERSION,
+    RunRegistry,
+    diff_groups,
+    record_id,
+    render_diff,
+)
+
+
+def make_record(system="Persephone", seed=1, tail=100.0, completed=1000):
+    return {
+        "kind": RECORD_KIND,
+        "version": STORE_VERSION,
+        "meta": {
+            "experiment": "figure5",
+            "system": system,
+            "workload": "high_bimodal",
+            "seed": seed,
+        },
+        "summary": {
+            "completed": completed,
+            "overall": {"tail_latency_us": tail, "tail_slowdown": tail / 10.0},
+        },
+        "blame": {"reconciliation": {"ok": True, "n_victims": 3}},
+        "herding": None,
+        "digests": {"blame": "ab" * 32, "reconciliation_ok": True},
+    }
+
+
+class TestRecordIds:
+    def test_content_derived_and_stable(self):
+        assert record_id(make_record()) == record_id(make_record())
+        assert record_id(make_record()) != record_id(make_record(seed=2))
+
+    def test_slug_carries_meta(self):
+        rid = record_id(make_record())
+        assert rid.startswith("figure5_Persephone_high-bimodal_1_")
+
+
+class TestRegistry:
+    def test_register_and_load_round_trip(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        run_id = registry.register(make_record())
+        loaded = registry.load(run_id)
+        assert loaded["run_id"] == run_id
+        assert loaded["meta"]["system"] == "Persephone"
+
+    def test_register_is_idempotent(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        a = registry.register(make_record())
+        b = registry.register(make_record())
+        assert a == b
+        assert registry.run_ids() == [a]
+
+    def test_index_rebuilt_on_every_register(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        registry.register(make_record(seed=1))
+        registry.register(make_record(seed=2))
+        with open(registry.index_path) as fp:
+            index = json.load(fp)
+        assert index["kind"] == "repro-forensics-index"
+        assert len(index["runs"]) == 2
+        assert all("digests" in entry for entry in index["runs"])
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        with pytest.raises(ForensicsError, match="kind"):
+            registry.register({"kind": "something-else"})
+
+    def test_load_missing_run(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        with pytest.raises(ForensicsError, match="no run"):
+            registry.load("nope")
+
+    def test_match_by_prefix_and_meta_filter(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        registry.register(make_record(system="Persephone"))
+        registry.register(make_record(system="Shenango"))
+        by_prefix = registry.match("figure5_Shenango")
+        assert [r["meta"]["system"] for r in by_prefix] == ["Shenango"]
+        by_meta = registry.match("system=Persephone,seed=1")
+        assert [r["meta"]["system"] for r in by_meta] == ["Persephone"]
+
+    def test_bad_meta_filter_clause(self, tmp_path):
+        registry = RunRegistry(str(tmp_path / "store"))
+        with pytest.raises(ForensicsError, match="filter"):
+            registry.match("system=")
+
+    def test_no_wall_clock_in_store_files(self, tmp_path):
+        # Byte-identical stores from identical artifacts: rebuild the
+        # store from scratch and compare every file.
+        def build(root):
+            registry = RunRegistry(root)
+            for seed in (1, 2):
+                registry.register(make_record(seed=seed))
+            return {
+                name: open(os.path.join(registry.runs_dir, name), "rb").read()
+                for name in sorted(os.listdir(registry.runs_dir))
+            }
+
+        assert build(str(tmp_path / "a")) == build(str(tmp_path / "b"))
+
+
+class TestDiff:
+    def test_point_estimates_without_replicates(self):
+        diff = diff_groups([make_record(tail=100.0)], [make_record(tail=120.0)])
+        row = diff["metrics"]["overall.tail_latency_us"]
+        assert row["delta"] == pytest.approx(20.0)
+        assert row["delta_pct"] == pytest.approx(20.0)
+        assert row["significant"]  # zero half-widths, nonzero delta
+
+    def test_replicated_groups_use_student_t(self):
+        group_a = [make_record(seed=s, tail=100.0 + s) for s in range(1, 4)]
+        group_b = [make_record(seed=s, tail=130.0 + s) for s in range(1, 4)]
+        diff = diff_groups(group_a, group_b)
+        row = diff["metrics"]["overall.tail_latency_us"]
+        assert row["a"]["n"] == row["b"]["n"] == 3
+        assert row["a"]["half_width"] > 0.0
+        assert row["significant"]
+
+    def test_overlapping_intervals_are_not_significant(self):
+        group_a = [make_record(seed=s, tail=100.0 + 10 * s) for s in range(1, 4)]
+        group_b = [make_record(seed=s, tail=101.0 + 10 * s) for s in range(1, 4)]
+        row = diff_groups(group_a, group_b)["metrics"]["overall.tail_latency_us"]
+        assert not row["significant"]
+
+    def test_empty_side_raises(self):
+        with pytest.raises(ForensicsError, match="each side"):
+            diff_groups([], [make_record()])
+
+    def test_render_marks_significance(self):
+        diff = diff_groups([make_record(tail=100.0)], [make_record(tail=200.0)])
+        text = render_diff(diff)
+        assert "overall.tail_latency_us" in text
+        assert "*" in text
+        only = render_diff(diff, only_significant=True)
+        assert "overall.tail_latency_us" in only

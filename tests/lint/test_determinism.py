@@ -140,6 +140,79 @@ class TestUnitConstantRewritesBitIdentical:
         assert US_PER_MS == 1_000.0
 
 
+class TestForensicsNeutrality:
+    """Tracing + forensics collection are pure observers: exporting a
+    trace and then running the blame/herding analyzers over it must not
+    move a single engine digest.  Pinned so neither the tracer tee nor
+    the collection glue can grow a side effect silently."""
+
+    #: PersephoneSystem(n_workers=8, min_samples=200), rho 0.7, n=800,
+    #: seed 7 — deliberately the same config as the ("persephone", 7)
+    #: hot-path pin above, so drift here is immediately attributable.
+    RUN_ONCE_DIGEST = (
+        "c8badc9242abc75145ef6238d28f46fec30ac12de1f9c702b8726db208812a01"
+    )
+    #: Shenango(ws) rack, jsq-stale, 4x4, rho 0.7, n=1000, seed 1.
+    RACK_DIGEST = (
+        "87dbbd08c5f2c197c036d3f0212020e2eb7adec117a2967587cbfc1ddd6ab112"
+    )
+
+    def _run_once_digest(self, trace_path=None):
+        from repro.lint.determinism import digest_outcome
+
+        result = run_once(
+            PersephoneSystem(n_workers=8, min_samples=200),
+            high_bimodal(),
+            0.7,
+            n_requests=800,
+            seed=7,
+            trace_path=trace_path,
+        )
+        return digest_outcome(result.server.recorder, result.server.loop)
+
+    def _rack_digest(self, trace_path=None):
+        from repro.rack.rack import run_rack
+
+        return run_rack(
+            ShenangoSystem(n_workers=4, work_stealing=True),
+            high_bimodal(),
+            balancer="jsq-stale",
+            n_servers=4,
+            utilization=0.7,
+            n_requests=1000,
+            seed=1,
+            staleness_us=50.0,
+            trace_path=trace_path,
+        ).digest()
+
+    def test_traced_and_collected_run_matches_pin(self, tmp_path):
+        from repro.forensics.collect import collect_directory
+
+        assert self._run_once_digest() == self.RUN_ONCE_DIGEST
+        traced = self._run_once_digest(str(tmp_path / "run.trace.json"))
+        assert traced == self.RUN_ONCE_DIGEST
+        run_ids = collect_directory(str(tmp_path / "forensics"), str(tmp_path))
+        assert len(run_ids) == 1
+
+    def test_traced_and_collected_rack_matches_pin(self, tmp_path):
+        from repro.forensics.collect import collect_directory
+
+        assert self._rack_digest() == self.RACK_DIGEST
+        traced = self._rack_digest(str(tmp_path / "rack.trace.json"))
+        assert traced == self.RACK_DIGEST
+        run_ids = collect_directory(str(tmp_path / "forensics"), str(tmp_path))
+        assert len(run_ids) == 1
+
+    def test_forensics_pin_agrees_with_hot_path_pin(self):
+        # Same config, same fingerprint function: the two pin tables must
+        # never disagree about this run.
+        key = ("persephone", 7)
+        assert (
+            TestHotPathFixesBitIdentical.PRE_OPTIMIZATION_DIGESTS[key]
+            == self.RUN_ONCE_DIGEST
+        )
+
+
 @pytest.fixture(scope="module")
 def sweep_plan():
     """One small real figure5 grid: 2 workloads × 3 systems × 2 seeds."""

@@ -94,3 +94,54 @@ class TestP2Quantile:
         for x in values:
             est.update(x)
         assert min(values) <= est.value() <= max(values)
+
+
+class TestP2QuantileEdgeCases:
+    """Degenerate streams the marker-update algebra must survive: the
+    P² update divides by marker-position gaps, so all-equal values and
+    strictly monotone ramps are where a naive implementation emits NaN
+    or runs away."""
+
+    def test_all_equal_values_stay_exact(self):
+        est = P2Quantile(0.9)
+        for _ in range(1000):
+            est.update(5.0)
+        assert est.value() == 5.0
+
+    def test_monotone_increasing_ramp(self):
+        # 0..999 streamed in order: p90 is ~899 and must neither NaN
+        # nor escape the observed range.
+        est = P2Quantile(0.9)
+        for x in range(1000):
+            est.update(float(x))
+        assert not math.isnan(est.value())
+        assert est.value() == pytest.approx(899.0, abs=5.0)
+
+    def test_monotone_decreasing_ramp(self):
+        est = P2Quantile(0.9)
+        for x in range(999, -1, -1):
+            est.update(float(x))
+        assert not math.isnan(est.value())
+        assert est.value() == pytest.approx(np.percentile(np.arange(1000), 90), abs=5.0)
+
+    def test_exactly_four_samples_interpolate_exactly(self):
+        # Below the 5-marker threshold the estimator IS the exact
+        # order statistic (numpy linear interpolation).
+        est = P2Quantile(0.9)
+        for x in [4.0, 2.0, 1.0, 3.0]:
+            est.update(x)
+        assert est.value() == pytest.approx(np.percentile([1.0, 2.0, 3.0, 4.0], 90))
+
+    def test_fifth_sample_crosses_to_marker_mode_continuously(self):
+        est = P2Quantile(0.5)
+        for x in [5.0, 1.0, 4.0, 2.0]:
+            est.update(x)
+        est.update(3.0)  # exactly five: markers initialize from sorted data
+        assert est.value() == 3.0
+
+    def test_all_equal_then_one_outlier_stays_bounded(self):
+        est = P2Quantile(0.9)
+        for _ in range(100):
+            est.update(1.0)
+        est.update(1000.0)
+        assert 1.0 <= est.value() <= 1000.0

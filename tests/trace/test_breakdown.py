@@ -108,3 +108,51 @@ class TestBreakdownMechanics:
         assert set(data) == {"pct", "completed", "per_type", "overall"}
         for entry in data["per_type"].values():
             assert set(entry["tail_stages"]) == set(STAGE_KEYS)
+
+
+def _tiny_span(rid, latency):
+    span = Span(rid, 0, float(rid), float(rid))
+    span.open_slice(0, float(rid))
+    span.close_slice(float(rid) + latency, "complete")
+    span.set_terminal(COMPLETE, float(rid) + latency)
+    span.service_time = latency
+    return span
+
+
+class TestNonCredibleTail:
+    """Satellite: a p99.9 over a handful of spans is one noisy order
+    statistic — the breakdown must say so rather than report it as
+    truth, at every surface (attribute, render, to_dict)."""
+
+    @pytest.fixture()
+    def tiny_breakdown(self):
+        spans = [_tiny_span(i, 2.0 + 0.1 * i) for i in range(20)]
+        return LatencyBreakdown(spans, pct=99.9)
+
+    def test_flag_mirrors_tail_credible(self, tiny_breakdown):
+        bd = tiny_breakdown.per_type[0]
+        assert bd.tail_credible == tail_credible(20, 99.9)
+        assert not bd.tail_credible
+        assert not tiny_breakdown.overall.tail_credible
+
+    def test_values_still_computed_and_reconcile(self, tiny_breakdown):
+        # Flagged, not suppressed: the decomposition stays exact.
+        tiny_breakdown.verify()
+        bd = tiny_breakdown.per_type[0]
+        assert bd.tail_latency > 0.0
+        assert sum(bd.tail_stages[k] for k in STAGE_KEYS) == pytest.approx(
+            bd.tail_span.latency
+        )
+
+    def test_render_carries_the_warning(self, tiny_breakdown):
+        assert "(tail not credible)" in tiny_breakdown.render()
+
+    def test_to_dict_carries_the_flag(self, tiny_breakdown):
+        data = tiny_breakdown.to_dict()
+        assert data["per_type"]["0"]["tail_credible"] is False
+
+    def test_median_over_same_spans_is_credible(self):
+        spans = [_tiny_span(i, 2.0 + 0.1 * i) for i in range(20)]
+        breakdown = LatencyBreakdown(spans, pct=50.0)
+        assert breakdown.per_type[0].tail_credible
+        assert "(tail not credible)" not in breakdown.render()
